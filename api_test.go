@@ -1,0 +1,295 @@
+package mediaworm
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fastCfg returns a heavily scaled config for quick API tests.
+func fastCfg() Config {
+	cfg := DefaultConfig().Scale(0.1)
+	cfg.Measure = 10 * cfg.FrameInterval
+	cfg.Warmup = 3 * cfg.FrameInterval
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CyclePeriod() != 80*time.Nanosecond {
+		t.Fatalf("cycle period %v, want 80ns (32 bits at 400 Mb/s)", cfg.CyclePeriod())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Topology = "ring" },
+		func(c *Config) { c.Ports = 1 },
+		func(c *Config) { c.Topology = FatMesh2x2; c.Ports = 4 },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.Policy = "lifo" },
+		func(c *Config) { c.BufferDepth = 0 },
+		func(c *Config) { c.LinkBandwidthBps = 0 },
+		func(c *Config) { c.FlitBits = 4 },
+		func(c *Config) { c.Load = 0 },
+		func(c *Config) { c.Load = 2 },
+		func(c *Config) { c.RTShare = 1.5 },
+		func(c *Config) { c.Class = "abr" },
+		func(c *Config) { c.MsgFlits = 0 },
+		func(c *Config) { c.FrameBytes = -1 },
+		func(c *Config) { c.FrameInterval = 0 },
+		func(c *Config) { c.Measure = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("Run accepted invalid config %d", i)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := DefaultConfig()
+	s := cfg.Scale(0.1)
+	if s.FrameBytes != cfg.FrameBytes*0.1 || s.FrameInterval != cfg.FrameInterval/10 {
+		t.Fatalf("scale broken: %+v", s)
+	}
+	// Out-of-range factors are identity.
+	if cfg.Scale(0) != cfg || cfg.Scale(2) != cfg {
+		t.Fatal("invalid scale factor should be identity")
+	}
+}
+
+func TestRunJitterFreeAtModerateLoad(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Load = 0.6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD := cfg.FrameInterval.Seconds() * 1000
+	if math.Abs(res.MeanDeliveryIntervalMs-wantD) > 0.1*wantD {
+		t.Fatalf("d = %.3f ms, want ~%.3f", res.MeanDeliveryIntervalMs, wantD)
+	}
+	if res.StdDevDeliveryIntervalMs > 0.05*wantD {
+		t.Fatalf("σd = %.4f ms at 0.6 load", res.StdDevDeliveryIntervalMs)
+	}
+	if res.Streams == 0 || res.FrameIntervals == 0 || res.FlitsDelivered == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.BestEffort.Injected != 0 {
+		t.Fatal("pure real-time run reported best-effort traffic")
+	}
+}
+
+func TestRunMixedTraffic(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Load = 0.6
+	cfg.RTShare = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEffort.Injected == 0 || res.BestEffort.Delivered == 0 {
+		t.Fatalf("no best-effort traffic: %+v", res.BestEffort)
+	}
+	if res.BestEffort.Saturated {
+		t.Fatal("saturated at 0.3 best-effort load")
+	}
+	if res.BestEffort.MeanLatencyUs <= 0 {
+		t.Fatal("non-positive latency")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := fastCfg()
+	cfg.RTShare = 0.8
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunCBRMatchesVBRShape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Class = CBR
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CBR frames are constant-size: the frame-size spacing variance
+	// disappears and jitter should be essentially zero at 0.8 load.
+	if res.StdDevDeliveryIntervalMs > 0.02*res.MeanDeliveryIntervalMs {
+		t.Fatalf("CBR σd = %.4f ms, want ≈0", res.StdDevDeliveryIntervalMs)
+	}
+}
+
+func TestRunFatMesh(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Topology = FatMesh2x2
+	cfg.Load = 0.5
+	cfg.RTShare = 0.6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameIntervals == 0 {
+		t.Fatal("no frames delivered over the fat mesh")
+	}
+}
+
+func TestRunFullCrossbar(t *testing.T) {
+	cfg := fastCfg()
+	cfg.VCs = 4
+	cfg.FullCrossbar = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameIntervals == 0 {
+		t.Fatal("no frames delivered through the full crossbar")
+	}
+}
+
+func TestRunPCSBasics(t *testing.T) {
+	cfg := DefaultPCSConfig().Scale(0.1)
+	cfg.Measure = 10 * cfg.FrameInterval
+	cfg.Warmup = 3 * cfg.FrameInterval
+	res, err := RunPCS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Established == 0 || res.FrameIntervals == 0 {
+		t.Fatalf("PCS run empty: %+v", res)
+	}
+	wantD := cfg.FrameInterval.Seconds() * 1000
+	if math.Abs(res.MeanDeliveryIntervalMs-wantD) > 0.1*wantD {
+		t.Fatalf("PCS d = %.3f, want ~%.3f", res.MeanDeliveryIntervalMs, wantD)
+	}
+	if res.StdDevDeliveryIntervalMs > 0.05*wantD {
+		t.Fatalf("PCS σd = %.4f at 0.7 load", res.StdDevDeliveryIntervalMs)
+	}
+}
+
+func TestPCSAdmissionTable(t *testing.T) {
+	res := PCSAdmission(8, 24, 25, 0.7, 1)
+	if res.Attempts != res.Established+res.Dropped {
+		t.Fatalf("accounting: %+v", res)
+	}
+	if res.Established < 120 || res.Established > 140 {
+		t.Fatalf("established %d at 0.7 load, want ≈140", res.Established)
+	}
+}
+
+func TestPlayoutMetric(t *testing.T) {
+	// Jitter-free operation: essentially no deadline misses with a 2-frame
+	// buffer.
+	cfg := fastCfg()
+	cfg.Load = 0.6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Playout.JudgedFrames == 0 {
+		t.Fatal("playout metric did not run")
+	}
+	if res.Playout.MissRate > 0.001 {
+		t.Fatalf("miss rate %.4f at 0.6 load with a 2-frame buffer", res.Playout.MissRate)
+	}
+	// Overloaded FIFO router: real misses appear.
+	cfg.Policy = FIFO
+	cfg.Load = 0.96
+	cfg.RTShare = 0.8
+	over, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Playout.MissRate <= res.Playout.MissRate {
+		t.Fatalf("overloaded FIFO miss rate %.4f not above %.4f",
+			over.Playout.MissRate, res.Playout.MissRate)
+	}
+	// Disabled when the buffer is 0.
+	cfg.PlayoutBufferFrames = 0
+	off, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Playout.JudgedFrames != 0 {
+		t.Fatal("playout metric ran while disabled")
+	}
+}
+
+func TestRunTetrahedralTopology(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Topology = Tetrahedral
+	cfg.Load = 0.5
+	cfg.RTShare = 0.7
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameIntervals == 0 || res.BestEffort.Delivered == 0 {
+		t.Fatalf("tetrahedral run empty: %+v", res)
+	}
+}
+
+func TestRunGoPModel(t *testing.T) {
+	cfg := fastCfg()
+	cfg.VBRModel = VBRGoP
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameIntervals == 0 {
+		t.Fatal("GoP run empty")
+	}
+	// GoP's structured bursts raise σd above the normal model's floor.
+	cfg.VBRModel = VBRNormal
+	normal, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StdDevDeliveryIntervalMs <= normal.StdDevDeliveryIntervalMs {
+		t.Fatalf("GoP σd %.4f not above normal %.4f",
+			res.StdDevDeliveryIntervalMs, normal.StdDevDeliveryIntervalMs)
+	}
+}
+
+func TestRunSourcePolicyOverride(t *testing.T) {
+	cfg := fastCfg()
+	cfg.SourcePolicy = FIFO
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SourcePolicy = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus source policy accepted")
+	}
+}
+
+func TestRunAblationKnobs(t *testing.T) {
+	cfg := fastCfg()
+	cfg.AllocatorIterations = 1
+	cfg.ExclusiveEndpointVCs = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.AllocatorIterations = 3
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("AllocatorIterations 3 accepted")
+	}
+}

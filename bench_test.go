@@ -1,0 +1,194 @@
+package mediaworm_test
+
+import (
+	"io"
+	"testing"
+
+	"mediaworm"
+	"mediaworm/internal/experiments"
+)
+
+// Benchmarks regenerate each of the paper's tables and figures at a reduced
+// video time-base (see Options.Scale); cmd/paperfigs runs the same code at
+// higher fidelity. One benchmark per table/figure, as per DESIGN.md §6.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+func benchOpt() experiments.Options {
+	return experiments.Options{Scale: 0.05, WarmupIntervals: 2, MeasureIntervals: 5, Seed: 1}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig3(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig4(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, _, err := experiments.Fig5Table2(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tab, err := experiments.Fig5Table2(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig6(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig7(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig8(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3(benchOpt()).Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig9(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+		experiments.Fig9BestEffort(fig, io.Discard)
+	}
+}
+
+// BenchmarkSingleRun measures the cost of one simulation point — the unit
+// every figure sweep is built from.
+func BenchmarkSingleRun(b *testing.B) {
+	cfg := mediaworm.DefaultConfig().Scale(0.05)
+	cfg.Warmup = 2 * cfg.FrameInterval
+	cfg.Measure = 5 * cfg.FrameInterval
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mediaworm.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation and extension benches (DESIGN.md §6 "ablation benches for the
+// design choices DESIGN.md calls out").
+
+func BenchmarkAblationAllocator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationAllocator(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkAblationEndpointVCs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationEndpointVCs(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkAblationSourcePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationSourcePolicy(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationScheduler(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkExtGoP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.ExtGoP(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkExtTetrahedral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.ExtTetrahedral(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkExtDynamicPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtDynamicPartition(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.FprintDynPart(res, io.Discard)
+	}
+}

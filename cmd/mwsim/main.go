@@ -1,0 +1,113 @@
+// Command mwsim runs a single MediaWorm simulation from flags and prints
+// the result as text or JSON.
+//
+// Examples:
+//
+//	mwsim -load 0.8 -mix 0.8 -policy virtual-clock
+//	mwsim -topology fat-mesh-2x2 -load 0.9 -mix 0.6 -json
+//	mwsim -pcs -load 0.7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+import "mediaworm"
+
+func main() {
+	var (
+		topology  = flag.String("topology", string(mediaworm.SingleSwitch), "single-switch or fat-mesh-2x2")
+		ports     = flag.Int("ports", 8, "ports per router")
+		vcs       = flag.Int("vcs", 16, "virtual channels per physical channel")
+		policy    = flag.String("policy", string(mediaworm.VirtualClock), "fifo, round-robin or virtual-clock")
+		fullXbar  = flag.Bool("full-crossbar", false, "use a full (n·m × n·m) crossbar")
+		load      = flag.Float64("load", 0.8, "offered input-link load (fraction of link bandwidth)")
+		mix       = flag.Float64("mix", 1.0, "real-time share x/(x+y) of the load")
+		class     = flag.String("class", string(mediaworm.VBR), "vbr or cbr")
+		linkMbps  = flag.Float64("link-mbps", 400, "physical channel bandwidth in Mb/s")
+		msgFlits  = flag.Int("msg-flits", 20, "message size in flits")
+		scale     = flag.Float64("scale", 0.2, "video time-base scale (1.0 = paper-exact)")
+		intervals = flag.Int("intervals", 10, "measured frame intervals")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		pcsMode   = flag.Bool("pcs", false, "run the PCS router instead of MediaWorm")
+		asJSON    = flag.Bool("json", false, "emit JSON")
+	)
+	flag.Parse()
+
+	if *pcsMode {
+		cfg := mediaworm.DefaultPCSConfig().Scale(*scale)
+		cfg.Load = *load
+		cfg.Seed = *seed
+		cfg.Warmup = 3 * cfg.FrameInterval
+		cfg.Measure = time.Duration(*intervals) * cfg.FrameInterval
+		res, err := mediaworm.RunPCS(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res, *asJSON, func() {
+			fmt.Printf("PCS  load=%.2f  d=%.3f ms  σd=%.4f ms  (established %d, dropped %d)\n",
+				*load, res.MeanDeliveryIntervalMs, res.StdDevDeliveryIntervalMs,
+				res.Established, res.Dropped)
+		})
+		return
+	}
+
+	cfg := mediaworm.DefaultConfig()
+	cfg.Topology = mediaworm.Topology(*topology)
+	cfg.Ports = *ports
+	cfg.VCs = *vcs
+	cfg.Policy = mediaworm.Policy(*policy)
+	cfg.FullCrossbar = *fullXbar
+	cfg.Load = *load
+	cfg.RTShare = *mix
+	cfg.Class = mediaworm.TrafficClass(*class)
+	cfg.LinkBandwidthBps = *linkMbps * 1e6
+	cfg.MsgFlits = *msgFlits
+	cfg.Seed = *seed
+	cfg = cfg.Scale(*scale)
+	cfg.Warmup = 3 * cfg.FrameInterval
+	cfg.Measure = time.Duration(*intervals) * cfg.FrameInterval
+	res, err := mediaworm.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	emit(res, *asJSON, func() {
+		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
+		fmt.Printf("load=%.2f mix=%.0f:%.0f policy=%s vcs=%d\n",
+			*load, *mix*100, (1-*mix)*100, *policy, *vcs)
+		fmt.Printf("  d = %.3f ms, σd = %.4f ms (paper scale: %.2f / %.3f), %d samples, %d streams\n",
+			res.MeanDeliveryIntervalMs, res.StdDevDeliveryIntervalMs,
+			res.MeanDeliveryIntervalMs*norm, res.StdDevDeliveryIntervalMs*norm,
+			res.FrameIntervals, res.Streams)
+		if res.BestEffort.Injected > 0 {
+			sat := ""
+			if res.BestEffort.Saturated {
+				sat = "  SATURATED"
+			}
+			fmt.Printf("  best-effort: %.1f µs mean (max %.1f), %d/%d delivered%s\n",
+				res.BestEffort.MeanLatencyUs, res.BestEffort.MaxLatencyUs,
+				res.BestEffort.Delivered, res.BestEffort.Injected, sat)
+		}
+	})
+}
+
+func emit(v any, asJSON bool, plain func()) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	plain()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mwsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command mwsweep sweeps one simulation parameter over a range and emits
+// one CSV row per point — the general-purpose companion to cmd/paperfigs
+// for exploring operating envelopes.
+//
+// Examples:
+//
+//	mwsweep -param load -from 0.5 -to 0.96 -steps 8 -mix 0.8
+//	mwsweep -param mix -from 0.1 -to 1.0 -steps 10 -load 0.9
+//	mwsweep -param vcs -from 4 -to 24 -steps 6 -load 0.9 -policy fifo
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"time"
+
+	"mediaworm"
+)
+
+func main() {
+	param := flag.String("param", "load", "swept parameter: load, mix, vcs, msg-flits, buffer")
+	from := flag.Float64("from", 0.5, "sweep start")
+	to := flag.Float64("to", 0.96, "sweep end (inclusive)")
+	steps := flag.Int("steps", 6, "number of points")
+	load := flag.Float64("load", 0.8, "fixed load (when not swept)")
+	mix := flag.Float64("mix", 0.8, "fixed real-time share (when not swept)")
+	vcs := flag.Int("vcs", 16, "fixed VCs (when not swept)")
+	policy := flag.String("policy", string(mediaworm.VirtualClock), "scheduling policy")
+	topo := flag.String("topology", string(mediaworm.SingleSwitch), "topology")
+	scale := flag.Float64("scale", 0.2, "video time-base scale")
+	intervals := flag.Int("intervals", 10, "measured frame intervals")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *steps < 1 {
+		fatal(fmt.Errorf("steps must be ≥ 1"))
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{*param, "d_ms", "sd_ms", "be_latency_us", "be_saturated", "playout_miss_rate", "streams"}); err != nil {
+		fatal(err)
+	}
+
+	for i := 0; i < *steps; i++ {
+		x := *from
+		if *steps > 1 {
+			x += (*to - *from) * float64(i) / float64(*steps-1)
+		}
+		cfg := mediaworm.DefaultConfig()
+		cfg.Topology = mediaworm.Topology(*topo)
+		cfg.Policy = mediaworm.Policy(*policy)
+		cfg.Load = *load
+		cfg.RTShare = *mix
+		cfg.VCs = *vcs
+		cfg.Seed = *seed
+		switch *param {
+		case "load":
+			cfg.Load = x
+		case "mix":
+			cfg.RTShare = x
+		case "vcs":
+			cfg.VCs = int(math.Round(x))
+		case "msg-flits":
+			cfg.MsgFlits = int(math.Round(x))
+		case "buffer":
+			cfg.BufferDepth = int(math.Round(x))
+		default:
+			fatal(fmt.Errorf("unknown parameter %q", *param))
+		}
+		cfg = cfg.Scale(*scale)
+		cfg.Warmup = 3 * cfg.FrameInterval
+		cfg.Measure = time.Duration(*intervals) * cfg.FrameInterval
+		res, err := mediaworm.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
+		if err := w.Write([]string{
+			strconv.FormatFloat(x, 'g', 6, 64),
+			strconv.FormatFloat(res.MeanDeliveryIntervalMs*norm, 'f', 3, 64),
+			strconv.FormatFloat(res.StdDevDeliveryIntervalMs*norm, 'f', 4, 64),
+			strconv.FormatFloat(res.BestEffort.MeanLatencyUs, 'f', 1, 64),
+			strconv.FormatBool(res.BestEffort.Saturated),
+			strconv.FormatFloat(res.Playout.MissRate, 'f', 5, 64),
+			strconv.Itoa(res.Streams),
+		}); err != nil {
+			fatal(err)
+		}
+		w.Flush()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mwsweep:", err)
+	os.Exit(1)
+}

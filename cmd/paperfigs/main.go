@@ -1,0 +1,195 @@
+// Command paperfigs regenerates every figure and table of the MediaWorm
+// paper's evaluation section and prints them as text tables.
+//
+// Usage:
+//
+//	paperfigs [-scale 0.2] [-seed 1] [-intervals 10] [-only fig3,table2] [-v]
+//
+// -scale 1.0 runs the paper's exact workload (slow: full MPEG-2 frames at
+// 33 ms); the default shrinks the video time base 5× and normalizes
+// reported intervals back to the 33 ms base.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mediaworm/internal/experiments"
+	"mediaworm/internal/report"
+	"mediaworm/internal/viz"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "video time-base scale factor (1.0 = paper-exact)")
+	seed := flag.Uint64("seed", 1, "workload random seed")
+	intervals := flag.Int("intervals", 10, "measured frame intervals per point")
+	only := flag.String("only", "", "comma-separated subset: fig3,fig4,fig5,table2,fig6,fig7,fig8,table3,fig9,table1; ablations/extensions by id (abl-alloc,abl-endpointvc,abl-source,abl-sched,ext-gop,ext-tetra,ext-dynpart) or 'extras' for all of them")
+	verbose := flag.Bool("v", false, "print per-point progress")
+	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
+	svgDir := flag.String("svg", "", "also render each figure as SVG charts into this directory")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Scale = *scale
+	opt.Seed = *seed
+	opt.MeasureIntervals = *intervals
+	if *verbose {
+		opt.Progress = func(fig, point string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  %s (%.1fs)\n", point, elapsed.Seconds())
+		}
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	start := time.Now()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+	emit := func(fig *experiments.Figure) {
+		fig.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if _, err := report.WriteFigureFile(*csvDir, fig); err != nil {
+				fail(err)
+			}
+		}
+		if *svgDir != "" {
+			if _, err := viz.WriteChartFiles(*svgDir, fig); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	if sel("table1") {
+		experiments.Table1(os.Stdout)
+	}
+	if sel("fig3") {
+		fig, err := experiments.Fig3(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+	}
+	if sel("fig4") {
+		fig, err := experiments.Fig4(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+	}
+	if sel("fig5") || sel("table2") {
+		fig, tab, err := experiments.Fig5Table2(opt)
+		if err != nil {
+			fail(err)
+		}
+		if sel("fig5") {
+			emit(fig)
+		}
+		if sel("table2") {
+			tab.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if _, err := report.WriteTable2File(*csvDir, tab); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+	if sel("fig6") {
+		fig, err := experiments.Fig6(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+	}
+	if sel("fig7") {
+		fig, err := experiments.Fig7(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+	}
+	if sel("fig8") {
+		fig, err := experiments.Fig8(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+	}
+	if sel("table3") {
+		tab := experiments.RunTable3(opt)
+		tab.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if _, err := report.WriteTable3File(*csvDir, tab); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if sel("fig9") {
+		fig, err := experiments.Fig9(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+		experiments.Fig9BestEffort(fig, os.Stdout)
+	}
+
+	// Ablations and extensions (beyond the paper) run only when asked for.
+	extras := []struct {
+		id  string
+		run func() error
+	}{
+		{"abl-alloc", printFig(experiments.AblationAllocator, opt, *csvDir, *svgDir)},
+		{"abl-endpointvc", printFig(experiments.AblationEndpointVCs, opt, *csvDir, *svgDir)},
+		{"abl-source", printFig(experiments.AblationSourcePolicy, opt, *csvDir, *svgDir)},
+		{"abl-sched", printFig(experiments.AblationScheduler, opt, *csvDir, *svgDir)},
+		{"ext-gop", printFig(experiments.ExtGoP, opt, *csvDir, *svgDir)},
+		{"ext-tetra", printFig(experiments.ExtTetrahedral, opt, *csvDir, *svgDir)},
+		{"ext-dynpart", func() error {
+			res, err := experiments.ExtDynamicPartition(opt)
+			if err != nil {
+				return err
+			}
+			experiments.FprintDynPart(res, os.Stdout)
+			return nil
+		}},
+	}
+	for _, e := range extras {
+		if want[e.id] || want["extras"] {
+			if err := e.run(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// printFig adapts a figure-producing experiment to a runner.
+func printFig(f func(experiments.Options) (*experiments.Figure, error), opt experiments.Options, csvDir, svgDir string) func() error {
+	return func() error {
+		fig, err := f(opt)
+		if err != nil {
+			return err
+		}
+		fig.Fprint(os.Stdout)
+		if csvDir != "" {
+			if _, err := report.WriteFigureFile(csvDir, fig); err != nil {
+				return err
+			}
+		}
+		if svgDir != "" {
+			if _, err := viz.WriteChartFiles(svgDir, fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

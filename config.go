@@ -1,0 +1,223 @@
+package mediaworm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy selects the scheduling discipline at the router's bandwidth
+// multiplexers.
+type Policy string
+
+const (
+	// FIFO is the conventional wormhole router's arrival-order scheduler —
+	// the paper's baseline.
+	FIFO Policy = "fifo"
+	// RoundRobin cycles over virtual channels.
+	RoundRobin Policy = "round-robin"
+	// VirtualClock is the rate-based scheduler that makes the router a
+	// MediaWorm router.
+	VirtualClock Policy = "virtual-clock"
+)
+
+// TrafficClass selects the real-time traffic type.
+type TrafficClass string
+
+const (
+	// VBR is variable-bit-rate MPEG-2-like video (frame size drawn from a
+	// normal distribution).
+	VBR TrafficClass = "vbr"
+	// CBR is constant-bit-rate video (fixed frame size).
+	CBR TrafficClass = "cbr"
+)
+
+// Topology selects the network shape.
+type Topology string
+
+const (
+	// SingleSwitch is one n-port router with one endpoint per port
+	// (the paper's §5.1–§5.6 configuration).
+	SingleSwitch Topology = "single-switch"
+	// FatMesh2x2 is the paper's 4-switch fat mesh: 8-port routers, four
+	// endpoints each, two parallel physical links between adjacent
+	// switches (§3.4, §5.7).
+	FatMesh2x2 Topology = "fat-mesh-2x2"
+	// Tetrahedral is Horst's fully connected 4-switch TNet cluster, which
+	// §3.4 lists alongside fat topologies: 16 endpoints, one hop between
+	// any pair of switches.
+	Tetrahedral Topology = "tetrahedral"
+)
+
+// Config describes one MediaWorm simulation run: router architecture,
+// workload mix, and measurement window. DefaultConfig returns the paper's
+// Table 1 parameters.
+type Config struct {
+	// Topology of the fabric.
+	Topology Topology
+	// Ports per router (8 in the paper). For FatMesh2x2 it must be 8.
+	Ports int
+	// VCs per physical channel and the scheduling policy at the router's
+	// multiplexers.
+	VCs    int
+	Policy Policy
+	// FullCrossbar selects the (n·m × n·m) crossbar instead of the
+	// multiplexed (n × n) one (§3.2, Fig. 6).
+	FullCrossbar bool
+	// BufferDepth is the per-VC input buffer in flits; StageDepth the
+	// output staging buffer.
+	BufferDepth, StageDepth int
+
+	// LinkBandwidthBps is the physical channel bandwidth (400 Mb/s in most
+	// experiments, 100 Mb/s in the PCS comparison). FlitBits is the flit
+	// size (32).
+	LinkBandwidthBps float64
+	FlitBits         int
+
+	// Load is the offered input-link load as a fraction of link bandwidth.
+	// RTShare is x/(x+y), the real-time fraction of that load; virtual
+	// channels are partitioned in the same proportion (§4.2.3).
+	Load    float64
+	RTShare float64
+	// Class is the real-time traffic type.
+	Class TrafficClass
+	// MsgFlits is the wormhole message size in flits, header included (20).
+	MsgFlits int
+	// FrameBytes/FrameBytesSD/FrameInterval shape the video streams
+	// (16666 B ± 3333 B every 33 ms ≈ 4 Mb/s MPEG-2).
+	FrameBytes, FrameBytesSD float64
+	FrameInterval            time.Duration
+
+	// Warmup is discarded; Measure is the post-warmup measurement window.
+	Warmup, Measure time.Duration
+	// Seed drives all randomness; identical configs produce identical
+	// results.
+	Seed uint64
+
+	// Ablation knobs (see DESIGN.md §3). Zero values select the paper
+	// model: two allocator iterations, shared endpoint VCs, source NIs
+	// following the router policy.
+
+	// AllocatorIterations is the switch-allocation depth (0 → 2).
+	AllocatorIterations int
+	// ExclusiveEndpointVCs reverts endpoint output VCs to per-message
+	// exclusive ownership.
+	ExclusiveEndpointVCs bool
+	// SourcePolicy overrides the injection-link scheduler ("" follows
+	// Policy).
+	SourcePolicy Policy
+	// VBRModel selects the VBR frame-size process: VBRNormal (the paper's
+	// independent normal draws; "" means this) or VBRGoP (MPEG
+	// Group-of-Pictures I/P/B structure with per-stream random phase).
+	VBRModel VBRModel
+	// PlayoutBufferFrames sizes the modeled video client's jitter buffer
+	// for the deadline-miss metric (Result.Playout). 0 disables it.
+	PlayoutBufferFrames int
+}
+
+// VBRModel names a VBR frame-size process.
+type VBRModel string
+
+const (
+	// VBRNormal draws each frame size independently from
+	// Normal(FrameBytes, FrameBytesSD) — §4.2.1 of the paper.
+	VBRNormal VBRModel = "normal"
+	// VBRGoP uses an MPEG Group-of-Pictures pattern (IBBPBBPBBPBB, 5:3:1
+	// I:P:B size ratios) scaled to FrameBytes, a structured-burstiness
+	// extension of the paper's workload.
+	VBRGoP VBRModel = "gop"
+)
+
+// DefaultConfig returns the paper's Table 1 single-switch configuration at
+// the given load and mix: 8×8 switch, 32-bit flits, 20-flit messages,
+// 400 Mb/s links, 16 VCs, Virtual Clock scheduling, VBR traffic.
+func DefaultConfig() Config {
+	return Config{
+		Topology:            SingleSwitch,
+		Ports:               8,
+		VCs:                 16,
+		Policy:              VirtualClock,
+		BufferDepth:         20,
+		StageDepth:          4,
+		LinkBandwidthBps:    400e6,
+		FlitBits:            32,
+		Load:                0.8,
+		RTShare:             1.0,
+		Class:               VBR,
+		MsgFlits:            20,
+		FrameBytes:          16666,
+		FrameBytesSD:        3333,
+		FrameInterval:       33 * time.Millisecond,
+		Warmup:              66 * time.Millisecond,
+		Measure:             330 * time.Millisecond,
+		Seed:                1,
+		PlayoutBufferFrames: 2,
+	}
+}
+
+// Scale shrinks the video time base by factor (frames and intervals both
+// divided by f), preserving per-stream bandwidth and, to first order, the
+// shape of every result while cutting simulated cycles by the same factor.
+// Reported intervals scale with 1/f; the experiment harness normalizes them
+// back to the paper's 33 ms time base. Warmup and Measure shrink too.
+func (c Config) Scale(f float64) Config {
+	if f <= 0 || f > 1 {
+		return c
+	}
+	c.FrameBytes *= f
+	c.FrameBytesSD *= f
+	c.FrameInterval = time.Duration(float64(c.FrameInterval) * f)
+	c.Warmup = time.Duration(float64(c.Warmup) * f)
+	c.Measure = time.Duration(float64(c.Measure) * f)
+	return c
+}
+
+// Validate reports the first problem with the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Topology != SingleSwitch && c.Topology != FatMesh2x2 && c.Topology != Tetrahedral:
+		return fmt.Errorf("mediaworm: unknown topology %q", c.Topology)
+	case c.Ports < 2:
+		return fmt.Errorf("mediaworm: Ports = %d", c.Ports)
+	case (c.Topology == FatMesh2x2 || c.Topology == Tetrahedral) && c.Ports != 8:
+		return fmt.Errorf("mediaworm: %s needs 8-port routers", c.Topology)
+	case c.VCs < 1:
+		return fmt.Errorf("mediaworm: VCs = %d", c.VCs)
+	case c.Policy != FIFO && c.Policy != RoundRobin && c.Policy != VirtualClock:
+		return fmt.Errorf("mediaworm: unknown policy %q", c.Policy)
+	case c.BufferDepth < 1 || c.StageDepth < 1:
+		return fmt.Errorf("mediaworm: buffer depths %d/%d", c.BufferDepth, c.StageDepth)
+	case c.LinkBandwidthBps <= 0:
+		return fmt.Errorf("mediaworm: link bandwidth %v", c.LinkBandwidthBps)
+	case c.FlitBits < 8:
+		return fmt.Errorf("mediaworm: FlitBits = %d", c.FlitBits)
+	case c.Load <= 0 || c.Load > 1.5:
+		return fmt.Errorf("mediaworm: Load = %v", c.Load)
+	case c.RTShare < 0 || c.RTShare > 1:
+		return fmt.Errorf("mediaworm: RTShare = %v", c.RTShare)
+	case c.Class != VBR && c.Class != CBR:
+		return fmt.Errorf("mediaworm: unknown class %q", c.Class)
+	case c.MsgFlits < 1:
+		return fmt.Errorf("mediaworm: MsgFlits = %d", c.MsgFlits)
+	case c.FrameBytes <= 0 || c.FrameBytesSD < 0:
+		return fmt.Errorf("mediaworm: frame size %v ± %v", c.FrameBytes, c.FrameBytesSD)
+	case c.FrameInterval <= 0:
+		return fmt.Errorf("mediaworm: FrameInterval = %v", c.FrameInterval)
+	case c.Warmup < 0 || c.Measure <= 0:
+		return fmt.Errorf("mediaworm: window %v/%v", c.Warmup, c.Measure)
+	case c.AllocatorIterations < 0 || c.AllocatorIterations > 2:
+		return fmt.Errorf("mediaworm: AllocatorIterations = %d", c.AllocatorIterations)
+	case c.SourcePolicy != "" && c.SourcePolicy != FIFO &&
+		c.SourcePolicy != RoundRobin && c.SourcePolicy != VirtualClock:
+		return fmt.Errorf("mediaworm: unknown source policy %q", c.SourcePolicy)
+	case c.VBRModel != "" && c.VBRModel != VBRNormal && c.VBRModel != VBRGoP:
+		return fmt.Errorf("mediaworm: unknown VBR model %q", c.VBRModel)
+	case c.PlayoutBufferFrames < 0:
+		return fmt.Errorf("mediaworm: PlayoutBufferFrames = %d", c.PlayoutBufferFrames)
+	}
+	return nil
+}
+
+// CyclePeriod returns the flit cycle time implied by the link bandwidth.
+func (c *Config) CyclePeriod() time.Duration {
+	return time.Duration(float64(c.FlitBits) / c.LinkBandwidthBps * 1e9)
+}

@@ -1,0 +1,106 @@
+// Tracedriven: feed the fabric with trace-driven VBR — here a synthesized
+// MPEG-2 trace (GoP structure, Markov scene changes, AR(1) correlation),
+// the same format cmd/mktrace writes and traffic.LoadFrameTrace reads for
+// real recorded traces. Compares the trace's burstier jitter against the
+// paper's memoryless normal-draw model at the same mean rate.
+//
+//	go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/stats"
+	"mediaworm/internal/topology"
+	"mediaworm/internal/traffic"
+)
+
+const (
+	frameBytes = 3333.0 // 0.2× scaled MPEG-2 frames (≈4 Mb/s streams)
+	interval   = 6600 * sim.Microsecond
+	load       = 0.85
+	streamsPer = 21 // ≈ load × 100 / 4 per node
+)
+
+func run(useTrace bool) (d, sd float64) {
+	eng := sim.NewEngine()
+	net, err := topology.SingleSwitch(eng, core.Config{
+		Ports: 8, VCs: 16, RTVCs: 16,
+		BufferDepth: 20, StageDepth: 4,
+		Policy: sched.VirtualClock, Period: 80,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmup := 3 * interval
+	stop := warmup + 12*interval
+	it := stats.NewIntervalTracker(warmup)
+	for _, s := range net.Sinks {
+		s.OnFrame = func(stream, frame int, at sim.Time) { it.Observe(stream, at) }
+	}
+
+	// One shared synthesized movie; each stream replays it from a random
+	// offset, like a video server fanning out the same asset.
+	trace, err := traffic.SynthesizeTrace(traffic.DefaultSynthTrace(3600, frameBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ids uint64
+	id := 0
+	for node := 0; node < net.Endpoints(); node++ {
+		src := rng.NewStream(42, fmt.Sprintf("node-%d", node))
+		for i := 0; i < streamsPer; i++ {
+			sc := traffic.StreamConfig{
+				ID: id, Class: flit.VBR, Src: node,
+				Dst:        pickDst(src, node, net.Endpoints()),
+				InVC:       i % 16,
+				DstVC:      src.Intn(16),
+				FrameBytes: frameBytes, FrameBytesSD: frameBytes / 5,
+				Interval: interval, MsgFlits: 20, FlitBits: 32,
+				Start: sim.Time(src.Uint64n(uint64(interval))),
+				Stop:  stop,
+			}
+			if useTrace {
+				sizer, err := traffic.NewTraceSizer(trace, src.Intn(len(trace)))
+				if err != nil {
+					log.Fatal(err)
+				}
+				sc.Sizer = sizer
+			}
+			if _, err := traffic.StartStream(eng, net.NIs[node], sc, src.Split(uint64(i)), &ids); err != nil {
+				log.Fatal(err)
+			}
+			id++
+		}
+	}
+	eng.Run(stop)
+	eng.Drain()
+	norm := 33.0 / interval.Milliseconds()
+	return it.MeanMs() * norm, it.StdDevMs() * norm
+}
+
+func pickDst(src *rng.Source, node, nodes int) int {
+	d := src.Intn(nodes - 1)
+	if d >= node {
+		d++
+	}
+	return d
+}
+
+func main() {
+	fmt.Printf("8×8 MediaWorm, %d VBR streams at %.0f%% load (paper-scale values)\n\n",
+		streamsPer*8, load*100)
+	dN, sdN := run(false)
+	fmt.Printf("  normal-draw VBR (the paper's model):  d = %.2f ms, σd = %.3f ms\n", dN, sdN)
+	dT, sdT := run(true)
+	fmt.Printf("  trace-driven VBR (synthetic MPEG-2):  d = %.2f ms, σd = %.3f ms\n", dT, sdT)
+	fmt.Println("\nScene changes and GoP structure make real traces burstier than the")
+	fmt.Println("memoryless model, but Virtual Clock still holds the 33 ms cadence.")
+}

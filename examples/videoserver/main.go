@@ -1,0 +1,44 @@
+// Videoserver: the paper's motivating scenario — a cluster video server
+// pushing MPEG-2 streams alongside control (best-effort) traffic. Compares
+// a conventional FIFO-scheduled wormhole router against MediaWorm's Virtual
+// Clock at increasing load, reproducing the Fig. 3 effect programmatically.
+//
+//	go run ./examples/videoserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mediaworm"
+)
+
+func main() {
+	fmt.Println("video server on an 8-port switch, 80:20 VBR:best-effort")
+	fmt.Println()
+	fmt.Printf("%-6s  %-22s  %-22s\n", "load", "FIFO router", "MediaWorm (VirtualClock)")
+	fmt.Printf("%-6s  %-11s %-10s  %-11s %-10s\n", "", "d (ms)", "σd (ms)", "d (ms)", "σd (ms)")
+
+	for _, load := range []float64{0.6, 0.8, 0.9, 0.96} {
+		row := fmt.Sprintf("%-6.2f", load)
+		for _, policy := range []mediaworm.Policy{mediaworm.FIFO, mediaworm.VirtualClock} {
+			cfg := mediaworm.DefaultConfig().Scale(0.1)
+			cfg.Policy = policy
+			cfg.Load = load
+			cfg.RTShare = 0.8
+			cfg.Warmup = 3 * cfg.FrameInterval
+			cfg.Measure = 8 * cfg.FrameInterval
+			res, err := mediaworm.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
+			row += fmt.Sprintf("  %-11.2f %-10.3f",
+				res.MeanDeliveryIntervalMs*norm, res.StdDevDeliveryIntervalMs*norm)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println()
+	fmt.Println("FIFO jitters once the link load passes ~0.8; Virtual Clock keeps the")
+	fmt.Println("30 frames/s cadence (σd ≈ 0) to ~0.96 — the paper's headline result.")
+}

@@ -1,0 +1,3 @@
+module mediaworm
+
+go 1.22

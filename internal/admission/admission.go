@@ -1,0 +1,192 @@
+// Package admission implements the admission-control strategy the paper's
+// conclusions call for (§5.7, §6): given the measured jitter-free operating
+// envelope of a MediaWorm fabric — the maximum input-link load, per traffic
+// mix, at which VBR/CBR delivery stays jitter-free and best-effort latency
+// acceptable — admit or reject new video streams so the envelope is never
+// exceeded.
+//
+// The envelope can be supplied from known results (the paper's 0.7–0.8
+// guidance) or calibrated against the simulator itself with Calibrate.
+package admission
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EnvelopePoint states the maximum safe load when the real-time share of
+// traffic is RTShare.
+type EnvelopePoint struct {
+	RTShare float64
+	MaxLoad float64
+}
+
+// Envelope is a piecewise-linear jitter-free operating boundary over the
+// real-time share of the offered load.
+type Envelope struct {
+	points []EnvelopePoint
+}
+
+// NewEnvelope builds an envelope from points; they are sorted by RTShare.
+// At least one point is required, and shares/loads must lie in [0, 1].
+func NewEnvelope(points []EnvelopePoint) (*Envelope, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("admission: empty envelope")
+	}
+	ps := append([]EnvelopePoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].RTShare < ps[j].RTShare })
+	for _, p := range ps {
+		if p.RTShare < 0 || p.RTShare > 1 || p.MaxLoad <= 0 || p.MaxLoad > 1 {
+			return nil, fmt.Errorf("admission: invalid envelope point %+v", p)
+		}
+	}
+	return &Envelope{points: ps}, nil
+}
+
+// DefaultEnvelope encodes the paper's single-switch findings: jitter-free
+// delivery up to 70–80% of physical channel bandwidth, with more headroom
+// when the real-time share is small.
+func DefaultEnvelope() *Envelope {
+	env, err := NewEnvelope([]EnvelopePoint{
+		{RTShare: 0.2, MaxLoad: 0.85},
+		{RTShare: 0.5, MaxLoad: 0.80},
+		{RTShare: 0.8, MaxLoad: 0.75},
+		{RTShare: 1.0, MaxLoad: 0.70},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// MaxLoad returns the interpolated maximum safe load at the given real-time
+// share, clamped to the envelope's end points.
+func (e *Envelope) MaxLoad(rtShare float64) float64 {
+	ps := e.points
+	if rtShare <= ps[0].RTShare {
+		return ps[0].MaxLoad
+	}
+	last := ps[len(ps)-1]
+	if rtShare >= last.RTShare {
+		return last.MaxLoad
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].RTShare >= rtShare })
+	a, b := ps[i-1], ps[i]
+	frac := (rtShare - a.RTShare) / (b.RTShare - a.RTShare)
+	return a.MaxLoad + frac*(b.MaxLoad-a.MaxLoad)
+}
+
+// ProbeFunc measures the delivery-interval standard deviation (paper-scale
+// milliseconds) of a fabric at the given load and real-time share. The
+// experiment harness provides one backed by the simulator.
+type ProbeFunc func(load, rtShare float64) (sdMs float64, err error)
+
+// Calibrate builds an envelope empirically: for each real-time share it
+// binary-searches the highest load whose σd stays below jitterBudgetMs.
+// steps controls the bisection depth (5 gives ~0.01 load resolution).
+func Calibrate(probe ProbeFunc, shares []float64, jitterBudgetMs float64, steps int) (*Envelope, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("admission: no shares to calibrate")
+	}
+	var points []EnvelopePoint
+	for _, share := range shares {
+		lo, hi := 0.4, 1.0
+		for s := 0; s < steps; s++ {
+			mid := (lo + hi) / 2
+			sd, err := probe(mid, share)
+			if err != nil {
+				return nil, fmt.Errorf("admission: probe(%.2f, %.2f): %w", mid, share, err)
+			}
+			if sd <= jitterBudgetMs {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		points = append(points, EnvelopePoint{RTShare: share, MaxLoad: lo})
+	}
+	return NewEnvelope(points)
+}
+
+// Controller admits streams against an envelope. It tracks the accepted
+// real-time bandwidth and the standing best-effort load on the most loaded
+// link (a conservative single-link model, matching the paper's per-link
+// load accounting).
+type Controller struct {
+	env *Envelope
+	// LinkBps is the physical channel bandwidth; StreamBps the per-stream
+	// bandwidth (4 Mb/s MPEG-2 in the paper).
+	linkBps   float64
+	streamBps float64
+
+	accepted int
+	beLoad   float64
+
+	// Admitted and Rejected count decisions.
+	Admitted, Rejected int
+}
+
+// NewController builds a controller for one link.
+func NewController(env *Envelope, linkBps, streamBps float64) (*Controller, error) {
+	if env == nil || linkBps <= 0 || streamBps <= 0 || streamBps > linkBps {
+		return nil, fmt.Errorf("admission: invalid controller parameters")
+	}
+	return &Controller{env: env, linkBps: linkBps, streamBps: streamBps}, nil
+}
+
+// SetBestEffortLoad records the standing best-effort load (fraction of link
+// bandwidth). It panics if outside [0, 1].
+func (c *Controller) SetBestEffortLoad(l float64) {
+	if l < 0 || l > 1 {
+		panic("admission: best-effort load out of range")
+	}
+	c.beLoad = l
+}
+
+// Accepted returns the number of currently admitted streams.
+func (c *Controller) Accepted() int { return c.accepted }
+
+// Load returns the projected total link load with n admitted streams.
+func (c *Controller) load(n int) (total, rtShare float64) {
+	rt := float64(n) * c.streamBps / c.linkBps
+	total = rt + c.beLoad
+	if total <= 0 {
+		return 0, 0
+	}
+	return total, rt / total
+}
+
+// RequestStream decides whether one more stream fits inside the envelope.
+// Admitted streams count against the link until Release.
+func (c *Controller) RequestStream() bool {
+	total, share := c.load(c.accepted + 1)
+	if total > c.env.MaxLoad(share) {
+		c.Rejected++
+		return false
+	}
+	c.accepted++
+	c.Admitted++
+	return true
+}
+
+// Release returns one admitted stream's bandwidth. It panics if no stream
+// is admitted.
+func (c *Controller) Release() {
+	if c.accepted == 0 {
+		panic("admission: release without an admitted stream")
+	}
+	c.accepted--
+}
+
+// Capacity returns the maximum number of streams admissible from the
+// current state (without mutating it).
+func (c *Controller) Capacity() int {
+	n := c.accepted
+	for {
+		total, share := c.load(n + 1)
+		if total > c.env.MaxLoad(share) {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,195 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEnvelopeValidation(t *testing.T) {
+	if _, err := NewEnvelope(nil); err == nil {
+		t.Fatal("empty envelope accepted")
+	}
+	bad := [][]EnvelopePoint{
+		{{RTShare: -0.1, MaxLoad: 0.8}},
+		{{RTShare: 0.5, MaxLoad: 0}},
+		{{RTShare: 0.5, MaxLoad: 1.2}},
+		{{RTShare: 1.1, MaxLoad: 0.8}},
+	}
+	for i, ps := range bad {
+		if _, err := NewEnvelope(ps); err == nil {
+			t.Fatalf("bad envelope %d accepted", i)
+		}
+	}
+}
+
+func TestEnvelopeInterpolation(t *testing.T) {
+	env, err := NewEnvelope([]EnvelopePoint{
+		{RTShare: 1.0, MaxLoad: 0.70}, // deliberately unsorted
+		{RTShare: 0.2, MaxLoad: 0.90},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ share, want float64 }{
+		{0.0, 0.90}, // clamped low
+		{0.2, 0.90}, // exact
+		{0.6, 0.80}, // midpoint
+		{1.0, 0.70}, // exact
+	}
+	for _, c := range cases {
+		if got := env.MaxLoad(c.share); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("MaxLoad(%v) = %v, want %v", c.share, got, c.want)
+		}
+	}
+}
+
+func TestDefaultEnvelopeMonotone(t *testing.T) {
+	env := DefaultEnvelope()
+	prev := 2.0
+	for share := 0.0; share <= 1.0; share += 0.05 {
+		got := env.MaxLoad(share)
+		if got > prev+1e-9 {
+			t.Fatalf("envelope not non-increasing at share %.2f", share)
+		}
+		if got < 0.5 || got > 1 {
+			t.Fatalf("implausible envelope value %v", got)
+		}
+		prev = got
+	}
+}
+
+// Property: interpolation stays within the bounding points' loads.
+func TestPropertyInterpolationBounded(t *testing.T) {
+	env := DefaultEnvelope()
+	f := func(raw uint8) bool {
+		share := float64(raw) / 255
+		l := env.MaxLoad(share)
+		return l >= 0.70-1e-9 && l <= 0.85+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateBinarySearch(t *testing.T) {
+	// Synthetic fabric: jitter explodes above a known per-share knee.
+	knee := map[float64]float64{0.5: 0.82, 1.0: 0.71}
+	probe := func(load, share float64) (float64, error) {
+		if load > knee[share] {
+			return 10, nil
+		}
+		return 0.1, nil
+	}
+	env, err := Calibrate(probe, []float64{0.5, 1.0}, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := env.MaxLoad(0.5); math.Abs(got-0.82) > 0.01 {
+		t.Fatalf("calibrated knee at share 0.5 = %v, want ≈0.82", got)
+	}
+	if got := env.MaxLoad(1.0); math.Abs(got-0.71) > 0.01 {
+		t.Fatalf("calibrated knee at share 1.0 = %v, want ≈0.71", got)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(nil, nil, 1, 5); err == nil {
+		t.Fatal("no shares accepted")
+	}
+	boom := func(load, share float64) (float64, error) { return 0, fmt.Errorf("boom") }
+	if _, err := Calibrate(boom, []float64{0.5}, 1, 3); err == nil {
+		t.Fatal("probe error swallowed")
+	}
+}
+
+func TestControllerAdmitsUpToEnvelope(t *testing.T) {
+	// 400 Mb/s link, 4 Mb/s streams, pure real-time: envelope 0.70 → 70.
+	c, err := NewController(DefaultEnvelope(), 400e6, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for c.RequestStream() {
+		admitted++
+		if admitted > 1000 {
+			t.Fatal("controller never refuses")
+		}
+	}
+	if admitted != 70 {
+		t.Fatalf("admitted %d pure-RT streams, want 70 (0.70 × 100)", admitted)
+	}
+	if c.Accepted() != 70 || c.Admitted != 70 || c.Rejected != 1 {
+		t.Fatalf("counters: %d/%d/%d", c.Accepted(), c.Admitted, c.Rejected)
+	}
+}
+
+func TestControllerRespectsBestEffortLoad(t *testing.T) {
+	c, err := NewController(DefaultEnvelope(), 400e6, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetBestEffortLoad(0.4)
+	// With 40% best-effort standing load, the mix at admission is richer in
+	// best-effort, so the envelope allows more total load but less RT.
+	cap1 := c.Capacity()
+	if cap1 <= 0 || cap1 >= 70 {
+		t.Fatalf("capacity with BE load = %d, want within (0, 70)", cap1)
+	}
+	for i := 0; i < cap1; i++ {
+		if !c.RequestStream() {
+			t.Fatalf("stream %d refused below capacity", i)
+		}
+	}
+	if c.RequestStream() {
+		t.Fatal("stream admitted beyond capacity")
+	}
+}
+
+func TestControllerRelease(t *testing.T) {
+	c, _ := NewController(DefaultEnvelope(), 400e6, 4e6)
+	for c.RequestStream() {
+	}
+	n := c.Accepted()
+	c.Release()
+	if c.Accepted() != n-1 {
+		t.Fatal("release did not free a slot")
+	}
+	if !c.RequestStream() {
+		t.Fatal("freed slot not admittable")
+	}
+}
+
+func TestControllerReleaseEmptyPanics(t *testing.T) {
+	c, _ := NewController(DefaultEnvelope(), 400e6, 4e6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestControllerValidation(t *testing.T) {
+	env := DefaultEnvelope()
+	if _, err := NewController(nil, 400e6, 4e6); err == nil {
+		t.Fatal("nil envelope accepted")
+	}
+	if _, err := NewController(env, 0, 4e6); err == nil {
+		t.Fatal("zero link accepted")
+	}
+	if _, err := NewController(env, 400e6, 500e6); err == nil {
+		t.Fatal("stream faster than link accepted")
+	}
+}
+
+func TestSetBestEffortLoadPanics(t *testing.T) {
+	c, _ := NewController(DefaultEnvelope(), 400e6, 4e6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.SetBestEffortLoad(1.5)
+}

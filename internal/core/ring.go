@@ -1,0 +1,46 @@
+package core
+
+import "mediaworm/internal/flit"
+
+// ring is a fixed-capacity FIFO of flits. Virtual-channel buffers and output
+// staging buffers are rings so the steady-state simulation allocates nothing
+// per flit.
+type ring struct {
+	buf  []flit.Flit
+	head int
+	n    int
+}
+
+func newRing(capacity int) ring {
+	if capacity <= 0 {
+		panic("core: ring capacity must be positive")
+	}
+	return ring{buf: make([]flit.Flit, capacity)}
+}
+
+func (r *ring) len() int    { return r.n }
+func (r *ring) space() int  { return len(r.buf) - r.n }
+func (r *ring) empty() bool { return r.n == 0 }
+
+func (r *ring) push(f flit.Flit) {
+	if r.n == len(r.buf) {
+		panic("core: ring overflow (credit protocol violated)")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = f
+	r.n++
+}
+
+func (r *ring) peek() flit.Flit {
+	if r.n == 0 {
+		panic("core: peek on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) pop() flit.Flit {
+	f := r.peek()
+	r.buf[r.head] = flit.Flit{} // release the *Message reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return f
+}

@@ -1,0 +1,690 @@
+// Package core implements the MediaWorm router — the paper's primary
+// contribution: a five-stage pipelined wormhole router (the PROUD model of
+// Fig. 1) whose bandwidth multiplexers run a configurable scheduling
+// discipline, in particular the Virtual Clock rate-based scheduler that
+// distinguishes MediaWorm from a conventional FIFO-scheduled router.
+//
+// The router is cycle-accurate at flit granularity. One cycle is the time to
+// move one flit across a physical channel. Per cycle the router executes, in
+// order:
+//
+//  1. routing decision + crossbar arbitration for header flits (pipeline
+//     stages 2–3; middle/tail flits bypass),
+//  2. switch traversal — with a multiplexed crossbar, each crossbar *input
+//     multiplexer* picks one flit among its port's virtual channels using the
+//     configured policy (contention point A of the paper's Fig. 2); with a
+//     full crossbar every active VC traverses independently,
+//  3. link transmission — each output physical channel transmits one flit,
+//     chosen among the output VC staging buffers by the configured policy
+//     (contention point C, the Virtual Clock site for a full crossbar).
+//
+// Pipeline latency matches the paper's model: a header spends five cycles
+// from link arrival to the next link (stages 1–5); middle and tail flits
+// spend three (they bypass stages 2–3).
+package core
+
+import (
+	"fmt"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+// Consumer receives flits transmitted out of a router output port. The
+// network layer implements it for endpoint sinks and for the input ports of
+// downstream routers.
+type Consumer interface {
+	// HasCredit reports whether the consumer can accept a flit on vc.
+	HasCredit(vc int) bool
+	// Accept delivers a flit on vc. f.Enq is the arrival instant (one cycle
+	// after transmission). Accept must not be called without credit.
+	Accept(vc int, f flit.Flit)
+}
+
+// RoutingFunc returns the candidate output ports for msg at the given
+// router. Multiple candidates model the fat-mesh's parallel physical links;
+// the router picks the least-loaded (§3.4). The slice must be non-empty.
+type RoutingFunc func(routerID int, msg *flit.Message) []int
+
+// Config parameterizes one router.
+type Config struct {
+	// ID identifies the router within its fabric.
+	ID int
+	// Ports is the number of physical channels (n). VCs is the number of
+	// virtual channels per physical channel (m).
+	Ports, VCs int
+	// RTVCs is the size of the real-time VC partition: VCs [0, RTVCs) carry
+	// VBR/CBR, VCs [RTVCs, VCs) carry best-effort (§4.2.3).
+	RTVCs int
+	// BufferDepth is the per-input-VC flit buffer capacity.
+	BufferDepth int
+	// StageDepth is the per-output-VC staging buffer capacity (stage 5).
+	StageDepth int
+	// FullCrossbar selects the (n·m × n·m) crossbar; false selects the
+	// multiplexed (n × n) crossbar (§3.2).
+	FullCrossbar bool
+	// Policy is the scheduling discipline at the router's bandwidth
+	// multiplexers (FIFO for the conventional router, VirtualClock for
+	// MediaWorm).
+	Policy sched.Kind
+	// Period is the cycle time in nanoseconds (flit size / link bandwidth).
+	Period sim.Time
+	// Route computes output ports for messages not yet at their final hop.
+	Route RoutingFunc
+
+	// AllocatorIterations selects the switch-allocation depth: 1 is a
+	// single greedy pass; 2 (the default, chosen when zero) adds one-step
+	// augmentation, modeling iterative separable allocators. See DESIGN.md.
+	AllocatorIterations int
+	// ExclusiveEndpointVCs reverts endpoint-port output VCs to exclusive
+	// message-granularity ownership (ablation; the paper multiplexes
+	// connections onto shared VCs, the default here).
+	ExclusiveEndpointVCs bool
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Ports <= 0 || c.Ports > 127:
+		return fmt.Errorf("core: Ports = %d", c.Ports)
+	case c.VCs <= 0 || c.VCs > 127:
+		return fmt.Errorf("core: VCs = %d", c.VCs)
+	case c.RTVCs < 0 || c.RTVCs > c.VCs:
+		return fmt.Errorf("core: RTVCs = %d with %d VCs", c.RTVCs, c.VCs)
+	case c.BufferDepth <= 0:
+		return fmt.Errorf("core: BufferDepth = %d", c.BufferDepth)
+	case c.StageDepth <= 0:
+		return fmt.Errorf("core: StageDepth = %d", c.StageDepth)
+	case c.Period <= 0:
+		return fmt.Errorf("core: Period = %d", c.Period)
+	case c.Route == nil:
+		return fmt.Errorf("core: Route is nil")
+	case c.AllocatorIterations < 0 || c.AllocatorIterations > 2:
+		return fmt.Errorf("core: AllocatorIterations = %d", c.AllocatorIterations)
+	}
+	return nil
+}
+
+// vcPhase is the lifecycle of an input VC's head message.
+type vcPhase uint8
+
+const (
+	vcIdle      vcPhase = iota // no message being switched
+	vcRequested                // header submitted a crossbar request
+	vcActive                   // output granted; flits may traverse
+)
+
+// inVC is one input virtual-channel buffer and its switching state.
+type inVC struct {
+	q ring
+
+	// Receive-side state: the message currently arriving, and its Virtual
+	// Clock at this contention point. Wormhole guarantees messages arrive
+	// contiguously per VC, so one clock suffices.
+	recvMsg  *flit.Message
+	recvClk  sched.VClock
+	received int
+
+	// Head-side state: the message whose flits are being switched.
+	phase     vcPhase
+	headMsg   *flit.Message
+	outPort   int
+	outVC     int
+	grantedAt sim.Time
+}
+
+// request is a pending crossbar arbitration request (stage 3).
+type request struct {
+	in  *inVC
+	vc  int // input VC index, for bookkeeping
+	at  sim.Time
+	seq uint64
+}
+
+// outVC is one output virtual channel: its stage-5 staging buffer and
+// ownership state.
+type outVC struct {
+	stage ring
+	// busy is the message holding this output VC from grant until its tail
+	// is transmitted on the link.
+	busy *flit.Message
+	// clk is the Virtual Clock at contention point C (output VC mux).
+	clk sched.VClock
+}
+
+// outPort is one output physical channel.
+type outPort struct {
+	consumer Consumer
+	// endpoint marks ports that attach to an endpoint (NI/sink) rather than
+	// another router; at an endpoint port the message's DstVC is used.
+	endpoint bool
+	// reqs is the FCFS virtual-channel-allocation queue (stage 3): headers
+	// wait here until an output VC of their class is free. Output VCs are
+	// held at message granularity (wormhole semantics); the crossbar output
+	// itself is matched per cycle in switch traversal.
+	reqs []request
+	vcs  []outVC
+	arb  sched.Arbiter // link VC multiplexer (point C)
+}
+
+// inPort is one input physical channel.
+type inPort struct {
+	vcs []inVC
+	arb sched.Arbiter // crossbar input multiplexer (point A)
+}
+
+// Stats counts router activity for tests and instrumentation.
+type Stats struct {
+	FlitsSwitched    uint64 // flits through the crossbar
+	FlitsTransmitted uint64 // flits onto output links
+	MessagesRouted   uint64 // headers granted
+	RequestsQueued   uint64
+
+	// Per-cycle input-VC blocking reasons, sampled over buffered-but-idle
+	// head flits during switch traversal (capacity diagnostics).
+	BlockedNotGranted uint64 // header awaiting VC allocation
+	BlockedJustMoved  uint64 // stage-1/3 pipeline synchronization
+	BlockedStageFull  uint64 // output staging backpressure
+	BlockedClaimed    uint64 // crossbar output claimed this cycle
+
+	// GrantWait accumulates header wait (request→grant) in nanoseconds;
+	// GrantWaitCount the number of grants.
+	GrantWait      uint64
+	GrantWaitCount uint64
+}
+
+// Router is one MediaWorm switch.
+type Router struct {
+	cfg    Config
+	rtVCs  int // current real-time VC partition size (adjustable)
+	in     []inPort
+	out    []outPort
+	seq    uint64 // arbitration sequence counter
+	stats  Stats
+	fullXb bool
+	// cands, claimed, claimedBy and picked are per-cycle scratch buffers,
+	// reused so the hot path does not allocate.
+	cands      []sched.Candidate
+	claimed    []bool
+	claimedBy  []int8
+	picked     []int8
+	feeder     []*inVC
+	feederCand []sched.Candidate
+}
+
+// New builds a router. Output ports must be connected with Connect before
+// the first Step.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AllocatorIterations == 0 {
+		cfg.AllocatorIterations = 2
+	}
+	r := &Router{cfg: cfg, rtVCs: cfg.RTVCs, fullXb: cfg.FullCrossbar}
+	r.cands = make([]sched.Candidate, 0, cfg.VCs)
+	r.in = make([]inPort, cfg.Ports)
+	r.out = make([]outPort, cfg.Ports)
+	for p := 0; p < cfg.Ports; p++ {
+		r.in[p].vcs = make([]inVC, cfg.VCs)
+		for v := range r.in[p].vcs {
+			r.in[p].vcs[v].q = newRing(cfg.BufferDepth)
+		}
+		r.in[p].arb = sched.New(cfg.Policy)
+		r.out[p].vcs = make([]outVC, cfg.VCs)
+		for v := range r.out[p].vcs {
+			r.out[p].vcs[v].stage = newRing(cfg.StageDepth)
+		}
+		r.out[p].arb = sched.New(cfg.Policy)
+	}
+	return r, nil
+}
+
+// ID returns the router's fabric identifier.
+func (r *Router) ID() int { return r.cfg.ID }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Stats returns activity counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Connect attaches the consumer downstream of output port p and records
+// whether that port reaches an endpoint.
+func (r *Router) Connect(p int, c Consumer, endpoint bool) {
+	r.out[p].consumer = c
+	r.out[p].endpoint = endpoint
+}
+
+// HasCredit reports whether input port p, VC vc can accept a flit.
+func (r *Router) HasCredit(p, vc int) bool {
+	return r.in[p].vcs[vc].q.space() > 0
+}
+
+// Deliver enqueues a flit into input port p, VC vc (pipeline stage 1).
+// f.Enq must already hold the arrival instant; the flit is (re)stamped with
+// this contention point's Virtual Clock. Callers must respect HasCredit.
+func (r *Router) Deliver(p, vc int, f flit.Flit) {
+	in := &r.in[p].vcs[vc]
+	if f.IsHeader() {
+		if in.recvMsg != nil {
+			panic("core: header delivered while another message is arriving on the VC")
+		}
+		in.recvMsg = f.Msg
+		in.recvClk.Reset()
+		in.received = 0
+	}
+	if in.recvMsg != f.Msg {
+		panic("core: interleaved messages within a VC")
+	}
+	f.TS = in.recvClk.Stamp(f.Enq, f.Msg.Vtick)
+	in.received++
+	if in.received == f.Msg.Flits {
+		in.recvMsg = nil // tail delivered; VC free for the next message
+	}
+	in.q.push(f)
+}
+
+// Step advances the router one cycle ending at time now. The fabric calls
+// Step on every router each cycle, then lets NIs inject.
+func (r *Router) Step(now sim.Time) {
+	r.routeAndArbitrate(now)
+	r.switchTraversal(now)
+	r.transmit(now)
+}
+
+// routeAndArbitrate implements pipeline stages 2–3 for header flits:
+// submit crossbar requests for idle VCs whose head is an eligible header,
+// then process each output port's FCFS request queue.
+func (r *Router) routeAndArbitrate(now sim.Time) {
+	// Stage 2: routing decision + request submission.
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			in := &r.in[p].vcs[v]
+			if in.phase != vcIdle || in.q.empty() {
+				continue
+			}
+			head := in.q.peek()
+			if head.Enq >= now { // stage-1 synchronization: not yet visible
+				continue
+			}
+			if !head.IsHeader() {
+				panic("core: non-header flit at head of idle VC")
+			}
+			msg := head.Msg
+			cands := r.cfg.Route(r.cfg.ID, msg)
+			if len(cands) == 0 {
+				panic("core: routing function returned no output port")
+			}
+			out := cands[0]
+			if len(cands) > 1 {
+				// Fat links: pick the currently least-loaded candidate
+				// (§3.4), ties to the lower port index.
+				best, bestLoad := cands[0], r.portLoad(cands[0])
+				for _, c := range cands[1:] {
+					if l := r.portLoad(c); l < bestLoad {
+						best, bestLoad = c, l
+					}
+				}
+				out = best
+			}
+			in.headMsg = msg
+			in.outPort = out
+			in.phase = vcRequested
+			r.out[out].reqs = append(r.out[out].reqs, request{in: in, vc: v, at: now, seq: r.seq})
+			r.seq++
+			r.stats.RequestsQueued++
+		}
+	}
+	// Stage 3: virtual-channel allocation, FCFS per output port. Requests
+	// are granted the cycle they are submitted when a VC is free (the
+	// stage-2/3 units are distinct pipeline stages, so routing and
+	// allocation of one header overlap); the grant still takes effect at
+	// the crossbar one cycle later via grantedAt.
+	for p := range r.out {
+		op := &r.out[p]
+		if len(op.reqs) == 0 {
+			continue
+		}
+		kept := op.reqs[:0]
+		for _, req := range op.reqs {
+			vc, ok := r.allocOutVC(op, req.in.headMsg)
+			if !ok {
+				kept = append(kept, req)
+				continue
+			}
+			if !op.endpoint || r.cfg.ExclusiveEndpointVCs {
+				op.vcs[vc].busy = req.in.headMsg
+			}
+			req.in.outVC = vc
+			req.in.phase = vcActive
+			req.in.grantedAt = now
+			r.stats.MessagesRouted++
+			r.stats.GrantWait += uint64(now - req.at)
+			r.stats.GrantWaitCount++
+		}
+		op.reqs = kept
+	}
+}
+
+// allocOutVC picks the output VC for msg on op.
+//
+// At an endpoint port the message's DstVC is used and may be shared by any
+// number of in-flight messages: the paper multiplexes multiple connections
+// onto one VC (§4.2.1), with the endpoint reassembling frames per message,
+// so the final link needs no per-message VC exclusivity. At a transit
+// (router-to-router) port the downstream input buffer demultiplexes by VC,
+// so messages must hold a VC exclusively; the lowest free VC in the
+// message's class partition is taken.
+func (r *Router) allocOutVC(op *outPort, msg *flit.Message) (int, bool) {
+	if op.endpoint {
+		if r.cfg.ExclusiveEndpointVCs && op.vcs[msg.DstVC].busy != nil {
+			return 0, false
+		}
+		return msg.DstVC, true
+	}
+	lo, hi := r.classRange(msg.Class)
+	for v := lo; v < hi; v++ {
+		if op.vcs[v].busy == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// classRange returns the VC partition [lo, hi) for a traffic class.
+func (r *Router) classRange(c flit.Class) (lo, hi int) {
+	if c.RealTime() {
+		return 0, r.rtVCs
+	}
+	return r.rtVCs, r.cfg.VCs
+}
+
+// RTVCs returns the current real-time VC partition size.
+func (r *Router) RTVCs() int { return r.rtVCs }
+
+// SetRTVCs repartitions the virtual channels at run time (the paper's §6
+// "dynamically partitioned resources"). In-flight messages keep the VCs
+// they hold; only future allocations see the new boundary. n must lie in
+// [0, VCs].
+func (r *Router) SetRTVCs(n int) {
+	if n < 0 || n > r.cfg.VCs {
+		panic("core: SetRTVCs out of range")
+	}
+	r.rtVCs = n
+}
+
+// portLoad estimates congestion on output port p for fat-link selection.
+func (r *Router) portLoad(p int) int {
+	op := &r.out[p]
+	load := len(op.reqs)
+	for v := range op.vcs {
+		if op.vcs[v].busy != nil {
+			load++
+		}
+		load += op.vcs[v].stage.len()
+	}
+	return load
+}
+
+// switchTraversal implements stage 4. Multiplexed crossbar: per input port,
+// the input multiplexer picks one eligible flit (contention point A) whose
+// crossbar output has not been claimed this cycle; output claims rotate
+// across input ports cycle by cycle so no port is structurally favoured.
+// Full crossbar: every eligible VC forwards one flit (each input VC has a
+// dedicated crossbar port).
+func (r *Router) switchTraversal(now sim.Time) {
+	cands := r.cands
+	defer func() { r.cands = cands }()
+	if r.fullXb {
+		r.fullTraversal(now)
+		return
+	}
+	n := len(r.in)
+	if len(r.claimed) < n {
+		r.claimed = make([]bool, n)
+		r.claimedBy = make([]int8, n)
+		r.picked = make([]int8, n)
+	}
+	claimed := r.claimed
+	for i := range claimed {
+		claimed[i] = false
+		r.claimedBy[i] = -1
+		r.picked[i] = -1
+	}
+	// First allocator iteration: each input port's multiplexer picks its
+	// scheduler-preferred eligible flit among outputs not yet claimed this
+	// cycle. The starting port rotates so no port is structurally favoured.
+	start := int(now/r.cfg.Period) % n
+	for k := 0; k < n; k++ {
+		p := (start + k) % n
+		ip := &r.in[p]
+		cands = cands[:0]
+		for v := range ip.vcs {
+			in := &ip.vcs[v]
+			if claimed[in.outPort] && in.phase == vcActive {
+				r.stats.BlockedClaimed++
+				continue
+			}
+			if !r.vcEligible(in, now) {
+				if !in.q.empty() {
+					switch {
+					case in.phase != vcActive:
+						r.stats.BlockedNotGranted++
+					case in.grantedAt >= now || in.q.peek().Enq >= now:
+						r.stats.BlockedJustMoved++
+					default:
+						r.stats.BlockedStageFull++
+					}
+				}
+				continue
+			}
+			head := in.q.peek()
+			cands = append(cands, sched.Candidate{VC: v, TS: head.TS, Enq: head.Enq, Seq: uint64(v)})
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		w := cands[ip.arb.Pick(cands)].VC
+		claimed[r.in[p].vcs[w].outPort] = true
+		r.claimedBy[r.in[p].vcs[w].outPort] = int8(p)
+		r.picked[p] = int8(w)
+	}
+	if r.cfg.AllocatorIterations < 2 {
+		for p := 0; p < n; p++ {
+			if w := r.picked[p]; w >= 0 {
+				r.forward(&r.in[p].vcs[w], now)
+			}
+		}
+		return
+	}
+	// Second allocator iteration (one-step augmentation): an unmatched
+	// input whose eligible flits all target claimed outputs may still be
+	// served when a claiming input has an eligible alternative to a free
+	// output — the claimer is re-pointed there and the contested output
+	// handed over. Pipelined routers achieve the same with iterative
+	// separable allocators; every input still forwards at most one flit
+	// and every output still receives at most one.
+	for k := 0; k < n; k++ {
+		p := (start + k) % n
+		if r.picked[p] >= 0 {
+			continue
+		}
+		ip := &r.in[p]
+	vcLoop:
+		for v := range ip.vcs {
+			in := &ip.vcs[v]
+			if in.phase != vcActive || !claimed[in.outPort] || !r.vcEligible(in, now) {
+				continue
+			}
+			j := r.claimedBy[in.outPort]
+			if j < 0 || r.picked[j] < 0 {
+				continue
+			}
+			jp := &r.in[j]
+			for jv := range jp.vcs {
+				alt := &jp.vcs[jv]
+				if jv == int(r.picked[j]) || alt.phase != vcActive ||
+					claimed[alt.outPort] || !r.vcEligible(alt, now) {
+					continue
+				}
+				// Re-point input j to the free output and hand the
+				// contested one to p.
+				claimed[alt.outPort] = true
+				r.claimedBy[alt.outPort] = j
+				r.picked[j] = int8(jv)
+				r.claimedBy[in.outPort] = int8(p)
+				r.picked[p] = int8(v)
+				break vcLoop
+			}
+		}
+	}
+	// Forward the matched flits.
+	for p := 0; p < n; p++ {
+		if w := r.picked[p]; w >= 0 {
+			r.forward(&r.in[p].vcs[w], now)
+		}
+	}
+}
+
+// fullTraversal is stage 4 for the full (n·m × n·m) crossbar: every output
+// VC is a dedicated crossbar output that accepts at most one flit per cycle,
+// chosen among the input VCs feeding it by the configured policy. There is
+// no input multiplexer — all of an input port's VCs may forward in the same
+// cycle — so the scheduling points are the crossbar output (here) and the
+// physical-channel VC multiplexer (stage 5), matching §3.3's full-crossbar
+// analysis.
+func (r *Router) fullTraversal(now sim.Time) {
+	m := r.cfg.VCs
+	total := len(r.out) * m
+	if len(r.feeder) < total {
+		r.feeder = make([]*inVC, total)
+		r.feederCand = make([]sched.Candidate, total)
+	}
+	for i := 0; i < total; i++ {
+		r.feeder[i] = nil
+	}
+	for p := range r.in {
+		ip := &r.in[p]
+		for v := range ip.vcs {
+			in := &ip.vcs[v]
+			if !r.vcEligible(in, now) {
+				continue
+			}
+			head := in.q.peek()
+			c := sched.Candidate{VC: v, TS: head.TS, Enq: head.Enq, Seq: uint64(p*m + v)}
+			key := in.outPort*m + in.outVC
+			if r.feeder[key] == nil || sched.Better(r.cfg.Policy, c, r.feederCand[key]) {
+				r.feeder[key] = in
+				r.feederCand[key] = c
+			}
+		}
+	}
+	for i := 0; i < total; i++ {
+		if r.feeder[i] != nil {
+			r.forward(r.feeder[i], now)
+		}
+	}
+}
+
+// vcEligible reports whether in's head flit may traverse the crossbar now.
+func (r *Router) vcEligible(in *inVC, now sim.Time) bool {
+	if in.phase != vcActive || in.q.empty() {
+		return false
+	}
+	if in.grantedAt >= now { // grant visible next cycle (stage 3→4 boundary)
+		return false
+	}
+	head := in.q.peek()
+	if head.Enq >= now { // stage-1 synchronization
+		return false
+	}
+	return r.out[in.outPort].vcs[in.outVC].stage.space() > 0
+}
+
+// forward moves in's head flit through the crossbar into its output VC's
+// staging buffer and releases message-granularity resources on the tail.
+func (r *Router) forward(in *inVC, now sim.Time) {
+	f := in.q.pop()
+	op := &r.out[in.outPort]
+	ov := &op.vcs[in.outVC]
+	if f.IsHeader() && ov.busy == f.Msg {
+		// Exclusive (transit) VC: a fresh per-message clock, per §3.3's
+		// "each message works as if it were a connection". Shared endpoint
+		// VCs keep a continuous clock across the messages multiplexed onto
+		// them.
+		ov.clk.Reset()
+	}
+	// Restamp for contention point C (meaningful for the full crossbar; with
+	// a multiplexed crossbar the mux degenerates to FIFO as in §3.3).
+	f.TS = ov.clk.Stamp(now, f.Msg.Vtick)
+	f.Enq = now
+	ov.stage.push(f)
+	r.stats.FlitsSwitched++
+	if f.IsTail() {
+		in.phase = vcIdle
+		in.headMsg = nil
+		if ov.busy == f.Msg {
+			// Exclusive VC released as the tail enters the staging buffer:
+			// the staging FIFO keeps messages contiguous on the link, so
+			// the next holder cannot overtake the old tail.
+			ov.busy = nil
+		}
+	}
+}
+
+// transmit implements stage 5: each output physical channel sends one flit
+// per cycle, chosen by the VC multiplexer among staged flits with downstream
+// credit.
+func (r *Router) transmit(now sim.Time) {
+	cands := r.cands
+	defer func() { r.cands = cands }()
+	for p := range r.out {
+		op := &r.out[p]
+		cands = cands[:0]
+		for v := range op.vcs {
+			ov := &op.vcs[v]
+			if ov.stage.empty() {
+				continue
+			}
+			head := ov.stage.peek()
+			if head.Enq >= now { // staged this cycle; send next
+				continue
+			}
+			if !op.consumer.HasCredit(v) {
+				continue
+			}
+			cands = append(cands, sched.Candidate{VC: v, TS: head.TS, Enq: head.Enq, Seq: uint64(v)})
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		v := cands[op.arb.Pick(cands)].VC
+		ov := &op.vcs[v]
+		f := ov.stage.pop()
+		f.Enq = now + r.cfg.Period // arrival downstream after the wire
+		op.consumer.Accept(v, f)
+		r.stats.FlitsTransmitted++
+	}
+}
+
+// Quiesced reports whether the router holds no flits and no pending
+// requests — used by tests and the fabric's self-check.
+func (r *Router) Quiesced() bool {
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			if !r.in[p].vcs[v].q.empty() || r.in[p].vcs[v].phase != vcIdle {
+				return false
+			}
+		}
+		if len(r.out[p].reqs) != 0 {
+			return false
+		}
+		for v := range r.out[p].vcs {
+			if !r.out[p].vcs[v].stage.empty() || r.out[p].vcs[v].busy != nil {
+				return false
+			}
+		}
+	}
+	return true
+}

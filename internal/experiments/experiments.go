@@ -1,0 +1,205 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§5). Each experiment sweeps the workload/hardware parameter
+// the paper varies and reports the same rows or series the paper plots:
+// the mean frame delivery interval d (ms), its standard deviation σd (ms),
+// best-effort latency (µs), and PCS connection accounting.
+//
+// Runs are scaled in the video time base (Options.Scale): frames and
+// intervals shrink together, preserving per-stream bandwidth and the
+// queueing behaviour per cycle while cutting simulated cycles. Reported
+// intervals are normalized back to the paper's 33 ms base so the tables
+// read side-by-side with the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mediaworm"
+)
+
+// Options tunes experiment fidelity versus wall-clock cost.
+type Options struct {
+	// Scale is the video time-base factor in (0, 1]; 1.0 is the paper's
+	// exact workload, smaller is faster.
+	Scale float64
+	// WarmupIntervals and MeasureIntervals size the measurement window in
+	// frame intervals.
+	WarmupIntervals, MeasureIntervals int
+	// Seed drives all randomness.
+	Seed uint64
+	// Progress, if non-nil, is called after each simulated point.
+	Progress func(figure string, point string, elapsed time.Duration)
+}
+
+// DefaultOptions balances fidelity and single-core runtime (~minutes for
+// the full set).
+func DefaultOptions() Options {
+	return Options{Scale: 0.2, WarmupIntervals: 3, MeasureIntervals: 10, Seed: 1}
+}
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 0.2
+	}
+	if o.WarmupIntervals <= 0 {
+		o.WarmupIntervals = 3
+	}
+	if o.MeasureIntervals <= 0 {
+		o.MeasureIntervals = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// paperIntervalMs is the paper's inter-frame interval (30 frames/s MPEG-2).
+const paperIntervalMs = 33.0
+
+// Point is one measured sweep point, normalized to the paper's time base.
+type Point struct {
+	// Load is the offered input-link load; RTShare the real-time fraction.
+	Load, RTShare float64
+	// DMs and SDMs are d and σd in paper-scale milliseconds.
+	DMs, SDMs float64
+	// BELatencyUs is the mean best-effort latency in microseconds
+	// (NaN-free: zero when the mix has no best-effort component).
+	BELatencyUs float64
+	// BESaturated marks Table 2's "Sat." entries.
+	BESaturated bool
+	// Samples is the number of pooled interval observations.
+	Samples uint64
+}
+
+// Series is a labelled sequence of points (one curve of a figure).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced figure or table: an ID matching the paper
+// ("fig3", "table2", …), a title, and its series.
+type Figure struct {
+	ID, Title string
+	// XLabel names the sweep variable; XIsMix selects whether rows are
+	// keyed by the traffic mix (x:y) instead of the load.
+	XLabel string
+	XIsMix bool
+	// ShowBE adds a best-effort latency column per series.
+	ShowBE bool
+	Series []Series
+	// Notes records reproduction caveats for EXPERIMENTS.md.
+	Notes string
+}
+
+// Fprint renders the figure as an aligned text table: one row per X value,
+// one (d, σd) column pair per series.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label+" d(ms)", s.Label+" σd(ms)")
+		if f.ShowBE {
+			header = append(header, s.Label+" BE(µs)")
+		}
+	}
+	rows := [][]string{header}
+	for i := range f.Series[0].Points {
+		p0 := f.Series[0].Points[i]
+		row := []string{fmtX(p0, f.XIsMix)}
+		for _, s := range f.Series {
+			p := s.Points[i]
+			row = append(row, fmt.Sprintf("%.2f", p.DMs), fmt.Sprintf("%.3f", p.SDMs))
+			if f.ShowBE {
+				if p.BESaturated {
+					row = append(row, "Sat.")
+				} else {
+					row = append(row, fmt.Sprintf("%.1f", p.BELatencyUs))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "note: %s\n", f.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtX(p Point, mix bool) string {
+	if mix {
+		return fmt.Sprintf("%d:%d", int(p.RTShare*100+0.5), int((1-p.RTShare)*100+0.5))
+	}
+	return fmt.Sprintf("%.2f", p.Load)
+}
+
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+// baseConfig returns the paper's Table 1 configuration scaled per options,
+// with the measurement window sized in intervals.
+func baseConfig(opt Options) mediaworm.Config {
+	cfg := mediaworm.DefaultConfig().Scale(opt.Scale)
+	cfg.Warmup = time.Duration(opt.WarmupIntervals) * cfg.FrameInterval
+	cfg.Measure = time.Duration(opt.MeasureIntervals) * cfg.FrameInterval
+	cfg.Seed = opt.Seed
+	return cfg
+}
+
+// runPoint executes cfg and normalizes the result to paper-scale ms.
+func runPoint(cfg mediaworm.Config, opt Options) (Point, error) {
+	start := time.Now()
+	res, err := mediaworm.Run(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	norm := paperIntervalMs / (cfg.FrameInterval.Seconds() * 1000)
+	p := Point{
+		Load:        cfg.Load,
+		RTShare:     cfg.RTShare,
+		DMs:         res.MeanDeliveryIntervalMs * norm,
+		SDMs:        res.StdDevDeliveryIntervalMs * norm,
+		BELatencyUs: res.BestEffort.MeanLatencyUs,
+		BESaturated: res.BestEffort.Saturated,
+		Samples:     res.FrameIntervals,
+	}
+	if res.BestEffort.Injected == 0 {
+		p.BELatencyUs = 0
+	}
+	if opt.Progress != nil {
+		opt.Progress("", fmt.Sprintf("load=%.2f mix=%.0f:%.0f", cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100), time.Since(start))
+	}
+	return p, nil
+}

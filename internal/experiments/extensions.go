@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mediaworm"
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/network"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/stats"
+	"mediaworm/internal/topology"
+	"mediaworm/internal/traffic"
+)
+
+// Extension experiments beyond the paper's evaluation, along its §6 future
+// directions: structured MPEG GoP traffic, the tetrahedral cluster, and
+// dynamic VC partitioning under a shifting mix.
+
+// ExtGoP compares the paper's normal-draw VBR against MPEG
+// Group-of-Pictures structured VBR (periodic large I frames).
+func ExtGoP(opt Options) (*Figure, error) {
+	opt = opt.normalized()
+	fig := &Figure{
+		ID:     "ext-gop",
+		Title:  "Extension: normal-draw VBR vs MPEG GoP VBR (100:0)",
+		XLabel: "load",
+		Notes:  "GoP = IBBPBBPBBPBB pattern, 5:3:1 I:P:B sizes, random per-stream phase",
+	}
+	for _, model := range []mediaworm.VBRModel{mediaworm.VBRNormal, mediaworm.VBRGoP} {
+		s := Series{Label: string(model)}
+		for _, load := range []float64{0.60, 0.80, 0.90} {
+			cfg := baseConfig(opt)
+			cfg.Load = load
+			cfg.RTShare = 1.0
+			cfg.VBRModel = model
+			p, err := runPoint(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("ext-gop %s load %v: %w", model, load, err)
+			}
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ExtTetrahedral compares the paper's 2×2 fat-mesh with the tetrahedral
+// (fully connected) 4-switch cluster of §3.4 at an 80:20 mix.
+func ExtTetrahedral(opt Options) (*Figure, error) {
+	opt = opt.normalized()
+	fig := &Figure{
+		ID:     "ext-tetra",
+		Title:  "Extension: fat-mesh vs tetrahedral cluster (80:20 mix)",
+		XLabel: "load",
+	}
+	for _, topo := range []mediaworm.Topology{mediaworm.FatMesh2x2, mediaworm.Tetrahedral} {
+		s := Series{Label: string(topo)}
+		for _, load := range []float64{0.60, 0.70, 0.80} {
+			cfg := baseConfig(opt)
+			cfg.Topology = topo
+			cfg.Load = load
+			cfg.RTShare = 0.8
+			p, err := runPoint(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("ext-tetra %s load %v: %w", topo, load, err)
+			}
+			s.Points = append(s.Points, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// DynPartResult reports the shifting-mix experiment: the workload's
+// real-time share jumps mid-run, and a statically partitioned fabric is
+// compared with a dynamically repartitioned one (§6).
+type DynPartResult struct {
+	Variant   string
+	DMs, SDMs float64
+	// Phase1/Phase2 split the best-effort metrics at the mix shift, since
+	// the two phases stress opposite sides of the partition.
+	Phase1BEUs, Phase2BEUs   float64
+	Phase1BESat, Phase2BESat bool
+	Adjustments              int
+	FinalRTVCs, InitialRTVCs int
+}
+
+// ExtDynamicPartition runs the shifting-mix workload (20:80 then 70:30 at
+// the same total load) under a static 50:50 VC split and under the dynamic
+// partition controller, and reports both.
+func ExtDynamicPartition(opt Options) ([]DynPartResult, error) {
+	opt = opt.normalized()
+	var out []DynPartResult
+	for _, dynamic := range []bool{false, true} {
+		r, err := runShiftingMix(opt, dynamic)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runShiftingMix(opt Options, dynamic bool) (DynPartResult, error) {
+	base := baseConfig(opt)
+	const load = 0.85
+	eng := sim.NewEngine()
+	vcs := base.VCs
+	staticRT := vcs / 2 // a 50:50 compromise split
+	rcfg := coreConfigFrom(base, staticRT)
+	net, err := topology.SingleSwitch(eng, rcfg)
+	if err != nil {
+		return DynPartResult{}, err
+	}
+
+	warmup := sim.Time(base.Warmup.Nanoseconds())
+	stop := warmup + sim.Time(base.Measure.Nanoseconds())
+	half := stop / 2
+	intervals := stats.NewIntervalTracker(warmup)
+	// Per-phase best-effort accounting: phase 2's tracker warms up at the
+	// mix shift so transition traffic lands in the right bucket.
+	be1 := stats.NewBestEffort(warmup)
+	be2 := stats.NewBestEffort(half)
+	beFor := func(t sim.Time) *stats.BestEffort {
+		if t < half {
+			return be1
+		}
+		return be2
+	}
+	for _, s := range net.Sinks {
+		s.OnFrame = func(stream, frame int, at sim.Time) { intervals.Observe(stream, at) }
+		s.OnMessage = func(m *flit.Message, at sim.Time) {
+			if m.Class == flit.BestEffort {
+				beFor(m.Injected).Delivered(m.Injected, at)
+			}
+		}
+	}
+
+	res := DynPartResult{Variant: "static 50:50 split", InitialRTVCs: staticRT, FinalRTVCs: staticRT}
+	var dp *network.DynamicPartition
+	var part traffic.Partition
+	if dynamic {
+		dp = network.NewDynamicPartition(net.Fabric, sim.Time(base.FrameInterval.Nanoseconds())/4, stop, staticRT)
+		part = dp
+		res.Variant = "dynamic partition"
+	}
+
+	interval := sim.Time(base.FrameInterval.Nanoseconds())
+	mix := func(rtShare float64, rtVCs int, from, to sim.Time) traffic.MixConfig {
+		return traffic.MixConfig{
+			Load: load, RTShare: rtShare, Class: flit.VBR,
+			LinkBitsPerSec: base.LinkBandwidthBps,
+			FlitBits:       base.FlitBits, MsgFlits: base.MsgFlits,
+			FrameBytes: base.FrameBytes, FrameBytesSD: base.FrameBytesSD,
+			Interval: interval, VCs: vcs, RTVCs: rtVCs,
+			Start: from, Stop: to, Seed: opt.Seed, Partition: part,
+		}
+	}
+	// Static fabric: streams must live inside the fixed boundary. Dynamic:
+	// streams use each phase's natural split — the controller converges the
+	// routers and best-effort sources to it.
+	rt1, rt2 := staticRT, staticRT
+	if dynamic {
+		rt1 = traffic.PartitionVCs(vcs, 0.2)
+		rt2 = traffic.PartitionVCs(vcs, 0.7)
+	}
+	w, err := traffic.ApplyPhases(eng, net, []traffic.MixConfig{
+		mix(0.2, rt1, 0, half),
+		mix(0.7, rt2, half, stop),
+	})
+	if err != nil {
+		return DynPartResult{}, err
+	}
+	for _, src := range w.BESources {
+		src.OnInject = func(m *flit.Message) { beFor(m.Injected).Injected(m.Injected) }
+	}
+	// Snapshot phase 1's backlog at the shift, phase 2's at stop.
+	var sat1 bool
+	eng.At(half, func() {
+		inj, del := be1.Counts()
+		sat1 = saturated(inj, del)
+	})
+	eng.Run(stop)
+	inj2, del2 := be2.Counts()
+	sat2 := saturated(inj2, del2)
+	eng.Drain()
+	if err := net.Fabric.CheckDrained(); err != nil {
+		return DynPartResult{}, err
+	}
+
+	res.DMs = intervals.MeanMs() * paperIntervalMs / (base.FrameInterval.Seconds() * 1000)
+	res.SDMs = intervals.StdDevMs() * paperIntervalMs / (base.FrameInterval.Seconds() * 1000)
+	res.Phase1BEUs = be1.MeanLatencyUs()
+	res.Phase2BEUs = be2.MeanLatencyUs()
+	res.Phase1BESat = sat1
+	res.Phase2BESat = sat2
+	if dp != nil {
+		res.Adjustments = dp.Adjustments
+		res.FinalRTVCs = dp.RTVCs()
+	}
+	return res, nil
+}
+
+// saturated is the Table 2 "Sat." criterion over a backlog snapshot.
+func saturated(injected, delivered uint64) bool {
+	backlog := float64(injected) - float64(delivered)
+	return injected > 0 && backlog > 0.05*float64(injected) && backlog > 50
+}
+
+// coreConfigFrom converts the public config to a router config with a given
+// partition.
+func coreConfigFrom(cfg mediaworm.Config, rtVCs int) core.Config {
+	return core.Config{
+		Ports:       cfg.Ports,
+		VCs:         cfg.VCs,
+		RTVCs:       rtVCs,
+		BufferDepth: cfg.BufferDepth,
+		StageDepth:  cfg.StageDepth,
+		Policy:      sched.VirtualClock,
+		Period:      sim.Time(cfg.CyclePeriod().Nanoseconds()),
+	}
+}
+
+// FprintDynPart renders the shifting-mix comparison.
+func FprintDynPart(results []DynPartResult, w io.Writer) {
+	fmt.Fprintln(w, "== ext-dynpart: shifting mix (20:80 → 70:30 at load 0.85) ==")
+	rows := [][]string{{"variant", "d(ms)", "σd(ms)", "BE ph1 (µs)", "BE ph2 (µs)", "adjustments", "final RT VCs"}}
+	cell := func(us float64, sat bool) string {
+		if sat {
+			return "Sat."
+		}
+		return fmt.Sprintf("%.1f", us)
+	}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Variant,
+			fmt.Sprintf("%.2f", r.DMs),
+			fmt.Sprintf("%.3f", r.SDMs),
+			cell(r.Phase1BEUs, r.Phase1BESat),
+			cell(r.Phase2BEUs, r.Phase2BESat),
+			fmt.Sprintf("%d", r.Adjustments),
+			fmt.Sprintf("%d", r.FinalRTVCs),
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintln(w)
+}

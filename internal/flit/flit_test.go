@@ -1,0 +1,109 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mediaworm/internal/sim"
+)
+
+func TestClassRealTime(t *testing.T) {
+	if !CBR.RealTime() || !VBR.RealTime() {
+		t.Fatal("CBR and VBR must be real-time")
+	}
+	if BestEffort.RealTime() {
+		t.Fatal("best-effort must not be real-time")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{CBR: "CBR", VBR: "VBR", BestEffort: "best-effort"} {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class should still stringify")
+	}
+}
+
+func TestHeaderTail(t *testing.T) {
+	m := &Message{Flits: 20}
+	h := Flit{Msg: m, Seq: 0}
+	mid := Flit{Msg: m, Seq: 10}
+	tail := Flit{Msg: m, Seq: 19}
+	if !h.IsHeader() || h.IsTail() {
+		t.Fatal("header flit misclassified")
+	}
+	if mid.IsHeader() || mid.IsTail() {
+		t.Fatal("middle flit misclassified")
+	}
+	if tail.IsHeader() || !tail.IsTail() {
+		t.Fatal("tail flit misclassified")
+	}
+}
+
+func TestSingleFlitMessageIsHeaderAndTail(t *testing.T) {
+	m := &Message{Flits: 1}
+	f := Flit{Msg: m, Seq: 0}
+	if !f.IsHeader() || !f.IsTail() {
+		t.Fatal("1-flit message's flit must be both header and tail")
+	}
+}
+
+func TestIsLastOfFrame(t *testing.T) {
+	m := &Message{MsgSeq: 4, MsgsInFrame: 5}
+	if !m.IsLastOfFrame() {
+		t.Fatal("final message not detected")
+	}
+	m.MsgSeq = 3
+	if m.IsLastOfFrame() {
+		t.Fatal("non-final message detected as last")
+	}
+}
+
+func TestFlitsForBytes(t *testing.T) {
+	cases := []struct{ bytes, bits, want int }{
+		{16666, 32, 4167}, // one MPEG-2 mean frame at the paper's flit size
+		{4, 32, 1},
+		{5, 32, 2},
+		{0, 32, 1}, // at least the header
+		{80, 32, 20},
+	}
+	for _, c := range cases {
+		if got := FlitsForBytes(c.bytes, c.bits); got != c.want {
+			t.Fatalf("FlitsForBytes(%d,%d) = %d, want %d", c.bytes, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestFlitsForBytesPanicsOnBadFlitSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero flit size")
+		}
+	}()
+	FlitsForBytes(100, 0)
+}
+
+// Property: the flit count always covers the payload and never overshoots by
+// a full flit.
+func TestPropertyFlitsCoverPayload(t *testing.T) {
+	f := func(bytesRaw uint16, bitsRaw uint8) bool {
+		bytes := int(bytesRaw)
+		bits := int(bitsRaw%64) + 8
+		n := FlitsForBytes(bytes, bits)
+		covered := n * bits
+		return covered >= bytes*8 && (n == 1 || (n-1)*bits < bytes*8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestEffortVtickSentinel(t *testing.T) {
+	m := &Message{Class: BestEffort, Vtick: sim.Forever}
+	if m.Vtick != sim.Forever {
+		t.Fatal("best-effort sentinel lost")
+	}
+}

@@ -1,0 +1,107 @@
+package network
+
+import (
+	"math"
+
+	"mediaworm/internal/sim"
+)
+
+// DynamicPartition implements the paper's §6 direction of "dynamic mixes
+// with dynamically partitioned resources": instead of the static x:y VC
+// split of §4.2.3, it periodically re-divides every router's virtual
+// channels in proportion to the observed real-time / best-effort offered
+// load (measured at the NIs) with exponential smoothing.
+//
+// It also satisfies the traffic layer's Partition interface, so best-effort
+// sources draw their per-message VCs from the current best-effort range.
+type DynamicPartition struct {
+	fab      *Fabric
+	interval sim.Time
+	stop     sim.Time
+	// smoothing factor for the observed class rates, in (0, 1].
+	alpha float64
+	// MinPerClass guarantees each class keeps at least this many VCs while
+	// it carries load.
+	MinPerClass int
+
+	vcs     int
+	current int // current RT partition size
+
+	lastRT, lastBE uint64
+	rateRT, rateBE float64
+
+	// Adjustments counts partition changes (instrumentation).
+	Adjustments int
+}
+
+// NewDynamicPartition attaches a controller to the fabric, re-evaluating
+// every interval until stop (the controller must quiesce for the engine to
+// drain). initialRT is the starting real-time share of VCs.
+func NewDynamicPartition(f *Fabric, interval, stop sim.Time, initialRT int) *DynamicPartition {
+	if len(f.Routers) == 0 {
+		panic("network: dynamic partition on an empty fabric")
+	}
+	vcs := f.Routers[0].Config().VCs
+	if initialRT < 0 || initialRT > vcs {
+		panic("network: initial partition out of range")
+	}
+	if interval <= 0 {
+		panic("network: non-positive partition interval")
+	}
+	dp := &DynamicPartition{
+		fab:         f,
+		interval:    interval,
+		stop:        stop,
+		alpha:       0.8,
+		MinPerClass: 1,
+		vcs:         vcs,
+		current:     initialRT,
+	}
+	dp.apply(initialRT)
+	f.Engine.After(interval, dp.tick)
+	return dp
+}
+
+// RTVCs implements traffic.Partition.
+func (dp *DynamicPartition) RTVCs() int { return dp.current }
+
+// VCs implements traffic.Partition.
+func (dp *DynamicPartition) VCs() int { return dp.vcs }
+
+func (dp *DynamicPartition) apply(rt int) {
+	for _, r := range dp.fab.Routers {
+		r.SetRTVCs(rt)
+	}
+	dp.current = rt
+}
+
+func (dp *DynamicPartition) tick() {
+	var rt, be uint64
+	for _, ni := range dp.fab.NIs {
+		rt += ni.RTFlits
+		be += ni.BEFlits
+	}
+	dRT := float64(rt - dp.lastRT)
+	dBE := float64(be - dp.lastBE)
+	dp.lastRT, dp.lastBE = rt, be
+	dp.rateRT = dp.alpha*dRT + (1-dp.alpha)*dp.rateRT
+	dp.rateBE = dp.alpha*dBE + (1-dp.alpha)*dp.rateBE
+
+	total := dp.rateRT + dp.rateBE
+	if total > 0 {
+		want := int(math.Round(float64(dp.vcs) * dp.rateRT / total))
+		if dp.rateRT > 0 && want < dp.MinPerClass {
+			want = dp.MinPerClass
+		}
+		if dp.rateBE > 0 && want > dp.vcs-dp.MinPerClass {
+			want = dp.vcs - dp.MinPerClass
+		}
+		if want != dp.current {
+			dp.apply(want)
+			dp.Adjustments++
+		}
+	}
+	if dp.fab.Engine.Now()+dp.interval < dp.stop {
+		dp.fab.Engine.After(dp.interval, dp.tick)
+	}
+}

@@ -1,0 +1,133 @@
+// Package network assembles MediaWorm routers, network interfaces (NIs),
+// links and sinks into a running fabric. It owns the cycle driver: a single
+// self-rescheduling engine event advances every router and NI one cycle at a
+// time while any flit is in flight, and goes dormant when the fabric drains,
+// so the long idle gaps between video frames cost nothing.
+package network
+
+import (
+	"fmt"
+
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sim"
+)
+
+// Fabric is a set of routers, NIs and sinks sharing one clock.
+type Fabric struct {
+	Engine *sim.Engine
+	Period sim.Time
+
+	Routers []*core.Router
+	NIs     []*NI
+	Sinks   []*Sink
+
+	work     int64 // flits currently inside the fabric (NI queues included)
+	tickerOn bool
+	lastTick sim.Time
+	tickFn   func() // cached method value so rescheduling does not allocate
+}
+
+// NewFabric creates an empty fabric with the given cycle period.
+func NewFabric(engine *sim.Engine, period sim.Time) *Fabric {
+	if period <= 0 {
+		panic("network: non-positive period")
+	}
+	f := &Fabric{Engine: engine, Period: period, lastTick: -1}
+	f.tickFn = f.tick
+	return f
+}
+
+// AddRouter registers a router with the fabric. Routers step in registration
+// order each cycle, so registration order is part of the deterministic model.
+func (f *Fabric) AddRouter(r *core.Router) {
+	f.Routers = append(f.Routers, r)
+}
+
+// AttachEndpoint wires endpoint node onto router r's port p: a fresh NI
+// feeding the input side and a fresh Sink consuming the output side.
+func (f *Fabric) AttachEndpoint(r *core.Router, port, node int) (*NI, *Sink) {
+	sink := &Sink{fab: f, Node: node, frames: make(map[uint64]int)}
+	r.Connect(port, sink, true)
+	ni := newNI(f, r, port, node)
+	f.NIs = append(f.NIs, ni)
+	f.Sinks = append(f.Sinks, sink)
+	return ni, sink
+}
+
+// Link connects router a's output port ap to router b's input port bp
+// (one direction; call twice for a bidirectional channel).
+func (f *Fabric) Link(a *core.Router, ap int, b *core.Router, bp int) {
+	a.Connect(ap, &routerInput{r: b, port: bp}, false)
+}
+
+// routerInput adapts a router's input port to the core.Consumer interface.
+type routerInput struct {
+	r    *core.Router
+	port int
+}
+
+func (ri *routerInput) HasCredit(vc int) bool      { return ri.r.HasCredit(ri.port, vc) }
+func (ri *routerInput) Accept(vc int, f flit.Flit) { ri.r.Deliver(ri.port, vc, f) }
+
+// addWork accounts flits entering the fabric and wakes the cycle driver.
+func (f *Fabric) addWork(flits int) {
+	f.work += int64(flits)
+	f.wake()
+}
+
+// wake (re)starts the cycle driver aligned to the next cycle boundary.
+func (f *Fabric) wake() {
+	if f.tickerOn {
+		return
+	}
+	f.tickerOn = true
+	now := f.Engine.Now()
+	next := now - now%f.Period
+	if next < now || f.lastTick == next {
+		next += f.Period
+	}
+	f.Engine.At(next, f.tickFn)
+}
+
+// tick advances the whole fabric one cycle: routers first (in registration
+// order), then NIs. Credits freed by a router's switch traversal are visible
+// to NIs within the same cycle; flits put on wires arrive next cycle.
+func (f *Fabric) tick() {
+	now := f.Engine.Now()
+	f.lastTick = now
+	for _, r := range f.Routers {
+		r.Step(now)
+	}
+	for _, ni := range f.NIs {
+		ni.step(now)
+	}
+	if f.work > 0 {
+		f.Engine.At(now+f.Period, f.tickFn)
+	} else {
+		f.tickerOn = false
+	}
+}
+
+// Work returns the number of flits currently inside the fabric.
+func (f *Fabric) Work() int64 { return f.work }
+
+// CheckDrained verifies the conservation invariant after a drained run:
+// no work, every router quiesced, every NI empty. It returns an error
+// describing the first violation.
+func (f *Fabric) CheckDrained() error {
+	if f.work != 0 {
+		return fmt.Errorf("network: %d flits unaccounted for", f.work)
+	}
+	for i, r := range f.Routers {
+		if !r.Quiesced() {
+			return fmt.Errorf("network: router %d not quiesced", i)
+		}
+	}
+	for i, ni := range f.NIs {
+		if !ni.Empty() {
+			return fmt.Errorf("network: NI %d not empty", i)
+		}
+	}
+	return nil
+}

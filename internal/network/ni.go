@@ -1,0 +1,165 @@
+package network
+
+import (
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+// msgQueue is an unbounded FIFO of messages with amortized O(1) operations.
+type msgQueue struct {
+	buf  []*flit.Message
+	head int
+}
+
+func (q *msgQueue) push(m *flit.Message) { q.buf = append(q.buf, m) }
+func (q *msgQueue) empty() bool          { return q.head == len(q.buf) }
+func (q *msgQueue) peek() *flit.Message  { return q.buf[q.head] }
+func (q *msgQueue) len() int             { return len(q.buf) - q.head }
+
+func (q *msgQueue) pop() *flit.Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return m
+}
+
+// maxVCs bounds the stack-allocated candidate array in the NI's hot path.
+const maxVCs = 64
+
+// niVC is one virtual channel's injection queue at a network interface.
+type niVC struct {
+	q    msgQueue
+	sent int // flits of the head message already transmitted
+	clk  sched.VClock
+	// pending caches the Virtual Clock timestamp of the next flit.
+	pendingTS   sim.Time
+	havePending bool
+}
+
+// NI is a source network interface: per-VC unbounded injection queues
+// multiplexed onto the node→router physical channel one flit per cycle.
+// The injection link's VC multiplexer runs the same scheduling policy as the
+// router (see DESIGN.md §7: the paper leaves source serialization
+// unspecified; this models the upstream node's stage 5).
+type NI struct {
+	fab    *Fabric
+	router *core.Router
+	port   int
+	// Node is the endpoint identifier this NI injects for.
+	Node int
+	vcs  []niVC
+	arb  sched.Arbiter
+	// cands is the arbitration scratch buffer, reused every cycle so the
+	// hot path does not allocate.
+	cands []sched.Candidate
+
+	// Stalls counts cycles where messages were queued but no flit could be
+	// sent because every backlogged VC lacked router credit (link waste —
+	// instrumentation for tests and capacity analysis).
+	Stalls uint64
+	// Sent counts transmitted flits.
+	Sent uint64
+	// RTFlits and BEFlits count injected flits per class — the offered-load
+	// signal dynamic VC partitioning reads.
+	RTFlits, BEFlits uint64
+}
+
+func newNI(f *Fabric, r *core.Router, port, node int) *NI {
+	cfg := r.Config()
+	if cfg.VCs > maxVCs {
+		panic("network: NI supports at most 64 VCs per physical channel")
+	}
+	ni := &NI{fab: f, router: r, port: port, Node: node}
+	ni.vcs = make([]niVC, cfg.VCs)
+	ni.arb = sched.New(cfg.Policy)
+	ni.cands = make([]sched.Candidate, 0, cfg.VCs)
+	return ni
+}
+
+// Inject queues a whole message on input VC vc at the current instant.
+// The caller must have set msg.Injected, msg.Vtick and msg.Flits.
+func (n *NI) Inject(vc int, msg *flit.Message) {
+	if msg.Flits <= 0 {
+		panic("network: message with no flits")
+	}
+	if msg.Class.RealTime() {
+		n.RTFlits += uint64(msg.Flits)
+	} else {
+		n.BEFlits += uint64(msg.Flits)
+	}
+	n.vcs[vc].q.push(msg)
+	n.fab.addWork(msg.Flits)
+}
+
+// SetPolicy replaces the injection link's scheduling discipline (by default
+// the NI follows the router's policy). Call before traffic starts.
+func (n *NI) SetPolicy(k sched.Kind) {
+	n.arb = sched.New(k)
+}
+
+// Backlog returns the number of messages queued across all VCs.
+func (n *NI) Backlog() int {
+	total := 0
+	for v := range n.vcs {
+		total += n.vcs[v].q.len()
+	}
+	return total
+}
+
+// Empty reports whether all injection queues have drained.
+func (n *NI) Empty() bool {
+	for v := range n.vcs {
+		if !n.vcs[v].q.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// step transmits at most one flit onto the injection link this cycle.
+func (n *NI) step(now sim.Time) {
+	cands := n.cands[:0]
+	for v := range n.vcs {
+		nv := &n.vcs[v]
+		if nv.q.empty() || !n.router.HasCredit(n.port, v) {
+			continue
+		}
+		head := nv.q.peek()
+		if !nv.havePending {
+			if nv.sent == 0 {
+				nv.clk.Reset()
+			}
+			// All flits of a message "arrive" at this contention point at
+			// the injection instant, so the clock argument is Injected.
+			nv.pendingTS = nv.clk.Stamp(head.Injected, head.Vtick)
+			nv.havePending = true
+		}
+		cands = append(cands, sched.Candidate{VC: v, TS: nv.pendingTS, Enq: head.Injected, Seq: uint64(v)})
+	}
+	n.cands = cands
+	if len(cands) == 0 {
+		if !n.Empty() {
+			n.Stalls++
+		}
+		return
+	}
+	n.Sent++
+	w := cands[n.arb.Pick(cands)].VC
+	nv := &n.vcs[w]
+	msg := nv.q.peek()
+	f := flit.Flit{Msg: msg, Seq: nv.sent, TS: nv.pendingTS, Enq: now + n.fab.Period}
+	n.router.Deliver(n.port, w, f)
+	nv.sent++
+	nv.havePending = false
+	if nv.sent == msg.Flits {
+		nv.q.pop()
+		nv.sent = 0
+	}
+}

@@ -1,0 +1,82 @@
+package network
+
+import (
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sim"
+)
+
+// Sink is an endpoint's receive side. It consumes one flit per cycle from
+// the router's output link (it always has credit, like the paper's endpoint
+// model), reassembles frames, and reports deliveries to the measurement
+// layer.
+type Sink struct {
+	fab *Fabric
+	// Node is the endpoint identifier.
+	Node int
+	// frames maps (stream, frame) to the number of messages still missing.
+	frames map[uint64]int
+
+	// OnFrame, if set, is called when the last flit of a frame's last
+	// outstanding message arrives: the paper's frame delivery instant.
+	OnFrame func(stream, frame int, t sim.Time)
+	// OnMessage, if set, is called on every completed message (tail
+	// arrival), real-time and best-effort alike.
+	OnMessage func(m *flit.Message, t sim.Time)
+
+	// FlitsReceived counts all flits consumed.
+	FlitsReceived uint64
+	// MessagesReceived counts completed messages.
+	MessagesReceived uint64
+}
+
+func frameKey(stream, frame int) uint64 {
+	return uint64(uint32(stream))<<32 | uint64(uint32(frame))
+}
+
+// HasCredit implements core.Consumer: the endpoint always accepts.
+func (s *Sink) HasCredit(int) bool { return true }
+
+// Accept implements core.Consumer.
+func (s *Sink) Accept(_ int, f flit.Flit) {
+	s.fab.work--
+	s.FlitsReceived++
+	if !f.IsTail() {
+		return
+	}
+	s.MessagesReceived++
+	m := f.Msg
+	t := f.Enq // arrival instant at the endpoint
+	if s.OnMessage != nil {
+		s.OnMessage(m, t)
+	}
+	if !m.Class.RealTime() {
+		return
+	}
+	key := frameKey(m.StreamID, m.FrameSeq)
+	rem, ok := s.frames[key]
+	if !ok {
+		rem = m.MsgsInFrame
+	}
+	rem--
+	if rem == 0 {
+		delete(s.frames, key)
+		if s.OnFrame != nil {
+			s.OnFrame(m.StreamID, m.FrameSeq, t)
+		}
+		return
+	}
+	s.frames[key] = rem
+}
+
+// PendingFrames returns the number of partially delivered frames.
+func (s *Sink) PendingFrames() int { return len(s.frames) }
+
+// DeadEnd terminates an intentionally unused output port: it never grants
+// credit, and receiving a flit anyway panics, so wiring bugs fail loudly.
+type DeadEnd struct{}
+
+// HasCredit implements core.Consumer.
+func (DeadEnd) HasCredit(int) bool { return false }
+
+// Accept implements core.Consumer.
+func (DeadEnd) Accept(int, flit.Flit) { panic("network: flit on an unused port") }

@@ -1,0 +1,184 @@
+// Package report renders experiment results to machine-readable CSV and to
+// a human-readable Markdown report, so regenerated figures can be diffed,
+// plotted, and committed alongside EXPERIMENTS.md.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mediaworm/internal/experiments"
+)
+
+// FigureCSV writes one row per (series, x) point with the figure's metrics.
+func FigureCSV(fig *experiments.Figure, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"series", xColumn(fig), "d_ms", "sd_ms", "be_latency_us", "be_saturated", "samples"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			row := []string{
+				s.Label,
+				xValue(fig, p),
+				formatF(p.DMs),
+				formatF(p.SDMs),
+				formatF(p.BELatencyUs),
+				strconv.FormatBool(p.BESaturated),
+				strconv.FormatUint(p.Samples, 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func xColumn(fig *experiments.Figure) string {
+	if fig.XIsMix {
+		return "rt_share"
+	}
+	return "load"
+}
+
+func xValue(fig *experiments.Figure, p experiments.Point) string {
+	if fig.XIsMix {
+		return formatF(p.RTShare)
+	}
+	return formatF(p.Load)
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Table2CSV writes the best-effort latency grid.
+func Table2CSV(tab *experiments.Table2, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"rt_share"}
+	for _, l := range tab.Loads {
+		header = append(header, "load_"+strconv.FormatFloat(l, 'g', 3, 64))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, mix := range tab.Mixes {
+		row := []string{formatF(mix)}
+		for _, p := range tab.Cells[i] {
+			if p.BESaturated {
+				row = append(row, "sat")
+			} else {
+				row = append(row, formatF(p.BELatencyUs))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table3CSV writes the PCS admission columns.
+func Table3CSV(tab *experiments.Table3, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"load", "attempts", "established", "dropped"}); err != nil {
+		return err
+	}
+	for i, r := range tab.Rows {
+		if err := cw.Write([]string{
+			formatF(tab.Loads[i]),
+			strconv.Itoa(r.Attempts),
+			strconv.Itoa(r.Established),
+			strconv.Itoa(r.Dropped),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigureFile renders a figure to <dir>/<id>.csv.
+func WriteFigureFile(dir string, fig *experiments.Figure) (string, error) {
+	return writeFile(dir, fig.ID, func(w io.Writer) error { return FigureCSV(fig, w) })
+}
+
+// WriteTable2File renders Table 2 to <dir>/table2.csv.
+func WriteTable2File(dir string, tab *experiments.Table2) (string, error) {
+	return writeFile(dir, "table2", func(w io.Writer) error { return Table2CSV(tab, w) })
+}
+
+// WriteTable3File renders Table 3 to <dir>/table3.csv.
+func WriteTable3File(dir string, tab *experiments.Table3) (string, error) {
+	return writeFile(dir, "table3", func(w io.Writer) error { return Table3CSV(tab, w) })
+}
+
+func writeFile(dir, id string, render func(io.Writer) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return "", fmt.Errorf("report: rendering %s: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Markdown renders a figure as a GitHub-flavored Markdown table.
+func Markdown(fig *experiments.Figure, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintln(w, "_(empty)_")
+		return err
+	}
+	header := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		header = append(header, s.Label+" d (ms)", s.Label+" σd (ms)")
+	}
+	writeMDRow(w, header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMDRow(w, sep)
+	for i := range fig.Series[0].Points {
+		row := []string{xLabelValue(fig, fig.Series[0].Points[i])}
+		for _, s := range fig.Series {
+			p := s.Points[i]
+			row = append(row, fmt.Sprintf("%.2f", p.DMs), fmt.Sprintf("%.3f", p.SDMs))
+		}
+		writeMDRow(w, row)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func xLabelValue(fig *experiments.Figure, p experiments.Point) string {
+	if fig.XIsMix {
+		return fmt.Sprintf("%d:%d", int(p.RTShare*100+0.5), int((1-p.RTShare)*100+0.5))
+	}
+	return fmt.Sprintf("%.2f", p.Load)
+}
+
+func writeMDRow(w io.Writer, cells []string) {
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+}

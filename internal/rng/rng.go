@@ -1,0 +1,186 @@
+// Package rng provides deterministic, splittable random-number streams and
+// the distributions the MediaWorm workload model needs (uniform, normal,
+// exponential). It replaces the random streams of the CSIM simulation library
+// the original paper used.
+//
+// Every simulation component draws from its own named substream derived from
+// a single master seed, so adding a new consumer never perturbs the draws seen
+// by existing ones — experiment results stay reproducible run to run and
+// stable under code evolution.
+package rng
+
+import "math"
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used both to seed streams and as the whitening finalizer.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashString folds a label into a 64-bit value (FNV-1a).
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Source is a deterministic pseudo-random stream. It implements an
+// xoshiro256** generator seeded via SplitMix64, giving high-quality,
+// fast, allocation-free draws.
+type Source struct {
+	s [4]uint64
+	// cached second normal variate from the Box–Muller pair
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded from seed.
+func New(seed uint64) *Source {
+	src := &Source{}
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return src
+}
+
+// NewStream derives an independent substream from a master seed and a label.
+// Identical (seed, label) pairs always yield identical streams.
+func NewStream(seed uint64, label string) *Source {
+	return New(seed ^ hashString(label))
+}
+
+// Split derives a child stream from this stream's identity without consuming
+// draws from the parent. The child is indexed so siblings are independent.
+func (r *Source) Split(index uint64) *Source {
+	mix := r.s[0] ^ r.s[3]
+	sm := mix + index*0x9e3779b97f4a7c15
+	return New(splitmix64(&sm))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n { // accept unless in the biased tail
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Normal returns a draw from Normal(mean, stddev) via Box–Muller, caching the
+// pair's second variate.
+func (r *Source) Normal(mean, stddev float64) float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return mean + stddev*r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return mean + stddev*u*f
+}
+
+// Exp returns an exponential draw with the given mean (= 1/rate).
+// It panics if mean <= 0.
+func (r *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp with non-positive mean")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -mean * math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,225 @@
+// Package sched implements the resource-scheduling disciplines that multiplex
+// router bandwidth among virtual channels: the conventional rate-agnostic
+// FIFO and round-robin schedulers, and the paper's contribution — the
+// Virtual Clock rate-based scheduler (Zhang, ACM TOCS 1991) that turns a
+// vanilla wormhole router into the MediaWorm router (§3.3).
+//
+// A contention point (crossbar input multiplexer, output VC multiplexer, or
+// the source NI's link multiplexer) presents the arbiter with one Candidate
+// per virtual channel that has a flit ready; the arbiter picks the winner.
+package sched
+
+import (
+	"fmt"
+
+	"mediaworm/internal/sim"
+)
+
+// Kind selects a scheduling discipline.
+type Kind uint8
+
+const (
+	// FIFO serves flits in arrival order at the contention point — the
+	// scheduler of a conventional wormhole router and the paper's baseline.
+	FIFO Kind = iota
+	// RoundRobin cycles over virtual channels, one flit per grant.
+	RoundRobin
+	// VirtualClock serves the flit with the lowest virtual-clock timestamp,
+	// giving each message bandwidth proportional to its request (1/Vtick).
+	// Best-effort flits (timestamp sim.Forever) are served FIFO among
+	// themselves and only when no real-time flit is ready.
+	VirtualClock
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case FIFO:
+		return "fifo"
+	case RoundRobin:
+		return "round-robin"
+	case VirtualClock:
+		return "virtual-clock"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a policy name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "fifo", "FIFO":
+		return FIFO, nil
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "virtual-clock", "vc", "virtualclock":
+		return VirtualClock, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
+}
+
+// Candidate describes one virtual channel competing at a contention point.
+type Candidate struct {
+	// VC identifies the channel (an index meaningful to the caller).
+	VC int
+	// TS is the head flit's Virtual Clock timestamp; sim.Forever for
+	// best-effort traffic.
+	TS sim.Time
+	// Enq is the head flit's arrival instant at this point (the FIFO key
+	// and the best-effort tie-break).
+	Enq sim.Time
+	// Seq is a strictly increasing arrival sequence number used to break
+	// exact ties deterministically.
+	Seq uint64
+}
+
+// Arbiter picks one winner among candidates. Implementations may keep state
+// (round-robin position), so use one Arbiter instance per contention point.
+// Pick returns the index into cands of the winner; cands must be non-empty.
+type Arbiter interface {
+	Pick(cands []Candidate) int
+	Kind() Kind
+}
+
+// New returns a fresh arbiter of the given kind.
+func New(k Kind) Arbiter {
+	switch k {
+	case FIFO:
+		return &fifoArbiter{}
+	case RoundRobin:
+		return &rrArbiter{last: -1}
+	case VirtualClock:
+		return &vcArbiter{}
+	default:
+		panic(fmt.Sprintf("sched: unknown kind %d", k))
+	}
+}
+
+type fifoArbiter struct{}
+
+func (*fifoArbiter) Kind() Kind { return FIFO }
+
+func (*fifoArbiter) Pick(cands []Candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if earlier(cands[i], cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// earlier orders by (Enq, Seq).
+func earlier(a, b Candidate) bool {
+	if a.Enq != b.Enq {
+		return a.Enq < b.Enq
+	}
+	return a.Seq < b.Seq
+}
+
+type rrArbiter struct {
+	last int // VC id of the previous winner
+}
+
+func (*rrArbiter) Kind() Kind { return RoundRobin }
+
+// Pick grants the candidate with the smallest VC id strictly greater than the
+// previous winner's, wrapping around.
+func (r *rrArbiter) Pick(cands []Candidate) int {
+	best := -1
+	wrap := -1
+	for i, c := range cands {
+		if c.VC > r.last && (best == -1 || c.VC < cands[best].VC) {
+			best = i
+		}
+		if wrap == -1 || c.VC < cands[wrap].VC {
+			wrap = i
+		}
+	}
+	if best == -1 {
+		best = wrap
+	}
+	r.last = cands[best].VC
+	return best
+}
+
+type vcArbiter struct{}
+
+func (*vcArbiter) Kind() Kind { return VirtualClock }
+
+// Pick serves the lowest finite timestamp; among best-effort-only candidates
+// it falls back to FIFO order, implementing Vtick = ∞ (§3.3: best-effort has
+// maximum slack).
+func (*vcArbiter) Pick(cands []Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if c.TS == sim.Forever {
+			continue
+		}
+		if best == -1 || less(c, cands[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// All best-effort: arrival order.
+	best = 0
+	for i := 1; i < len(cands); i++ {
+		if earlier(cands[i], cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// less orders by (TS, Enq, Seq).
+func less(a, b Candidate) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return earlier(a, b)
+}
+
+// Better reports whether a should be served before b under policy k,
+// as a stateless pairwise comparison. RoundRobin has no meaningful
+// pairwise order and falls back to arrival order.
+func Better(k Kind, a, b Candidate) bool {
+	if k == VirtualClock {
+		return less(a, b)
+	}
+	return earlier(a, b)
+}
+
+// VClock is the per-connection virtual clock state kept at a contention
+// point (§3.3): two registers, auxVC and Vtick. In MediaWorm each *message*
+// acts as a connection, so a fresh VClock is used per message per point and
+// discarded when the tail leaves.
+type VClock struct {
+	aux sim.Time
+}
+
+// Stamp implements the Virtual Clock update for one flit arriving at time
+// now on a connection with the given vtick:
+//
+//	auxVC ← max(clock, auxVC); auxVC ← auxVC + Vtick
+//
+// and returns the flit's timestamp (the updated auxVC). Best-effort flits
+// (vtick == sim.Forever) are stamped sim.Forever and do not advance the
+// clock.
+func (v *VClock) Stamp(now, vtick sim.Time) sim.Time {
+	if vtick == sim.Forever {
+		return sim.Forever
+	}
+	if now > v.aux {
+		v.aux = now
+	}
+	v.aux += vtick
+	return v.aux
+}
+
+// Aux returns the current auxVC value (for tests and instrumentation).
+func (v *VClock) Aux() sim.Time { return v.aux }
+
+// Reset clears the clock for reuse by a new message.
+func (v *VClock) Reset() { v.aux = 0 }

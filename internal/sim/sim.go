@@ -1,0 +1,167 @@
+// Package sim is a minimal deterministic discrete-event simulation engine.
+// It replaces CSIM, the commercial simulation library the MediaWorm paper's
+// authors used, with an event-calendar core: components schedule callbacks at
+// future instants; the engine executes them in (time, sequence) order so runs
+// are exactly reproducible.
+//
+// Time is measured in integer nanoseconds (type Time). The router kernel in
+// internal/core advances cycle-by-cycle on top of this engine: it keeps a
+// single self-rescheduling "tick" event alive only while the fabric has work,
+// so long idle gaps between video frames cost nothing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation instant in nanoseconds since the start of the run.
+type Time int64
+
+const (
+	// Millisecond and friends express durations in engine units.
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+
+	// Forever sorts after every reachable simulation instant.
+	Forever Time = 1<<63 - 1
+)
+
+// Milliseconds reports t as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports t as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 && !e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel. It is not safe for concurrent
+// use; a simulation run is a single-goroutine computation.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts executed events, for instrumentation and tests.
+	processed uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute time at. Events scheduled for the
+// same instant run in scheduling order. Scheduling in the past panics: it is
+// always a model bug and silently reordering time would corrupt results.
+func (e *Engine) At(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return
+	}
+	ev.dead = true
+	heap.Remove(&e.queue, ev.idx)
+}
+
+// Stop makes the current Run call return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue empties, until an event's time would
+// exceed horizon, or until Stop is called. It returns the time of the last
+// executed event (or the current time if none ran). The clock is left at
+// min(next event time, horizon) ≤ horizon.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		if next.dead {
+			continue
+		}
+		next.dead = true
+		e.processed++
+		next.fn()
+	}
+	if e.now < horizon && horizon != Forever && len(e.queue) == 0 {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Drain runs until the event queue is empty, with no horizon. Use with
+// models that are guaranteed to quiesce.
+func (e *Engine) Drain() Time { return e.Run(Forever) }

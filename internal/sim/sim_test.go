@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Drain()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := NewEngine()
+	var seen []Time
+	e.At(7, func() { seen = append(seen, e.Now()) })
+	e.At(42, func() { seen = append(seen, e.Now()) })
+	e.Drain()
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 42 {
+		t.Fatalf("Now() inside events = %v, want [7 42]", seen)
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Drain()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event not scheduled")
+	}
+	e.Cancel(ev)
+	if ev.Scheduled() {
+		t.Fatal("cancelled event still scheduled")
+	}
+	e.Drain()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// double-cancel and nil-cancel are no-ops
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(Time(i), func() { fired = append(fired, i) })
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.Drain()
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestHorizonStopsBeforeEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(1000, func() { fired = true })
+	end := e.Run(500)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != 500 || e.Now() != 500 {
+		t.Fatalf("clock at %d after Run(500)", e.Now())
+	}
+	// The event must still fire when the horizon extends.
+	e.Run(2000)
+	if !fired {
+		t.Fatal("event did not fire after horizon extension")
+	}
+}
+
+func TestHorizonInclusive(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(500, func() { fired = true })
+	e.Run(500)
+	if !fired {
+		t.Fatal("event exactly at horizon should fire")
+	}
+}
+
+func TestEmptyRunAdvancesToHorizon(t *testing.T) {
+	e := NewEngine()
+	e.Run(123)
+	if e.Now() != 123 {
+		t.Fatalf("empty run left clock at %d, want 123", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(Forever)
+	if count != 3 {
+		t.Fatalf("Stop did not halt run: %d events fired", count)
+	}
+	// Run can resume.
+	e.Run(Forever)
+	if count != 10 {
+		t.Fatalf("resume after Stop fired %d total, want 10", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, step)
+		}
+	}
+	e.At(0, step)
+	e.Drain()
+	if depth != 100 {
+		t.Fatalf("chained scheduling reached depth %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("clock at %d, want 99", e.Now())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	e.Drain()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5 (cancelled events must not count)", e.Processed())
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatal("fresh engine has pending events")
+	}
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Drain()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// Property: for any multiset of schedule times, execution order is a sorted
+// permutation of the input.
+func TestPropertyExecutionIsSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Drain()
+		if len(fired) != len(raw) {
+			return false
+		}
+		want := make([]Time, len(raw))
+		for i, r := range raw {
+			want[i] = Time(r)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (33 * Millisecond).Milliseconds() != 33 {
+		t.Fatal("Milliseconds conversion")
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds conversion")
+	}
+	if (5 * Microsecond).Microseconds() != 5 {
+		t.Fatal("Microseconds conversion")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.At(0, tick)
+	b.ResetTimer()
+	e.Drain()
+}
+
+// Property: random interleavings of scheduling and cancelling still execute
+// exactly the never-cancelled events, in time order.
+func TestPropertyScheduleCancelStress(t *testing.T) {
+	seedRand := func(seed int64) func() uint32 {
+		s := uint64(seed)*2654435761 + 1
+		return func() uint32 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return uint32(s)
+		}
+	}
+	for seed := int64(1); seed <= 30; seed++ {
+		rnd := seedRand(seed)
+		e := NewEngine()
+		type rec struct {
+			ev        *Event
+			at        Time
+			cancelled bool
+		}
+		var recs []*rec
+		fired := map[*rec]bool{}
+		for i := 0; i < 200; i++ {
+			switch rnd() % 3 {
+			case 0, 1: // schedule
+				r := &rec{at: Time(rnd() % 10000)}
+				r.ev = e.At(r.at, func() { fired[r] = true })
+				recs = append(recs, r)
+			case 2: // cancel a random earlier event
+				if len(recs) > 0 {
+					r := recs[rnd()%uint32(len(recs))]
+					e.Cancel(r.ev)
+					r.cancelled = true
+				}
+			}
+		}
+		e.Drain()
+		for i, r := range recs {
+			if r.cancelled && fired[r] {
+				t.Fatalf("seed %d: cancelled event %d fired", seed, i)
+			}
+			if !r.cancelled && !fired[r] {
+				t.Fatalf("seed %d: live event %d lost", seed, i)
+			}
+		}
+	}
+}
+
+func TestEventScheduledLifecycle(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(5, func() {})
+	if !ev.Scheduled() {
+		t.Fatal("pending event not Scheduled")
+	}
+	e.Drain()
+	if ev.Scheduled() {
+		t.Fatal("fired event still Scheduled")
+	}
+	var nilEv *Event
+	if nilEv.Scheduled() {
+		t.Fatal("nil event Scheduled")
+	}
+}

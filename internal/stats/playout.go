@@ -1,0 +1,78 @@
+package stats
+
+import "mediaworm/internal/sim"
+
+// PlayoutTracker turns frame deliveries into the end-user QoS measure the
+// paper's jitter numbers stand in for: a video client buffers the first B
+// frames, then plays one frame per interval; a frame that arrives after its
+// scheduled playout instant is a *deadline miss* (a visible glitch).
+//
+// Per stream, playout is anchored at the first observed frame's delivery:
+// frame k's deadline is firstDelivery + (B + k − k₀)·interval.
+type PlayoutTracker struct {
+	interval sim.Time
+	buffer   int
+	warmup   sim.Time
+	streams  map[int]*playoutStream
+
+	frames uint64
+	misses uint64
+	// lateness accumulates how late missing frames are (ms).
+	lateness Welford
+}
+
+type playoutStream struct {
+	anchor     sim.Time
+	firstFrame int
+}
+
+// NewPlayoutTracker tracks deadline misses for clients that buffer `buffer`
+// frames before starting playback at the given frame interval. Deliveries
+// before warmup are ignored.
+func NewPlayoutTracker(interval sim.Time, buffer int, warmup sim.Time) *PlayoutTracker {
+	if interval <= 0 || buffer < 0 {
+		panic("stats: invalid playout parameters")
+	}
+	return &PlayoutTracker{
+		interval: interval,
+		buffer:   buffer,
+		warmup:   warmup,
+		streams:  make(map[int]*playoutStream),
+	}
+}
+
+// Observe records that stream's frame frameSeq was fully delivered at t.
+func (p *PlayoutTracker) Observe(stream, frameSeq int, t sim.Time) {
+	if t < p.warmup {
+		return
+	}
+	st, ok := p.streams[stream]
+	if !ok {
+		p.streams[stream] = &playoutStream{anchor: t, firstFrame: frameSeq}
+		return // the anchoring frame is buffered, not judged
+	}
+	p.frames++
+	deadline := st.anchor + sim.Time(p.buffer+frameSeq-st.firstFrame)*p.interval
+	if t > deadline {
+		p.misses++
+		p.lateness.Add(sim.Time(t - deadline).Milliseconds())
+	}
+}
+
+// Frames returns the number of judged frames (excluding anchors).
+func (p *PlayoutTracker) Frames() uint64 { return p.frames }
+
+// Misses returns the number of deadline misses.
+func (p *PlayoutTracker) Misses() uint64 { return p.misses }
+
+// MissRate returns misses/frames, or 0 with no frames.
+func (p *PlayoutTracker) MissRate() float64 {
+	if p.frames == 0 {
+		return 0
+	}
+	return float64(p.misses) / float64(p.frames)
+}
+
+// MeanLatenessMs returns the average lateness of missing frames in
+// milliseconds (NaN with no misses).
+func (p *PlayoutTracker) MeanLatenessMs() float64 { return p.lateness.Mean() }

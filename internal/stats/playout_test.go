@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mediaworm/internal/sim"
+)
+
+const frame = 33 * sim.Millisecond
+
+func TestPlayoutJitterFreeStreamNeverMisses(t *testing.T) {
+	p := NewPlayoutTracker(frame, 2, 0)
+	for k := 0; k < 50; k++ {
+		p.Observe(1, k, sim.Time(k)*frame+2*sim.Millisecond)
+	}
+	if p.Frames() != 49 { // the anchor frame is not judged
+		t.Fatalf("frames %d", p.Frames())
+	}
+	if p.Misses() != 0 || p.MissRate() != 0 {
+		t.Fatalf("misses %d on a perfectly paced stream", p.Misses())
+	}
+}
+
+func TestPlayoutBufferAbsorbsJitter(t *testing.T) {
+	// Frame 10 arrives 1.5 intervals late; a 2-frame buffer absorbs it,
+	// a 1-frame buffer does not.
+	deliver := func(buffer int) *PlayoutTracker {
+		p := NewPlayoutTracker(frame, buffer, 0)
+		for k := 0; k < 20; k++ {
+			at := sim.Time(k) * frame
+			if k == 10 {
+				at += frame + frame/2
+			}
+			p.Observe(1, k, at)
+		}
+		return p
+	}
+	if p := deliver(2); p.Misses() != 0 {
+		t.Fatalf("2-frame buffer missed %d", p.Misses())
+	}
+	p := deliver(1)
+	if p.Misses() != 1 {
+		t.Fatalf("1-frame buffer misses %d, want 1", p.Misses())
+	}
+	if got := p.MeanLatenessMs(); math.Abs(got-16.5) > 0.01 {
+		t.Fatalf("lateness %.2f ms, want 16.5", got)
+	}
+}
+
+func TestPlayoutZeroBuffer(t *testing.T) {
+	p := NewPlayoutTracker(frame, 0, 0)
+	p.Observe(1, 0, 0)
+	p.Observe(1, 1, frame+1) // 1 ns past the deadline
+	if p.Misses() != 1 {
+		t.Fatalf("misses %d", p.Misses())
+	}
+}
+
+func TestPlayoutPerStreamAnchors(t *testing.T) {
+	p := NewPlayoutTracker(frame, 1, 0)
+	// Stream 2 starts late but on its own pace: no misses.
+	p.Observe(1, 0, 0)
+	p.Observe(2, 0, 10*frame)
+	p.Observe(1, 1, frame)
+	p.Observe(2, 1, 11*frame)
+	if p.Misses() != 0 {
+		t.Fatalf("cross-stream anchor leakage: %d misses", p.Misses())
+	}
+}
+
+func TestPlayoutWarmup(t *testing.T) {
+	p := NewPlayoutTracker(frame, 1, 100*frame)
+	p.Observe(1, 0, 0) // ignored, pre-warmup
+	if len(p.streams) != 0 {
+		t.Fatal("pre-warmup delivery anchored a stream")
+	}
+	p.Observe(1, 200, 200*frame) // anchor
+	p.Observe(1, 201, 201*frame)
+	if p.Frames() != 1 || p.Misses() != 0 {
+		t.Fatalf("frames %d misses %d", p.Frames(), p.Misses())
+	}
+}
+
+func TestPlayoutAnchorsMidStream(t *testing.T) {
+	// Anchoring on frame 5 (earlier frames lost to warmup) must use the
+	// frame sequence offset.
+	p := NewPlayoutTracker(frame, 1, 0)
+	p.Observe(1, 5, 100*frame)
+	p.Observe(1, 6, 101*frame)   // deadline 100+1+1 = 102·frame: fine
+	p.Observe(1, 7, 104*frame+1) // deadline 103·frame: miss
+	if p.Misses() != 1 || p.Frames() != 2 {
+		t.Fatalf("frames %d misses %d", p.Frames(), p.Misses())
+	}
+}
+
+func TestPlayoutInvalidParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPlayoutTracker(0, 2, 0)
+}
+
+func TestPlayoutEmptyRate(t *testing.T) {
+	p := NewPlayoutTracker(frame, 2, 0)
+	if p.MissRate() != 0 {
+		t.Fatal("empty tracker rate")
+	}
+	if !math.IsNaN(p.MeanLatenessMs()) {
+		t.Fatal("lateness of no misses should be NaN")
+	}
+}

@@ -1,0 +1,273 @@
+// Package stats provides the measurement machinery for the MediaWorm
+// experiments: numerically stable moment accumulators (Welford), fixed-width
+// histograms, frame delivery-interval trackers (the paper's d and σd), and
+// best-effort latency / saturation accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"mediaworm/internal/sim"
+)
+
+// Welford accumulates count, mean, variance, min and max in a numerically
+// stable single pass. The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean, or NaN with no observations.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the population variance, or NaN with no observations.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 {
+	v := w.Variance()
+	if math.IsNaN(v) {
+		return v
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation, or NaN with none.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the largest observation, or NaN with none.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// Merge folds other into w, as if all of other's observations had been added
+// to w directly (Chan et al. parallel variance combination).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.mean += delta * float64(other.n) / float64(n)
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// String summarizes the accumulator for debugging.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		w.n, w.Mean(), w.StdDev(), w.Min(), w.Max())
+}
+
+// Histogram is a fixed-width bucket histogram with underflow/overflow
+// counters, used for latency distributions.
+type Histogram struct {
+	lo, width float64
+	buckets   []uint64
+	under     uint64
+	over      uint64
+	total     uint64
+}
+
+// NewHistogram covers [lo, lo+width*n) with n buckets of the given width.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, width: width, buckets: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.lo {
+		h.under++
+		return
+	}
+	i := int((x - h.lo) / h.width)
+	if i >= len(h.buckets) {
+		h.over++
+		return
+	}
+	h.buckets[i]++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) assuming
+// observations are uniform within a bucket. Out-of-range mass is pinned to
+// the range edges. Returns NaN with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum += float64(c)
+	}
+	return h.lo + float64(len(h.buckets))*h.width
+}
+
+// IntervalTracker measures the paper's headline metrics: the mean frame
+// delivery interval d and its standard deviation σd, pooled across all
+// streams (§4.1). The delivery interval is the time between deliveries of
+// successive frames of the same stream at its destination.
+type IntervalTracker struct {
+	last    map[int]sim.Time // stream -> last delivery instant
+	warmup  sim.Time
+	samples Welford
+}
+
+// NewIntervalTracker ignores deliveries before warmup and uses the first
+// post-warmup delivery of each stream only to prime its interval clock.
+func NewIntervalTracker(warmup sim.Time) *IntervalTracker {
+	return &IntervalTracker{last: make(map[int]sim.Time), warmup: warmup}
+}
+
+// Observe records that stream's frame was fully delivered at t.
+func (it *IntervalTracker) Observe(stream int, t sim.Time) {
+	if t < it.warmup {
+		return
+	}
+	if last, ok := it.last[stream]; ok {
+		it.samples.Add(sim.Time(t - last).Milliseconds())
+	}
+	it.last[stream] = t
+}
+
+// Intervals exposes the pooled interval accumulator (milliseconds).
+func (it *IntervalTracker) Intervals() *Welford { return &it.samples }
+
+// MeanMs returns d in milliseconds.
+func (it *IntervalTracker) MeanMs() float64 { return it.samples.Mean() }
+
+// StdDevMs returns σd in milliseconds.
+func (it *IntervalTracker) StdDevMs() float64 { return it.samples.StdDev() }
+
+// Streams returns how many distinct streams have delivered at least one
+// post-warmup frame.
+func (it *IntervalTracker) Streams() int { return len(it.last) }
+
+// BestEffort accumulates best-effort message latency (µs) and the
+// injected/delivered counts that drive saturation detection (Table 2's
+// "Sat." entries). Latency samples before warmup are discarded.
+type BestEffort struct {
+	warmup    sim.Time
+	latency   Welford
+	injected  uint64
+	delivered uint64
+}
+
+// NewBestEffort returns a tracker that ignores pre-warmup samples.
+func NewBestEffort(warmup sim.Time) *BestEffort {
+	return &BestEffort{warmup: warmup}
+}
+
+// Injected counts one message entering a source queue at time t.
+func (b *BestEffort) Injected(t sim.Time) {
+	if t >= b.warmup {
+		b.injected++
+	}
+}
+
+// Delivered records a message injected at inj and fully delivered at t.
+func (b *BestEffort) Delivered(inj, t sim.Time) {
+	if inj < b.warmup {
+		return
+	}
+	b.delivered++
+	b.latency.Add(sim.Time(t - inj).Microseconds())
+}
+
+// Latency exposes the latency accumulator (µs).
+func (b *BestEffort) Latency() *Welford { return &b.latency }
+
+// MeanLatencyUs returns the mean best-effort latency in microseconds.
+func (b *BestEffort) MeanLatencyUs() float64 { return b.latency.Mean() }
+
+// Saturated reports whether the best-effort class could not drain its
+// offered load: a persistent backlog of more than frac of the post-warmup
+// injections (the paper's "Sat." condition). With no injections it is false.
+func (b *BestEffort) Saturated(frac float64) bool {
+	if b.injected == 0 {
+		return false
+	}
+	backlog := float64(b.injected) - float64(b.delivered)
+	return backlog > frac*float64(b.injected)
+}
+
+// Counts returns post-warmup injected and delivered message counts.
+func (b *BestEffort) Counts() (injected, delivered uint64) {
+	return b.injected, b.delivered
+}

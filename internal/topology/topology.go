@@ -1,0 +1,215 @@
+// Package topology builds the paper's network configurations: the 8-port
+// single switch most experiments use, and the 4-switch (2×2) fat-mesh of
+// §3.4/§5.7, where each pair of adjacent switches is joined by two parallel
+// physical links ("fat" links) and messages pick the less-loaded one.
+package topology
+
+import (
+	"fmt"
+
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/network"
+	"mediaworm/internal/sim"
+)
+
+// Net is a wired fabric plus its endpoint handles, indexed by endpoint id.
+type Net struct {
+	Fabric  *network.Fabric
+	Routers []*core.Router
+	NIs     []*network.NI
+	Sinks   []*network.Sink
+}
+
+// Endpoints returns the number of endpoint nodes.
+func (n *Net) Endpoints() int { return len(n.NIs) }
+
+// SingleSwitch builds one router with base.Ports endpoint nodes, node i on
+// port i — the configuration of the paper's §5.1–§5.6 experiments.
+// base.ID and base.Route are overwritten.
+func SingleSwitch(engine *sim.Engine, base core.Config) (*Net, error) {
+	base.ID = 0
+	base.Route = func(_ int, msg *flit.Message) []int {
+		return []int{msg.Dst}
+	}
+	r, err := core.New(base)
+	if err != nil {
+		return nil, err
+	}
+	f := network.NewFabric(engine, base.Period)
+	f.AddRouter(r)
+	net := &Net{Fabric: f, Routers: []*core.Router{r}}
+	for p := 0; p < base.Ports; p++ {
+		ni, sink := f.AttachEndpoint(r, p, p)
+		net.NIs = append(net.NIs, ni)
+		net.Sinks = append(net.Sinks, sink)
+	}
+	return net, nil
+}
+
+// Tetrahedral port plan (Horst's TNet topology, §3.4): four switches fully
+// connected, one hop between any pair.
+//
+//	ports 0–3: endpoints (node = 4*switch + port)
+//	ports 4–6: direct links to the other three switches, in ascending
+//	           switch-id order
+//	port  7:   unused
+const (
+	tetraEndpoints = 4
+	tetraSwitches  = 4
+	tetraNodes     = tetraSwitches * tetraEndpoints
+)
+
+// tetraPort returns the port on switch s that reaches switch t (s != t).
+func tetraPort(s, t int) int {
+	rank := 0
+	for o := 0; o < tetraSwitches; o++ {
+		if o == s {
+			continue
+		}
+		if o == t {
+			return tetraEndpoints + rank
+		}
+		rank++
+	}
+	panic("topology: tetraPort with s == t")
+}
+
+// tetraRoute delivers locally or crosses the single direct link.
+func tetraRoute(routerID int, msg *flit.Message) []int {
+	dstSw := msg.Dst / tetraEndpoints
+	if dstSw == routerID {
+		return []int{msg.Dst % tetraEndpoints}
+	}
+	return []int{tetraPort(routerID, dstSw)}
+}
+
+// Tetrahedral builds the fully connected 4-switch cluster with 16 endpoints
+// (the tetrahedral interconnect of Horst's TNet, which the paper's §3.4
+// lists alongside fat meshes). Every switch pair is one hop apart, so
+// deterministic routing is trivially deadlock-free. base.Ports must be 8
+// (or zero); base.ID and base.Route are overwritten.
+func Tetrahedral(engine *sim.Engine, base core.Config) (*Net, error) {
+	if base.Ports == 0 {
+		base.Ports = 8
+	}
+	if base.Ports != 8 {
+		return nil, fmt.Errorf("topology: tetrahedral needs 8-port routers, got %d", base.Ports)
+	}
+	base.Route = tetraRoute
+	f := network.NewFabric(engine, base.Period)
+	net := &Net{Fabric: f}
+	routers := make([]*core.Router, tetraSwitches)
+	for s := 0; s < tetraSwitches; s++ {
+		cfg := base
+		cfg.ID = s
+		r, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		routers[s] = r
+		f.AddRouter(r)
+	}
+	net.Routers = routers
+	for ep := 0; ep < tetraNodes; ep++ {
+		ni, sink := f.AttachEndpoint(routers[ep/tetraEndpoints], ep%tetraEndpoints, ep)
+		net.NIs = append(net.NIs, ni)
+		net.Sinks = append(net.Sinks, sink)
+	}
+	for s := 0; s < tetraSwitches; s++ {
+		for t := s + 1; t < tetraSwitches; t++ {
+			f.Link(routers[s], tetraPort(s, t), routers[t], tetraPort(t, s))
+			f.Link(routers[t], tetraPort(t, s), routers[s], tetraPort(s, t))
+		}
+	}
+	// Port 7 of every switch is unused; terminate it so a buggy route
+	// there fails loudly rather than dereferencing a nil consumer.
+	for s := 0; s < tetraSwitches; s++ {
+		routers[s].Connect(7, network.DeadEnd{}, true)
+	}
+	return net, nil
+}
+
+// Fat-mesh port plan for each 8-port switch:
+//
+//	ports 0–3: endpoints (node = 4*switch + port)
+//	ports 4–5: two parallel links to the X neighbour
+//	ports 6–7: two parallel links to the Y neighbour
+const (
+	fmEndpoints  = 4
+	fmXPortA     = 4
+	fmXPortB     = 5
+	fmYPortA     = 6
+	fmYPortB     = 7
+	fmSwitches   = 4
+	fmTotalNodes = fmSwitches * fmEndpoints
+)
+
+// FatMeshEndpointLocation maps a fat-mesh endpoint id to its switch and port.
+func FatMeshEndpointLocation(ep int) (sw, port int) {
+	return ep / fmEndpoints, ep % fmEndpoints
+}
+
+// fatMeshRoute is deterministic XY routing over the 2×2 mesh. Switch s sits
+// at (s%2, s/2). A message not yet at its destination switch first corrects
+// X (via the two parallel X ports), then Y. Both parallel ports are returned
+// so the router can pick the less-loaded (§3.4).
+func fatMeshRoute(routerID int, msg *flit.Message) []int {
+	dstSw, dstPort := FatMeshEndpointLocation(msg.Dst)
+	if dstSw == routerID {
+		return []int{dstPort}
+	}
+	if dstSw%2 != routerID%2 {
+		return []int{fmXPortA, fmXPortB}
+	}
+	return []int{fmYPortA, fmYPortB}
+}
+
+// FatMesh2x2 builds the paper's 4-switch fat-mesh from 8-port routers with
+// 16 endpoints. base.Ports must be 8 (or zero, in which case it is set);
+// base.ID and base.Route are overwritten.
+func FatMesh2x2(engine *sim.Engine, base core.Config) (*Net, error) {
+	if base.Ports == 0 {
+		base.Ports = 8
+	}
+	if base.Ports != 8 {
+		return nil, fmt.Errorf("topology: fat-mesh needs 8-port routers, got %d", base.Ports)
+	}
+	base.Route = fatMeshRoute
+	f := network.NewFabric(engine, base.Period)
+	net := &Net{Fabric: f}
+	routers := make([]*core.Router, fmSwitches)
+	for s := 0; s < fmSwitches; s++ {
+		cfg := base
+		cfg.ID = s
+		r, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		routers[s] = r
+		f.AddRouter(r)
+	}
+	net.Routers = routers
+	for ep := 0; ep < fmTotalNodes; ep++ {
+		sw, port := FatMeshEndpointLocation(ep)
+		ni, sink := f.AttachEndpoint(routers[sw], port, ep)
+		net.NIs = append(net.NIs, ni)
+		net.Sinks = append(net.Sinks, sink)
+	}
+	// Wire the fat links, both directions. X pairs: (0,1) and (2,3);
+	// Y pairs: (0,2) and (1,3).
+	pairs := []struct {
+		a, b   int
+		pa, pb int
+	}{
+		{0, 1, fmXPortA, fmXPortA}, {0, 1, fmXPortB, fmXPortB},
+		{2, 3, fmXPortA, fmXPortA}, {2, 3, fmXPortB, fmXPortB},
+		{0, 2, fmYPortA, fmYPortA}, {0, 2, fmYPortB, fmYPortB},
+		{1, 3, fmYPortA, fmYPortA}, {1, 3, fmYPortB, fmYPortB},
+	}
+	for _, pr := range pairs {
+		f.Link(routers[pr.a], pr.pa, routers[pr.b], pr.pb)
+		f.Link(routers[pr.b], pr.pb, routers[pr.a], pr.pa)
+	}
+	return net, nil
+}

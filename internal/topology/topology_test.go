@@ -1,0 +1,303 @@
+package topology
+
+import (
+	"testing"
+
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+func base() core.Config {
+	return core.Config{
+		Ports: 8, VCs: 4, RTVCs: 2,
+		BufferDepth: 20, StageDepth: 4,
+		Policy: sched.VirtualClock, Period: 80,
+	}
+}
+
+func TestSingleSwitchShape(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := SingleSwitch(eng, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Routers) != 1 {
+		t.Fatalf("routers %d", len(net.Routers))
+	}
+	if net.Endpoints() != 8 || len(net.Sinks) != 8 {
+		t.Fatalf("endpoints %d sinks %d", net.Endpoints(), len(net.Sinks))
+	}
+	for i, ni := range net.NIs {
+		if ni.Node != i {
+			t.Fatalf("NI %d has node %d", i, ni.Node)
+		}
+	}
+	// Routing: direct to the destination port.
+	cfg := net.Routers[0].Config()
+	for dst := 0; dst < 8; dst++ {
+		ports := cfg.Route(0, &flit.Message{Dst: dst})
+		if len(ports) != 1 || ports[0] != dst {
+			t.Fatalf("route to %d = %v", dst, ports)
+		}
+	}
+}
+
+func TestSingleSwitchPropagatesConfigError(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := base()
+	bad.VCs = 0
+	if _, err := SingleSwitch(eng, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFatMeshShape(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := FatMesh2x2(eng, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Routers) != 4 {
+		t.Fatalf("routers %d, want 4", len(net.Routers))
+	}
+	if net.Endpoints() != 16 {
+		t.Fatalf("endpoints %d, want 16", net.Endpoints())
+	}
+	for ep := 0; ep < 16; ep++ {
+		sw, port := FatMeshEndpointLocation(ep)
+		if sw != ep/4 || port != ep%4 {
+			t.Fatalf("endpoint %d at (%d,%d)", ep, sw, port)
+		}
+	}
+}
+
+func TestFatMeshRejectsWrongPorts(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := base()
+	bad.Ports = 6
+	if _, err := FatMesh2x2(eng, bad); err == nil {
+		t.Fatal("6-port fat mesh accepted")
+	}
+	zero := base()
+	zero.Ports = 0 // defaulted to 8
+	if _, err := FatMesh2x2(eng, zero); err != nil {
+		t.Fatalf("zero ports should default to 8: %v", err)
+	}
+}
+
+func TestFatMeshRouting(t *testing.T) {
+	// Switch layout: 0 (0,0), 1 (1,0), 2 (0,1), 3 (1,1).
+	cases := []struct {
+		router int
+		dstEp  int
+		want   []int
+	}{
+		{0, 2, []int{2}},     // local delivery on port 2
+		{0, 5, []int{4, 5}},  // 0→1: X fat pair
+		{0, 9, []int{6, 7}},  // 0→2: Y fat pair
+		{0, 13, []int{4, 5}}, // 0→3 diagonal: X first
+		{1, 14, []int{6, 7}}, // 1→3: Y
+		{3, 1, []int{4, 5}},  // 3→0 diagonal: X first
+		{2, 8, []int{0}},     // local
+		{1, 4, []int{0}},     // local port 0
+	}
+	for _, c := range cases {
+		got := fatMeshRoute(c.router, &flit.Message{Dst: c.dstEp})
+		if len(got) != len(c.want) {
+			t.Fatalf("route(%d → ep%d) = %v, want %v", c.router, c.dstEp, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("route(%d → ep%d) = %v, want %v", c.router, c.dstEp, got, c.want)
+			}
+		}
+	}
+}
+
+func TestFatMeshRoutingConverges(t *testing.T) {
+	// Property: following the first candidate port from any switch reaches
+	// the destination in at most two hops (XY on a 2×2 mesh).
+	for src := 0; src < 4; src++ {
+		for ep := 0; ep < 16; ep++ {
+			at := src
+			hops := 0
+			for {
+				ports := fatMeshRoute(at, &flit.Message{Dst: ep})
+				if len(ports) == 1 && ports[0] < fmEndpoints {
+					break // delivered
+				}
+				hops++
+				if hops > 2 {
+					t.Fatalf("routing loop from switch %d to endpoint %d", src, ep)
+				}
+				// Move to the neighbour the fat pair reaches.
+				if ports[0] == fmXPortA {
+					at = at ^ 1 // flip X
+				} else {
+					at = at ^ 2 // flip Y
+				}
+			}
+		}
+	}
+}
+
+func TestFatMeshEndToEnd(t *testing.T) {
+	// A message from endpoint 0 (switch 0) to endpoint 15 (switch 3) must
+	// traverse two fat links and arrive intact.
+	eng := sim.NewEngine()
+	net, err := FatMesh2x2(eng, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt sim.Time
+	var deliveredTo int
+	for i, s := range net.Sinks {
+		i := i
+		s.OnMessage = func(m *flit.Message, at sim.Time) {
+			deliveredAt = at
+			deliveredTo = i
+		}
+	}
+	m := &flit.Message{
+		ID: 1, StreamID: 1, Class: flit.VBR, MsgsInFrame: 1,
+		Flits: 20, Vtick: 100, Src: 0, Dst: 15, DstVC: 0, Injected: 0,
+	}
+	net.NIs[0].Inject(0, m)
+	eng.Drain()
+	if deliveredTo != 15 {
+		t.Fatalf("message delivered to %d, want 15", deliveredTo)
+	}
+	// Three hops (switch 0 → 1 → 3 → endpoint): ≥ 20 flits + 3×pipeline.
+	if deliveredAt < 30*80 {
+		t.Fatalf("multi-hop delivery implausibly fast: %v", deliveredAt)
+	}
+	if err := net.Fabric.CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTetrahedralShape(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := Tetrahedral(eng, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Routers) != 4 || net.Endpoints() != 16 {
+		t.Fatalf("routers %d endpoints %d", len(net.Routers), net.Endpoints())
+	}
+	bad := base()
+	bad.Ports = 6
+	if _, err := Tetrahedral(eng, bad); err == nil {
+		t.Fatal("6-port tetrahedral accepted")
+	}
+}
+
+func TestTetraPortSymmetry(t *testing.T) {
+	// Every ordered pair maps to a transit port in [4,7); the mapping is a
+	// bijection per switch.
+	for s := 0; s < 4; s++ {
+		seen := map[int]bool{}
+		for d := 0; d < 4; d++ {
+			if d == s {
+				continue
+			}
+			p := tetraPort(s, d)
+			if p < 4 || p > 6 {
+				t.Fatalf("tetraPort(%d,%d) = %d", s, d, p)
+			}
+			if seen[p] {
+				t.Fatalf("switch %d reuses port %d", s, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestTetrahedralRoutingIsOneHop(t *testing.T) {
+	for sw := 0; sw < 4; sw++ {
+		for ep := 0; ep < 16; ep++ {
+			ports := tetraRoute(sw, &flit.Message{Dst: ep})
+			if len(ports) != 1 {
+				t.Fatalf("route(%d, ep%d) = %v", sw, ep, ports)
+			}
+			if ep/4 == sw {
+				if ports[0] != ep%4 {
+					t.Fatalf("local route(%d, ep%d) = %v", sw, ep, ports)
+				}
+				continue
+			}
+			// One transit hop, then local delivery.
+			next := tetraRoute(nextTetraSwitch(sw, ports[0]), &flit.Message{Dst: ep})
+			if len(next) != 1 || next[0] != ep%4 {
+				t.Fatalf("second hop from %d to ep%d = %v", sw, ep, next)
+			}
+		}
+	}
+}
+
+// nextTetraSwitch inverts tetraPort for the test.
+func nextTetraSwitch(s, port int) int {
+	rank := port - 4
+	for o := 0; o < 4; o++ {
+		if o == s {
+			continue
+		}
+		if rank == 0 {
+			return o
+		}
+		rank--
+	}
+	panic("bad port")
+}
+
+func TestTetrahedralEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := Tetrahedral(eng, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := map[int]int{}
+	for i, s := range net.Sinks {
+		i := i
+		s.OnMessage = func(m *flit.Message, at sim.Time) { delivered[i]++ }
+	}
+	// One message from every endpoint to the "opposite" endpoint.
+	for ep := 0; ep < 16; ep++ {
+		m := &flit.Message{
+			ID: uint64(ep + 1), StreamID: ep, Class: flit.VBR, MsgsInFrame: 1,
+			Flits: 20, Vtick: 100, Src: ep, Dst: 15 - ep, DstVC: 0, Injected: 0,
+		}
+		net.NIs[ep].Inject(0, m)
+	}
+	eng.Drain()
+	for ep := 0; ep < 16; ep++ {
+		if delivered[ep] != 1 {
+			t.Fatalf("endpoint %d received %d messages", ep, delivered[ep])
+		}
+	}
+	if err := net.Fabric.CheckDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFatMeshBidirectionalLinks(t *testing.T) {
+	// Reverse direction of the previous test: 15 → 0.
+	eng := sim.NewEngine()
+	net, err := FatMesh2x2(eng, base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	net.Sinks[0].OnMessage = func(m *flit.Message, at sim.Time) { done = true }
+	m := &flit.Message{
+		ID: 1, StreamID: 1, Class: flit.BestEffort, MsgsInFrame: 1,
+		Flits: 20, Vtick: sim.Forever, Src: 15, Dst: 0, DstVC: 2, Injected: 0,
+	}
+	net.NIs[15].Inject(2, m)
+	eng.Drain()
+	if !done {
+		t.Fatal("reverse-direction message not delivered")
+	}
+}

@@ -1,0 +1,172 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mediaworm/internal/rng"
+)
+
+// FrameSizer produces successive frame sizes in bytes for one stream. The
+// default VBR model draws each frame independently from a normal
+// distribution (§4.2.1); richer models — MPEG Group-of-Pictures structure,
+// or recorded traces — implement this interface.
+type FrameSizer interface {
+	NextFrameBytes() float64
+}
+
+// NormalSizer is the paper's §4.2.1 model: independent draws from
+// Normal(Mean, SD), truncated below at one flit by the stream layer.
+type NormalSizer struct {
+	Mean, SD float64
+	Rand     *rng.Source
+}
+
+// NextFrameBytes implements FrameSizer.
+func (s *NormalSizer) NextFrameBytes() float64 {
+	if s.SD <= 0 {
+		return s.Mean
+	}
+	return s.Rand.Normal(s.Mean, s.SD)
+}
+
+// GoPConfig describes an MPEG Group-of-Pictures frame-size model: a
+// repeating I/P/B pattern whose per-type mean sizes are derived from the
+// overall stream mean, plus per-frame normal noise. This is the structured
+// VBR the paper's MPEG-2 workload abstracts away — useful for studying how
+// frame-type burstiness (large periodic I frames) affects jitter.
+type GoPConfig struct {
+	// Pattern is the frame-type sequence, e.g. "IBBPBBPBBPBB" (the common
+	// MPEG-2 N=12, M=3 GoP). Only 'I', 'P' and 'B' are allowed.
+	Pattern string
+	// MeanBytes is the stream's overall mean frame size; per-type means
+	// are scaled so the pattern averages to it.
+	MeanBytes float64
+	// IRatio, PRatio, BRatio weight the frame types (typical MPEG-2 is
+	// about 5:3:1).
+	IRatio, PRatio, BRatio float64
+	// NoiseSD is the per-frame normal noise standard deviation as a
+	// fraction of the frame's type mean.
+	NoiseSD float64
+}
+
+// DefaultGoP returns the common MPEG-2 N=12/M=3 structure scaled to the
+// paper's 16666-byte mean with 20% per-frame noise.
+func DefaultGoP(meanBytes float64) GoPConfig {
+	return GoPConfig{
+		Pattern:   "IBBPBBPBBPBB",
+		MeanBytes: meanBytes,
+		IRatio:    5, PRatio: 3, BRatio: 1,
+		NoiseSD: 0.2,
+	}
+}
+
+// GoPSizer emits frame sizes following a GoP pattern.
+type GoPSizer struct {
+	sizes []float64 // per position in the pattern
+	noise float64
+	pos   int
+	rnd   *rng.Source
+}
+
+// NewGoPSizer validates cfg and builds a sizer. Streams should start at
+// random pattern phases (pass a per-stream rng) so I frames do not
+// synchronize across the workload.
+func NewGoPSizer(cfg GoPConfig, rnd *rng.Source) (*GoPSizer, error) {
+	if cfg.Pattern == "" || cfg.MeanBytes <= 0 {
+		return nil, fmt.Errorf("traffic: invalid GoP config %+v", cfg)
+	}
+	if cfg.IRatio <= 0 || cfg.PRatio <= 0 || cfg.BRatio <= 0 {
+		return nil, fmt.Errorf("traffic: GoP ratios must be positive")
+	}
+	weights := make([]float64, len(cfg.Pattern))
+	total := 0.0
+	for i, c := range cfg.Pattern {
+		switch c {
+		case 'I':
+			weights[i] = cfg.IRatio
+		case 'P':
+			weights[i] = cfg.PRatio
+		case 'B':
+			weights[i] = cfg.BRatio
+		default:
+			return nil, fmt.Errorf("traffic: GoP pattern char %q", c)
+		}
+		total += weights[i]
+	}
+	scale := cfg.MeanBytes * float64(len(cfg.Pattern)) / total
+	sizes := make([]float64, len(weights))
+	for i, w := range weights {
+		sizes[i] = w * scale
+	}
+	s := &GoPSizer{sizes: sizes, noise: cfg.NoiseSD, rnd: rnd}
+	s.pos = rnd.Intn(len(sizes)) // random phase
+	return s, nil
+}
+
+// NextFrameBytes implements FrameSizer.
+func (s *GoPSizer) NextFrameBytes() float64 {
+	base := s.sizes[s.pos]
+	s.pos = (s.pos + 1) % len(s.sizes)
+	if s.noise <= 0 {
+		return base
+	}
+	return s.rnd.Normal(base, s.noise*base)
+}
+
+// TraceSizer replays recorded frame sizes, cycling when exhausted — the
+// trace-driven mode for real MPEG-2 frame-size logs.
+type TraceSizer struct {
+	sizes []float64
+	pos   int
+}
+
+// NewTraceSizer starts replay at offset phase (mod the trace length).
+func NewTraceSizer(sizes []float64, phase int) (*TraceSizer, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("traffic: empty frame trace")
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("traffic: non-positive trace frame %d", i)
+		}
+	}
+	return &TraceSizer{sizes: sizes, pos: ((phase % len(sizes)) + len(sizes)) % len(sizes)}, nil
+}
+
+// NextFrameBytes implements FrameSizer.
+func (t *TraceSizer) NextFrameBytes() float64 {
+	s := t.sizes[t.pos]
+	t.pos = (t.pos + 1) % len(t.sizes)
+	return s
+}
+
+// LoadFrameTrace parses a frame-size trace: one frame size in bytes per
+// line; blank lines and lines starting with '#' are skipped.
+func LoadFrameTrace(r io.Reader) ([]float64, error) {
+	var sizes []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("traffic: trace line %d: %q", line, text)
+		}
+		sizes = append(sizes, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("traffic: empty frame trace")
+	}
+	return sizes, nil
+}

@@ -1,0 +1,184 @@
+package traffic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mediaworm/internal/rng"
+)
+
+func TestNormalSizer(t *testing.T) {
+	s := &NormalSizer{Mean: 1000, SD: 0}
+	for i := 0; i < 5; i++ {
+		if s.NextFrameBytes() != 1000 {
+			t.Fatal("SD=0 must be constant")
+		}
+	}
+	s = &NormalSizer{Mean: 1000, SD: 100, Rand: rng.New(1)}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += s.NextFrameBytes()
+	}
+	if math.Abs(sum/n-1000) > 5 {
+		t.Fatalf("mean %v", sum/n)
+	}
+}
+
+func TestGoPSizerMeanAndStructure(t *testing.T) {
+	cfg := DefaultGoP(16666)
+	cfg.NoiseSD = 0 // deterministic pattern for structural checks
+	s, err := NewGoPSizer(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full pattern must average to the configured mean.
+	n := len(cfg.Pattern)
+	var sum float64
+	sizes := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = s.NextFrameBytes()
+		sum += sizes[i]
+	}
+	if math.Abs(sum/float64(n)-16666) > 1e-6 {
+		t.Fatalf("GoP mean %v, want 16666", sum/float64(n))
+	}
+	// Exactly one I frame (the largest), and the I:B ratio is 5:1.
+	max, min := sizes[0], sizes[0]
+	for _, v := range sizes[1:] {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if math.Abs(max/min-5) > 1e-6 {
+		t.Fatalf("I:B size ratio %v, want 5", max/min)
+	}
+	// Pattern repeats.
+	if got := s.NextFrameBytes(); math.Abs(got-sizes[0]) > 1e-9 {
+		t.Fatal("pattern does not cycle")
+	}
+}
+
+func TestGoPSizerRandomPhase(t *testing.T) {
+	cfg := DefaultGoP(1000)
+	cfg.NoiseSD = 0
+	first := map[float64]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		s, err := NewGoPSizer(cfg, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[math.Round(s.NextFrameBytes())] = true
+	}
+	if len(first) < 2 {
+		t.Fatal("streams all start at the same GoP phase")
+	}
+}
+
+func TestGoPSizerNoise(t *testing.T) {
+	s, err := NewGoPSizer(DefaultGoP(16666), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 60000
+	for i := 0; i < n; i++ {
+		sum += s.NextFrameBytes()
+	}
+	if math.Abs(sum/n-16666)/16666 > 0.01 {
+		t.Fatalf("noisy GoP mean %v, want ≈16666", sum/n)
+	}
+}
+
+func TestNewGoPSizerValidation(t *testing.T) {
+	bad := []GoPConfig{
+		{},
+		{Pattern: "IXP", MeanBytes: 100, IRatio: 1, PRatio: 1, BRatio: 1},
+		{Pattern: "IPB", MeanBytes: 100, IRatio: 0, PRatio: 1, BRatio: 1},
+		{Pattern: "IPB", MeanBytes: -5, IRatio: 1, PRatio: 1, BRatio: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGoPSizer(cfg, rng.New(1)); err == nil {
+			t.Fatalf("bad GoP config %d accepted", i)
+		}
+	}
+}
+
+func TestTraceSizer(t *testing.T) {
+	tr, err := NewTraceSizer([]float64{10, 20, 30}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{20, 30, 10, 20}
+	for i, w := range want {
+		if got := tr.NextFrameBytes(); got != w {
+			t.Fatalf("trace step %d = %v, want %v", i, got, w)
+		}
+	}
+	if _, err := NewTraceSizer(nil, 0); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewTraceSizer([]float64{1, -2}, 0); err == nil {
+		t.Fatal("negative trace frame accepted")
+	}
+	// Negative phases wrap.
+	tr, err = NewTraceSizer([]float64{10, 20}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NextFrameBytes() != 20 {
+		t.Fatal("negative phase wrap broken")
+	}
+}
+
+func TestLoadFrameTrace(t *testing.T) {
+	in := "# mpeg trace\n16666\n\n12000.5\n 20000 \n"
+	sizes, err := LoadFrameTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 16666 || sizes[1] != 12000.5 || sizes[2] != 20000 {
+		t.Fatalf("parsed %v", sizes)
+	}
+	if _, err := LoadFrameTrace(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("junk line accepted")
+	}
+	if _, err := LoadFrameTrace(strings.NewReader("-5\n")); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := LoadFrameTrace(strings.NewReader("# only comments\n")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// Property: a GoP sizer's long-run mean tracks MeanBytes for any valid
+// ratios.
+func TestPropertyGoPMean(t *testing.T) {
+	f := func(iR, pR, bR uint8) bool {
+		cfg := GoPConfig{
+			Pattern:   "IBBPBBPBBPBB",
+			MeanBytes: 10000,
+			IRatio:    float64(iR%50) + 1,
+			PRatio:    float64(pR%50) + 1,
+			BRatio:    float64(bR%50) + 1,
+		}
+		s, err := NewGoPSizer(cfg, rng.New(uint64(iR)<<16|uint64(pR)<<8|uint64(bR)))
+		if err != nil {
+			return false
+		}
+		var sum float64
+		n := len(cfg.Pattern) * 10
+		for i := 0; i < n; i++ {
+			sum += s.NextFrameBytes()
+		}
+		return math.Abs(sum/float64(n)-10000) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

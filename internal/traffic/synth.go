@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mediaworm/internal/rng"
+)
+
+// SynthTraceConfig drives the synthetic MPEG-2 frame-size trace generator:
+// a GoP-structured stream whose activity level is modulated by a two-state
+// Markov scene process (calm/action) with AR(1)-correlated short-term
+// variation — the standard shape of measured MPEG traces, for use with
+// TraceSizer when no real trace is at hand.
+type SynthTraceConfig struct {
+	// Frames is the trace length.
+	Frames int
+	// MeanBytes is the long-run mean frame size (16666 B for the paper's
+	// 4 Mb/s streams).
+	MeanBytes float64
+	// GoP shapes the I/P/B structure; zero-valued fields default to
+	// DefaultGoP(MeanBytes) with no per-frame noise of its own.
+	GoP GoPConfig
+	// SceneMeanFrames is the average scene length; scenes alternate
+	// between calm (scale CalmScale) and action (scale ActionScale).
+	SceneMeanFrames        int
+	CalmScale, ActionScale float64
+	// AR1 is the lag-1 autocorrelation of the per-frame deviation;
+	// AR1SD its stationary standard deviation as a fraction of the mean.
+	AR1, AR1SD float64
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// DefaultSynthTrace returns a plausible MPEG-2 parameterization.
+func DefaultSynthTrace(frames int, meanBytes float64) SynthTraceConfig {
+	return SynthTraceConfig{
+		Frames:          frames,
+		MeanBytes:       meanBytes,
+		SceneMeanFrames: 90, // ~3 s scenes at 30 frames/s
+		CalmScale:       0.8,
+		ActionScale:     1.3,
+		AR1:             0.6,
+		AR1SD:           0.15,
+		Seed:            1,
+	}
+}
+
+func (c *SynthTraceConfig) validate() error {
+	switch {
+	case c.Frames <= 0:
+		return fmt.Errorf("traffic: synth trace needs frames > 0")
+	case c.MeanBytes <= 0:
+		return fmt.Errorf("traffic: synth trace mean %v", c.MeanBytes)
+	case c.SceneMeanFrames <= 0:
+		return fmt.Errorf("traffic: scene length %d", c.SceneMeanFrames)
+	case c.CalmScale <= 0 || c.ActionScale <= 0:
+		return fmt.Errorf("traffic: scene scales %v/%v", c.CalmScale, c.ActionScale)
+	case c.AR1 < 0 || c.AR1 >= 1:
+		return fmt.Errorf("traffic: AR1 %v out of [0,1)", c.AR1)
+	case c.AR1SD < 0:
+		return fmt.Errorf("traffic: AR1SD %v", c.AR1SD)
+	}
+	return nil
+}
+
+// SynthesizeTrace generates the frame sizes.
+func SynthesizeTrace(cfg SynthTraceConfig) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gop := cfg.GoP
+	if gop.Pattern == "" {
+		gop = DefaultGoP(cfg.MeanBytes)
+		gop.NoiseSD = 0 // noise comes from the AR(1) process here
+	}
+	rnd := rng.New(cfg.Seed)
+	sizer, err := NewGoPSizer(gop, rnd)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize the two scene scales so their time-average is 1 and the
+	// long-run mean stays MeanBytes.
+	norm := (cfg.CalmScale + cfg.ActionScale) / 2
+	calm := cfg.CalmScale / norm
+	action := cfg.ActionScale / norm
+
+	// AR(1) deviation with stationary sd = AR1SD: innovation sd follows.
+	innovSD := cfg.AR1SD * math.Sqrt(1-cfg.AR1*cfg.AR1)
+
+	sizes := make([]float64, cfg.Frames)
+	inAction := rnd.Float64() < 0.5
+	dev := 0.0
+	pSwitch := 1.0 / float64(cfg.SceneMeanFrames)
+	minBytes := cfg.MeanBytes / 50
+	for i := range sizes {
+		if rnd.Float64() < pSwitch {
+			inAction = !inAction
+		}
+		scale := calm
+		if inAction {
+			scale = action
+		}
+		if innovSD > 0 {
+			dev = cfg.AR1*dev + rnd.Normal(0, innovSD)
+		}
+		v := sizer.NextFrameBytes() * scale * (1 + dev)
+		if v < minBytes {
+			v = minBytes
+		}
+		sizes[i] = v
+	}
+	return sizes, nil
+}
+
+// WriteTrace writes sizes in the LoadFrameTrace format (one size per line)
+// with a descriptive header comment.
+func WriteTrace(w io.Writer, sizes []float64, comment string) error {
+	if comment != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", comment); err != nil {
+			return err
+		}
+	}
+	for _, s := range sizes {
+		if _, err := fmt.Fprintf(w, "%.0f\n", s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

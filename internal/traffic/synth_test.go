@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sim"
+)
+
+func TestSynthesizeTraceBasics(t *testing.T) {
+	cfg := DefaultSynthTrace(6000, 16666)
+	sizes, err := SynthesizeTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 6000 {
+		t.Fatalf("frames %d", len(sizes))
+	}
+	var sum float64
+	for _, s := range sizes {
+		if s <= 0 {
+			t.Fatalf("non-positive frame %v", s)
+		}
+		sum += s
+	}
+	mean := sum / float64(len(sizes))
+	if math.Abs(mean-16666)/16666 > 0.15 {
+		t.Fatalf("trace mean %v, want ≈16666", mean)
+	}
+}
+
+func TestSynthesizeTraceHasSceneStructure(t *testing.T) {
+	cfg := DefaultSynthTrace(12000, 10000)
+	sizes, err := SynthesizeTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over GoP-length blocks to remove I/P/B structure; the scene
+	// process should leave visible low-frequency variance: block means
+	// spread well beyond what iid frames would give.
+	block := 12
+	var blockMeans []float64
+	for i := 0; i+block <= len(sizes); i += block {
+		var s float64
+		for _, v := range sizes[i : i+block] {
+			s += v
+		}
+		blockMeans = append(blockMeans, s/float64(block))
+	}
+	min, max := blockMeans[0], blockMeans[0]
+	for _, m := range blockMeans {
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max/min < 1.3 {
+		t.Fatalf("no scene modulation visible: block means %.0f..%.0f", min, max)
+	}
+}
+
+func TestSynthesizeTraceDeterministic(t *testing.T) {
+	cfg := DefaultSynthTrace(100, 16666)
+	a, _ := SynthesizeTrace(cfg)
+	b, _ := SynthesizeTrace(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	cfg.Seed = 2
+	c, _ := SynthesizeTrace(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSynthesizeTraceValidation(t *testing.T) {
+	bad := []func(*SynthTraceConfig){
+		func(c *SynthTraceConfig) { c.Frames = 0 },
+		func(c *SynthTraceConfig) { c.MeanBytes = 0 },
+		func(c *SynthTraceConfig) { c.SceneMeanFrames = 0 },
+		func(c *SynthTraceConfig) { c.CalmScale = 0 },
+		func(c *SynthTraceConfig) { c.AR1 = 1 },
+		func(c *SynthTraceConfig) { c.AR1SD = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSynthTrace(100, 1000)
+		mutate(&cfg)
+		if _, err := SynthesizeTrace(cfg); err == nil {
+			t.Fatalf("bad synth config %d accepted", i)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	cfg := DefaultSynthTrace(50, 16666)
+	sizes, err := SynthesizeTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sizes, "synthetic mpeg-2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# synthetic mpeg-2\n") {
+		t.Fatal("header comment missing")
+	}
+	back, err := LoadFrameTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sizes) {
+		t.Fatalf("round trip %d → %d frames", len(sizes), len(back))
+	}
+	for i := range back {
+		if math.Abs(back[i]-sizes[i]) > 0.5 { // written with %.0f
+			t.Fatalf("frame %d: %v vs %v", i, back[i], sizes[i])
+		}
+	}
+}
+
+func TestTraceSizerDrivesStream(t *testing.T) {
+	// End-to-end: a synthesized trace feeds a stream through the fabric.
+	eng, net := testNet(t, 2, 4, 4)
+	sizes, err := SynthesizeTrace(DefaultSynthTrace(30, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceSizer(sizes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	net.Sinks[1].OnFrame = func(stream, frame int, at sim.Time) { frames++ }
+	var ids uint64
+	if _, err := StartStream(eng, net.NIs[0], StreamConfig{
+		ID: 1, Class: flit.VBR, Src: 0, Dst: 1, InVC: 0, DstVC: 0,
+		FrameBytes: 1000, Interval: 200 * sim.Microsecond,
+		MsgFlits: 20, FlitBits: 32, Stop: 30 * 200 * sim.Microsecond,
+		Sizer: tr,
+	}, rng.New(1), &ids); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	if frames != 30 {
+		t.Fatalf("delivered %d frames, want 30", frames)
+	}
+}

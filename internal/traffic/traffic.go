@@ -1,0 +1,425 @@
+// Package traffic generates the paper's workload (§4.2): MPEG-2-like VBR
+// streams (frame size ~ Normal(16666 B, 3333 B), 33 ms inter-frame interval,
+// ≈4 Mbps), CBR streams (constant frame size), and best-effort traffic
+// (fixed-size messages at a constant injection rate to uniformly random
+// destinations), mixed in a configurable x:y proportion with statically
+// partitioned virtual channels.
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/network"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/topology"
+)
+
+// StreamConfig describes one real-time video stream.
+type StreamConfig struct {
+	ID    int
+	Class flit.Class // CBR or VBR
+	// Src and Dst are endpoint ids; InVC and DstVC the stream's VC choices
+	// at the source link and the destination link.
+	Src, Dst     int
+	InVC, DstVC  int
+	FrameBytes   float64  // mean frame size (16666 B in the paper)
+	FrameBytesSD float64  // 0 for CBR
+	Interval     sim.Time // inter-frame interval (33 ms)
+	MsgFlits     int      // wire flits per message, header included
+	FlitBits     int
+	// Start is the stream's phase offset; frames are emitted at
+	// Start, Start+Interval, … until Stop.
+	Start, Stop sim.Time
+	// Sizer overrides the frame-size model; nil selects the paper's
+	// Normal(FrameBytes, FrameBytesSD) draws.
+	Sizer FrameSizer
+}
+
+// PayloadFlitsPerMsg returns the payload capacity of one message: the header
+// flit carries routing and Vtick information, the rest carry data. A
+// one-flit message still moves (degenerate) payload, matching the paper's
+// observation that one header per 20-flit message costs 5% of the stream
+// bandwidth.
+func (c *StreamConfig) PayloadFlitsPerMsg() int {
+	if c.MsgFlits <= 1 {
+		return 1
+	}
+	return c.MsgFlits - 1
+}
+
+// NominalBitsPerSec returns the stream's payload bandwidth (the paper's
+// "4 Mbps"), excluding header overhead.
+func (c *StreamConfig) NominalBitsPerSec() float64 {
+	return c.FrameBytes * 8 / c.Interval.Seconds()
+}
+
+// Stream drives one video stream's injection events.
+type Stream struct {
+	cfg   StreamConfig
+	ni    *network.NI
+	eng   *sim.Engine
+	rnd   *rng.Source
+	ids   *uint64
+	frame int
+
+	// FramesInjected counts emitted frames (for tests).
+	FramesInjected int
+}
+
+// StartStream wires a stream to its source NI and schedules its first frame.
+// ids is the shared message-id counter.
+func StartStream(eng *sim.Engine, ni *network.NI, cfg StreamConfig, rnd *rng.Source, ids *uint64) (*Stream, error) {
+	if cfg.MsgFlits < 1 || cfg.FlitBits <= 0 || cfg.Interval <= 0 {
+		return nil, fmt.Errorf("traffic: invalid stream config %+v", cfg)
+	}
+	if !cfg.Class.RealTime() {
+		return nil, fmt.Errorf("traffic: stream class must be real-time, got %v", cfg.Class)
+	}
+	s := &Stream{cfg: cfg, ni: ni, eng: eng, rnd: rnd, ids: ids}
+	if s.cfg.Sizer == nil {
+		s.cfg.Sizer = &NormalSizer{Mean: cfg.FrameBytes, SD: cfg.FrameBytesSD, Rand: rnd}
+	}
+	eng.At(cfg.Start, s.emitFrame)
+	return s, nil
+}
+
+// emitFrame draws the frame size, segments it into messages, and schedules
+// their injections evenly across the inter-frame interval (§4.2.1).
+func (s *Stream) emitFrame() {
+	now := s.eng.Now()
+	if now >= s.cfg.Stop {
+		return
+	}
+	bytes := s.cfg.Sizer.NextFrameBytes()
+	minBytes := float64(s.cfg.FlitBits) / 8
+	if bytes < minBytes {
+		bytes = minBytes
+	}
+	payloadFlits := flit.FlitsForBytes(int(math.Round(bytes)), s.cfg.FlitBits)
+	perMsg := s.cfg.PayloadFlitsPerMsg()
+	msgs := (payloadFlits + perMsg - 1) / perMsg
+	// Wire flits include one header per message; Vtick is the stream's
+	// requested inter-flit service time at its instantaneous rate.
+	wireFlits := payloadFlits
+	if s.cfg.MsgFlits > 1 {
+		wireFlits += msgs
+	}
+	vtick := sim.Time(int64(s.cfg.Interval) / int64(wireFlits))
+	if vtick < 1 {
+		vtick = 1
+	}
+	spacing := sim.Time(int64(s.cfg.Interval) / int64(msgs))
+	frame := s.frame
+	remaining := payloadFlits
+	for k := 0; k < msgs; k++ {
+		pay := perMsg
+		if pay > remaining {
+			pay = remaining
+		}
+		remaining -= pay
+		fl := pay
+		if s.cfg.MsgFlits > 1 {
+			fl++ // header
+		}
+		*s.ids++
+		m := &flit.Message{
+			ID:          *s.ids,
+			StreamID:    s.cfg.ID,
+			Class:       s.cfg.Class,
+			FrameSeq:    frame,
+			MsgSeq:      k,
+			MsgsInFrame: msgs,
+			Flits:       fl,
+			Vtick:       vtick,
+			Src:         s.cfg.Src,
+			Dst:         s.cfg.Dst,
+			DstVC:       s.cfg.DstVC,
+		}
+		at := now + sim.Time(k)*spacing
+		s.eng.At(at, func() {
+			m.Injected = s.eng.Now()
+			s.ni.Inject(s.cfg.InVC, m)
+		})
+	}
+	s.FramesInjected++
+	s.frame++
+	s.eng.At(now+s.cfg.Interval, s.emitFrame)
+}
+
+// Partition exposes a live virtual-channel split for dynamically
+// partitioned fabrics (the paper's §6 direction): real-time traffic uses
+// VCs [0, RTVCs), best-effort [RTVCs, VCs).
+type Partition interface {
+	RTVCs() int
+	VCs() int
+}
+
+// BestEffortConfig describes one node's best-effort source (§4.2.2):
+// fixed-length messages at a constant injection rate, destination and VCs
+// uniform over the best-effort partition.
+type BestEffortConfig struct {
+	Node        int
+	Nodes       int      // total endpoints (for destination choice)
+	Interval    sim.Time // time between message injections
+	MsgFlits    int
+	VCLo, VCHi  int // static best-effort VC partition [VCLo, VCHi)
+	Start, Stop sim.Time
+	// Partition, if set, overrides VCLo/VCHi with the live best-effort
+	// range per message (dynamic partitioning).
+	Partition Partition
+}
+
+// BestEffortSource injects best-effort messages on a fixed cadence.
+type BestEffortSource struct {
+	cfg BestEffortConfig
+	ni  *network.NI
+	eng *sim.Engine
+	rnd *rng.Source
+	ids *uint64
+
+	// OnInject, if set, observes each injection (for load accounting).
+	OnInject func(m *flit.Message)
+	// Injected counts messages emitted.
+	Injected uint64
+}
+
+// StartBestEffort wires a best-effort source and schedules its first message.
+func StartBestEffort(eng *sim.Engine, ni *network.NI, cfg BestEffortConfig, rnd *rng.Source, ids *uint64) (*BestEffortSource, error) {
+	if cfg.Interval <= 0 || cfg.MsgFlits < 1 || cfg.Nodes < 2 ||
+		(cfg.Partition == nil && cfg.VCHi <= cfg.VCLo) {
+		return nil, fmt.Errorf("traffic: invalid best-effort config %+v", cfg)
+	}
+	b := &BestEffortSource{cfg: cfg, ni: ni, eng: eng, rnd: rnd, ids: ids}
+	eng.At(cfg.Start, b.emit)
+	return b, nil
+}
+
+func (b *BestEffortSource) emit() {
+	now := b.eng.Now()
+	if now >= b.cfg.Stop {
+		return
+	}
+	dst := b.rnd.Intn(b.cfg.Nodes - 1)
+	if dst >= b.cfg.Node {
+		dst++ // uniform over all nodes except self
+	}
+	lo, hi := b.cfg.VCLo, b.cfg.VCHi
+	if p := b.cfg.Partition; p != nil {
+		lo, hi = p.RTVCs(), p.VCs()
+		if lo >= hi { // partition momentarily all-real-time: hold one VC
+			lo = hi - 1
+		}
+	}
+	vcs := hi - lo
+	inVC := lo + b.rnd.Intn(vcs)
+	dstVC := lo + b.rnd.Intn(vcs)
+	*b.ids++
+	m := &flit.Message{
+		ID:          *b.ids,
+		StreamID:    -1 - b.cfg.Node,
+		Class:       flit.BestEffort,
+		MsgsInFrame: 1,
+		Flits:       b.cfg.MsgFlits,
+		Vtick:       sim.Forever,
+		Src:         b.cfg.Node,
+		Dst:         dst,
+		DstVC:       dstVC,
+		Injected:    now,
+	}
+	b.Injected++
+	if b.OnInject != nil {
+		b.OnInject(m)
+	}
+	b.ni.Inject(inVC, m)
+	b.eng.At(now+b.cfg.Interval, b.emit)
+}
+
+// MixConfig describes a full §4.2.3 workload over a topology: total input
+// load as a fraction of link bandwidth, split x:y between real-time and
+// best-effort traffic, with the VC partition in the same proportion.
+type MixConfig struct {
+	// Load is the offered input-link load in (0, 1+] as a fraction of the
+	// physical channel bandwidth.
+	Load float64
+	// RTShare is x/(x+y): the real-time fraction of the load.
+	RTShare float64
+	// Class is the real-time class to generate (VBR or CBR).
+	Class flit.Class
+	// LinkBitsPerSec is the physical channel bandwidth.
+	LinkBitsPerSec float64
+	// FlitBits and MsgFlits shape messages (32 bits, 20 flits by default).
+	FlitBits, MsgFlits int
+	// FrameBytes/FrameBytesSD/Interval shape frames.
+	FrameBytes, FrameBytesSD float64
+	Interval                 sim.Time
+	// VCs and RTVCs mirror the router configuration.
+	VCs, RTVCs int
+	// Start and Stop bound generation; phased workloads (ApplyPhases) use
+	// several MixConfigs over disjoint windows.
+	Start, Stop sim.Time
+	// Seed drives all workload randomness.
+	Seed uint64
+	// Partition, if set, gives best-effort sources the live VC split
+	// (dynamic partitioning); RTVCs still assigns real-time stream VCs at
+	// setup time.
+	Partition Partition
+	// GoP switches VBR frame sizes from independent normal draws to the
+	// MPEG Group-of-Pictures model (DefaultGoP over FrameBytes), each
+	// stream at a random pattern phase. Ignored for CBR.
+	GoP bool
+}
+
+// StreamsPerNode returns the per-node real-time stream count implied by the
+// load and mix: round(Load·RTShare·LinkBW / nominal stream bandwidth).
+func (m *MixConfig) StreamsPerNode() int {
+	nominal := m.FrameBytes * 8 / m.Interval.Seconds()
+	return int(math.Round(m.Load * m.RTShare * m.LinkBitsPerSec / nominal))
+}
+
+// BestEffortInterval returns the injection interval that makes best-effort
+// traffic consume Load·(1−RTShare) of the link.
+func (m *MixConfig) BestEffortInterval() sim.Time {
+	beLoad := m.Load * (1 - m.RTShare)
+	if beLoad <= 0 {
+		return 0
+	}
+	msgsPerSec := beLoad * m.LinkBitsPerSec / float64(m.MsgFlits*m.FlitBits)
+	return sim.Time(math.Round(1e9 / msgsPerSec))
+}
+
+// Workload is an instantiated mix over a topology.
+type Workload struct {
+	Streams      []*Stream
+	BESources    []*BestEffortSource
+	msgIDs       uint64
+	nextStreamID int
+}
+
+// Apply instantiates cfg over every endpoint of net. Real-time streams are
+// balanced over the real-time VC partition at the source (the paper's
+// "6 streams per VC" accounting); destinations and destination VCs are
+// uniform random (§4.2.1). Stagger phases spread frame starts uniformly
+// over one interval.
+func Apply(eng *sim.Engine, net *topology.Net, cfg MixConfig) (*Workload, error) {
+	w := &Workload{}
+	if err := w.apply(eng, net, cfg); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ApplyPhases instantiates several mixes over disjoint time windows — the
+// "dynamic mixes" of the paper's §6. Each phase's [Start, Stop) bounds its
+// generation; stream and message identifiers stay unique across phases.
+func ApplyPhases(eng *sim.Engine, net *topology.Net, phases []MixConfig) (*Workload, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("traffic: no phases")
+	}
+	w := &Workload{}
+	for i, cfg := range phases {
+		if err := w.apply(eng, net, cfg); err != nil {
+			return nil, fmt.Errorf("traffic: phase %d: %w", i, err)
+		}
+	}
+	return w, nil
+}
+
+func (w *Workload) apply(eng *sim.Engine, net *topology.Net, cfg MixConfig) error {
+	if cfg.RTVCs < 0 || cfg.RTVCs > cfg.VCs {
+		return fmt.Errorf("traffic: RTVCs %d out of range", cfg.RTVCs)
+	}
+	if cfg.Stop <= cfg.Start {
+		return fmt.Errorf("traffic: empty window [%d, %d)", cfg.Start, cfg.Stop)
+	}
+	nodes := net.Endpoints()
+	if nodes < 2 {
+		return fmt.Errorf("traffic: need at least 2 endpoints")
+	}
+	perNode := cfg.StreamsPerNode()
+	if perNode > 0 && cfg.RTVCs == 0 {
+		return fmt.Errorf("traffic: real-time load with no real-time VCs")
+	}
+	for node := 0; node < nodes; node++ {
+		src := rng.NewStream(cfg.Seed, fmt.Sprintf("rt-node-%d-at-%d", node, cfg.Start))
+		for i := 0; i < perNode; i++ {
+			dst := src.Intn(nodes - 1)
+			if dst >= node {
+				dst++
+			}
+			sc := StreamConfig{
+				ID:           w.nextStreamID,
+				Class:        cfg.Class,
+				Src:          node,
+				Dst:          dst,
+				InVC:         i % cfg.RTVCs,
+				DstVC:        src.Intn(cfg.RTVCs),
+				FrameBytes:   cfg.FrameBytes,
+				FrameBytesSD: cfg.FrameBytesSD,
+				Interval:     cfg.Interval,
+				MsgFlits:     cfg.MsgFlits,
+				FlitBits:     cfg.FlitBits,
+				Start:        cfg.Start + sim.Time(src.Uint64n(uint64(cfg.Interval))),
+				Stop:         cfg.Stop,
+			}
+			if cfg.Class == flit.CBR {
+				sc.FrameBytesSD = 0
+			}
+			streamRnd := src.Split(uint64(i))
+			if cfg.GoP && cfg.Class == flit.VBR {
+				sizer, err := NewGoPSizer(DefaultGoP(cfg.FrameBytes), streamRnd)
+				if err != nil {
+					return err
+				}
+				sc.Sizer = sizer
+			}
+			st, err := StartStream(eng, net.NIs[node], sc, streamRnd, &w.msgIDs)
+			if err != nil {
+				return err
+			}
+			w.Streams = append(w.Streams, st)
+			w.nextStreamID++
+		}
+	}
+	beInterval := cfg.BestEffortInterval()
+	if beInterval > 0 {
+		if cfg.Partition == nil && cfg.RTVCs >= cfg.VCs {
+			return fmt.Errorf("traffic: best-effort load with no best-effort VCs")
+		}
+		for node := 0; node < nodes; node++ {
+			src := rng.NewStream(cfg.Seed, fmt.Sprintf("be-node-%d-at-%d", node, cfg.Start))
+			bc := BestEffortConfig{
+				Node:      node,
+				Nodes:     nodes,
+				Interval:  beInterval,
+				MsgFlits:  cfg.MsgFlits,
+				VCLo:      cfg.RTVCs,
+				VCHi:      cfg.VCs,
+				Start:     cfg.Start + sim.Time(src.Uint64n(uint64(beInterval))),
+				Stop:      cfg.Stop,
+				Partition: cfg.Partition,
+			}
+			be, err := StartBestEffort(eng, net.NIs[node], bc, src, &w.msgIDs)
+			if err != nil {
+				return err
+			}
+			w.BESources = append(w.BESources, be)
+		}
+	}
+	return nil
+}
+
+// PartitionVCs splits vcs in the x:y proportion, guaranteeing at least one
+// VC to each class that carries load (§4.2.3).
+func PartitionVCs(vcs int, rtShare float64) (rtVCs int) {
+	rtVCs = int(math.Round(float64(vcs) * rtShare))
+	if rtShare > 0 && rtVCs == 0 {
+		rtVCs = 1
+	}
+	if rtShare < 1 && rtVCs == vcs {
+		rtVCs = vcs - 1
+	}
+	return rtVCs
+}

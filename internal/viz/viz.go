@@ -1,0 +1,247 @@
+// Package viz renders experiment figures as standalone SVG line charts, so
+// a reproduction run can be compared against the paper's plots visually
+// without any plotting dependency.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mediaworm/internal/experiments"
+)
+
+// Metric selects which Point field a chart plots.
+type Metric uint8
+
+const (
+	// MeanInterval plots d (ms) — the paper's left-hand panels.
+	MeanInterval Metric = iota
+	// StdDevInterval plots σd (ms) — the right-hand panels.
+	StdDevInterval
+	// BELatency plots best-effort latency (µs); saturated points are
+	// clipped to the top of the chart.
+	BELatency
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MeanInterval:
+		return "d (ms)"
+	case StdDevInterval:
+		return "σd (ms)"
+	case BELatency:
+		return "best-effort latency (µs)"
+	default:
+		return fmt.Sprintf("Metric(%d)", uint8(m))
+	}
+}
+
+func (m Metric) value(p experiments.Point) (float64, bool) {
+	switch m {
+	case MeanInterval:
+		return p.DMs, true
+	case StdDevInterval:
+		return p.SDMs, true
+	case BELatency:
+		return p.BELatencyUs, !p.BESaturated
+	default:
+		return 0, false
+	}
+}
+
+// chart geometry
+const (
+	width   = 640
+	height  = 420
+	marginL = 64
+	marginR = 180 // legend gutter
+	marginT = 48
+	marginB = 56
+)
+
+// palette cycles across series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Chart writes fig's metric as an SVG line chart.
+func Chart(fig *experiments.Figure, metric Metric, w io.Writer) error {
+	if len(fig.Series) == 0 || len(fig.Series[0].Points) == 0 {
+		return fmt.Errorf("viz: empty figure %q", fig.ID)
+	}
+	xs, err := xValues(fig)
+	if err != nil {
+		return err
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin, ymax := 0.0, 0.0
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if v, ok := metric.value(p); ok && !math.IsNaN(v) {
+				ymax = math.Max(ymax, v)
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	ymax *= 1.08 // headroom
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	X := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	Y := func(y float64) float64 { return float64(height-marginB) - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s — %s</text>`+"\n",
+		marginL, esc(fig.ID), esc(fig.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="36">%s vs %s</text>`+"\n", marginL, esc(metric.String()), esc(fig.XLabel))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/4
+		yv := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			X(xv), height-marginB, X(xv), height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			X(xv), height-marginB+20, fmtTick(xv, fig.XIsMix))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, Y(yv), marginL, Y(yv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%.3g</text>`+"\n",
+			marginL-8, Y(yv), yv)
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, esc(fig.XLabel))
+
+	// Series.
+	for si, s := range fig.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, p := range s.Points {
+			v, ok := metric.value(p)
+			if !ok {
+				v = ymax // saturated: clip to the top
+			}
+			if math.IsNaN(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", X(xs[i]), Y(v)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, pt := range pts {
+			xy := strings.Split(pt, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := marginT + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+12, ly, width-marginR+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			width-marginR+40, ly, esc(s.Label))
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// xValues extracts the sweep variable of the first series (all series share
+// the same x grid by construction).
+func xValues(fig *experiments.Figure) ([]float64, error) {
+	pts := fig.Series[0].Points
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		if fig.XIsMix {
+			xs[i] = p.RTShare
+		} else {
+			xs[i] = p.Load
+		}
+	}
+	for _, s := range fig.Series[1:] {
+		if len(s.Points) != len(pts) {
+			return nil, fmt.Errorf("viz: ragged series in %q", fig.ID)
+		}
+	}
+	return xs, nil
+}
+
+func fmtTick(v float64, mix bool) string {
+	if mix {
+		return fmt.Sprintf("%d%%", int(v*100+0.5))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteChartFiles renders d and σd charts (and best-effort latency when the
+// figure carries it) to <dir>/<id>-<suffix>.svg, returning the paths.
+func WriteChartFiles(dir string, fig *experiments.Figure) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	charts := []struct {
+		suffix string
+		metric Metric
+	}{
+		{"d", MeanInterval},
+		{"sd", StdDevInterval},
+	}
+	if hasBE(fig) {
+		charts = append(charts, struct {
+			suffix string
+			metric Metric
+		}{"be", BELatency})
+	}
+	var paths []string
+	for _, c := range charts {
+		path := filepath.Join(dir, fig.ID+"-"+c.suffix+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := Chart(fig, c.metric, f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+func hasBE(fig *experiments.Figure) bool {
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.BELatencyUs > 0 || p.BESaturated {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"os"
+	"strings"
+	"testing"
+
+	"mediaworm/internal/experiments"
+)
+
+func sampleFigure() *experiments.Figure {
+	return &experiments.Figure{
+		ID: "fig3", Title: "Virtual Clock vs FIFO", XLabel: "load",
+		Series: []experiments.Series{
+			{Label: "virtual-clock", Points: []experiments.Point{
+				{Load: 0.6, DMs: 33, SDMs: 0.26, BELatencyUs: 5},
+				{Load: 0.9, DMs: 33, SDMs: 0.27, BELatencyUs: 30},
+				{Load: 0.96, DMs: 33, SDMs: 0.30, BESaturated: true},
+			}},
+			{Label: "fifo", Points: []experiments.Point{
+				{Load: 0.6, DMs: 33, SDMs: 0.26, BELatencyUs: 6},
+				{Load: 0.9, DMs: 33, SDMs: 6.1, BELatencyUs: 200},
+				{Load: 0.96, DMs: 33.2, SDMs: 8.0, BESaturated: true},
+			}},
+		},
+	}
+}
+
+func TestChartProducesValidXML(t *testing.T) {
+	for _, m := range []Metric{MeanInterval, StdDevInterval, BELatency} {
+		var buf bytes.Buffer
+		if err := Chart(sampleFigure(), m, &buf); err != nil {
+			t.Fatal(err)
+		}
+		// Well-formed XML with the expected structure.
+		dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("metric %v: invalid XML: %v\n%s", m, err, buf.String())
+			}
+		}
+		out := buf.String()
+		for _, want := range []string{"<svg", "polyline", "virtual-clock", "fifo", "load"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("metric %v: missing %q", m, want)
+			}
+		}
+		// Two series → two polylines.
+		if strings.Count(out, "<polyline") != 2 {
+			t.Fatalf("metric %v: %d polylines", m, strings.Count(out, "<polyline"))
+		}
+	}
+}
+
+func TestChartEscapesLabels(t *testing.T) {
+	fig := sampleFigure()
+	fig.Title = `jitter <&"test">`
+	var buf bytes.Buffer
+	if err := Chart(fig, MeanInterval, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `<&"`) {
+		t.Fatal("labels not escaped")
+	}
+	if !strings.Contains(buf.String(), "&lt;&amp;&quot;") {
+		t.Fatal("escaped form missing")
+	}
+}
+
+func TestChartEmptyFigure(t *testing.T) {
+	if err := Chart(&experiments.Figure{ID: "e"}, MeanInterval, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+}
+
+func TestChartRaggedSeries(t *testing.T) {
+	fig := sampleFigure()
+	fig.Series[1].Points = fig.Series[1].Points[:1]
+	if err := Chart(fig, MeanInterval, &bytes.Buffer{}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestChartMixAxis(t *testing.T) {
+	fig := sampleFigure()
+	fig.XIsMix = true
+	for i := range fig.Series {
+		for j := range fig.Series[i].Points {
+			fig.Series[i].Points[j].RTShare = 0.2 + 0.3*float64(j)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Chart(fig, StdDevInterval, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "%") {
+		t.Fatal("mix ticks should be percentages")
+	}
+}
+
+func TestWriteChartFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteChartFiles(dir, sampleFigure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 { // d, sd, and be (the sample has BE data)
+		t.Fatalf("paths %v", paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Fatalf("%s is not an SVG", p)
+		}
+	}
+	// A figure without best-effort data gets two charts.
+	noBE := sampleFigure()
+	for i := range noBE.Series {
+		for j := range noBE.Series[i].Points {
+			noBE.Series[i].Points[j].BELatencyUs = 0
+			noBE.Series[i].Points[j].BESaturated = false
+		}
+	}
+	noBE.ID = "nobe"
+	paths, err = WriteChartFiles(dir, noBE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("no-BE figure wrote %d charts", len(paths))
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MeanInterval.String() == "" || StdDevInterval.String() == "" || BELatency.String() == "" {
+		t.Fatal("metric names empty")
+	}
+	if Metric(9).String() == "" {
+		t.Fatal("unknown metric should stringify")
+	}
+}

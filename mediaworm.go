@@ -1,0 +1,319 @@
+// Package mediaworm reproduces "Investigating QoS Support for Traffic Mixes
+// with the MediaWorm Router" (Yum, Vaidya, Das, Sivasubramaniam — HPCA 2000)
+// as a flit-level, cycle-accurate wormhole-router simulation library.
+//
+// The MediaWorm router is a conventional five-stage pipelined wormhole
+// router with one modification: the bandwidth multiplexers schedule flits
+// with the Virtual Clock rate-based algorithm instead of FIFO, giving soft
+// QoS guarantees to VBR/CBR video streams mixed with best-effort traffic.
+//
+// Quick start:
+//
+//	cfg := mediaworm.DefaultConfig()
+//	cfg.Load, cfg.RTShare = 0.8, 0.8 // 80% link load, 80:20 VBR:best-effort
+//	res, err := mediaworm.Run(cfg)
+//	// res.MeanDeliveryIntervalMs ≈ 33, res.StdDevDeliveryIntervalMs ≈ 0
+//
+// The full experiment harness that regenerates every figure and table of the
+// paper lives in internal/experiments and is driven by cmd/paperfigs.
+package mediaworm
+
+import (
+	"fmt"
+	"time"
+
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/pcs"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/stats"
+	"mediaworm/internal/topology"
+	"mediaworm/internal/traffic"
+)
+
+func schedKind(p Policy) (sched.Kind, error) {
+	switch p {
+	case FIFO:
+		return sched.FIFO, nil
+	case RoundRobin:
+		return sched.RoundRobin, nil
+	case VirtualClock:
+		return sched.VirtualClock, nil
+	}
+	return 0, fmt.Errorf("mediaworm: unknown policy %q", p)
+}
+
+func flitClass(c TrafficClass) (flit.Class, error) {
+	switch c {
+	case VBR:
+		return flit.VBR, nil
+	case CBR:
+		return flit.CBR, nil
+	}
+	return 0, fmt.Errorf("mediaworm: unknown class %q", c)
+}
+
+// Run executes one wormhole (MediaWorm or FIFO-baseline) simulation and
+// returns its measurements. Identical configs produce identical results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	kind, err := schedKind(cfg.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	class, err := flitClass(cfg.Class)
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := sim.NewEngine()
+	rtVCs := traffic.PartitionVCs(cfg.VCs, cfg.RTShare)
+	rcfg := core.Config{
+		Ports:                cfg.Ports,
+		VCs:                  cfg.VCs,
+		RTVCs:                rtVCs,
+		BufferDepth:          cfg.BufferDepth,
+		StageDepth:           cfg.StageDepth,
+		FullCrossbar:         cfg.FullCrossbar,
+		Policy:               kind,
+		Period:               sim.Time(cfg.CyclePeriod().Nanoseconds()),
+		AllocatorIterations:  cfg.AllocatorIterations,
+		ExclusiveEndpointVCs: cfg.ExclusiveEndpointVCs,
+	}
+	var net *topology.Net
+	switch cfg.Topology {
+	case SingleSwitch:
+		net, err = topology.SingleSwitch(eng, rcfg)
+	case FatMesh2x2:
+		net, err = topology.FatMesh2x2(eng, rcfg)
+	case Tetrahedral:
+		net, err = topology.Tetrahedral(eng, rcfg)
+	default:
+		err = fmt.Errorf("mediaworm: unknown topology %q", cfg.Topology)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.SourcePolicy != "" && cfg.SourcePolicy != cfg.Policy {
+		srcKind, err := schedKind(cfg.SourcePolicy)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, ni := range net.NIs {
+			ni.SetPolicy(srcKind)
+		}
+	}
+
+	warmup := sim.Time(cfg.Warmup.Nanoseconds())
+	stop := warmup + sim.Time(cfg.Measure.Nanoseconds())
+	intervals := stats.NewIntervalTracker(warmup)
+	be := stats.NewBestEffort(warmup)
+	var playout *stats.PlayoutTracker
+	if cfg.PlayoutBufferFrames > 0 {
+		playout = stats.NewPlayoutTracker(
+			sim.Time(cfg.FrameInterval.Nanoseconds()), cfg.PlayoutBufferFrames, warmup)
+	}
+	for _, s := range net.Sinks {
+		s.OnFrame = func(stream, frame int, at sim.Time) {
+			intervals.Observe(stream, at)
+			if playout != nil {
+				playout.Observe(stream, frame, at)
+			}
+		}
+		s.OnMessage = func(m *flit.Message, at sim.Time) {
+			if m.Class == flit.BestEffort {
+				be.Delivered(m.Injected, at)
+			}
+		}
+	}
+	mix := traffic.MixConfig{
+		Load:           cfg.Load,
+		RTShare:        cfg.RTShare,
+		Class:          class,
+		LinkBitsPerSec: cfg.LinkBandwidthBps,
+		FlitBits:       cfg.FlitBits,
+		MsgFlits:       cfg.MsgFlits,
+		FrameBytes:     cfg.FrameBytes,
+		FrameBytesSD:   cfg.FrameBytesSD,
+		Interval:       sim.Time(cfg.FrameInterval.Nanoseconds()),
+		VCs:            cfg.VCs,
+		RTVCs:          rtVCs,
+		Stop:           stop,
+		Seed:           cfg.Seed,
+		GoP:            cfg.VBRModel == VBRGoP,
+	}
+	w, err := traffic.Apply(eng, net, mix)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, src := range w.BESources {
+		src.OnInject = func(m *flit.Message) { be.Injected(m.Injected) }
+	}
+
+	// Run through the measurement window, snapshot the best-effort backlog
+	// (the saturation signal), then let in-flight traffic drain (bounded:
+	// generation stops at stop).
+	eng.Run(stop)
+	injAtStop, delAtStop := be.Counts()
+	eng.Drain()
+	if err := net.Fabric.CheckDrained(); err != nil {
+		return Result{}, fmt.Errorf("mediaworm: %w", err)
+	}
+
+	var sunk uint64
+	for _, s := range net.Sinks {
+		sunk += s.FlitsReceived
+	}
+	inj, del := be.Counts()
+	res := Result{
+		MeanDeliveryIntervalMs:   intervals.MeanMs(),
+		StdDevDeliveryIntervalMs: intervals.StdDevMs(),
+		FrameIntervals:           intervals.Intervals().Count(),
+		Streams:                  len(w.Streams),
+		FlitsDelivered:           sunk,
+	}
+	if playout != nil {
+		res.Playout = PlayoutResult{
+			JudgedFrames: playout.Frames(),
+			Misses:       playout.Misses(),
+			MissRate:     playout.MissRate(),
+		}
+		if playout.Misses() > 0 {
+			res.Playout.MeanLatenessMs = playout.MeanLatenessMs()
+		}
+	}
+	if inj > 0 {
+		res.BestEffort = BestEffortResult{
+			MeanLatencyUs: be.MeanLatencyUs(),
+			MaxLatencyUs:  be.Latency().Max(),
+			Injected:      inj,
+			Delivered:     del,
+			Saturated:     saturatedBE(injAtStop, delAtStop),
+		}
+	}
+	return res, nil
+}
+
+// saturatedBE decides Table 2's "Sat." condition from the backlog at the
+// instant generation stopped: a stable queue holds only a few in-flight
+// messages then, while an unstable one has accumulated a backlog that grew
+// throughout the window.
+func saturatedBE(injected, delivered uint64) bool {
+	if injected == 0 {
+		return false
+	}
+	backlog := float64(injected) - float64(delivered)
+	return backlog > 0.05*float64(injected) && backlog > 50
+}
+
+// PCSConfig describes a pipelined-circuit-switching run (§3.5, Fig. 8):
+// an 8×8 switch at 100 Mb/s with 24 VCs per channel in the paper.
+type PCSConfig struct {
+	Ports, VCs       int
+	LinkBandwidthBps float64
+	FlitBits         int
+	// PipeLatency is the switch pipeline depth in cycles.
+	PipeLatency int
+	// Load is the provisioned input-link load; streams are established with
+	// searching VC selection before traffic starts.
+	Load float64
+	// GroupFlits is the injection burst size (the wormhole message size
+	// without the header, since PCS sends no per-message headers).
+	GroupFlits               int
+	FrameBytes, FrameBytesSD float64
+	FrameInterval            time.Duration
+	Warmup, Measure          time.Duration
+	Seed                     uint64
+}
+
+// DefaultPCSConfig returns the paper's Fig. 8 PCS setup.
+func DefaultPCSConfig() PCSConfig {
+	return PCSConfig{
+		Ports:            8,
+		VCs:              24,
+		LinkBandwidthBps: 100e6,
+		FlitBits:         32,
+		PipeLatency:      5,
+		Load:             0.7,
+		GroupFlits:       20,
+		FrameBytes:       16666,
+		FrameBytesSD:     3333,
+		FrameInterval:    33 * time.Millisecond,
+		Warmup:           66 * time.Millisecond,
+		Measure:          330 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+// Scale shrinks the PCS video time base, mirroring Config.Scale.
+func (c PCSConfig) Scale(f float64) PCSConfig {
+	if f <= 0 || f > 1 {
+		return c
+	}
+	c.FrameBytes *= f
+	c.FrameBytesSD *= f
+	c.FrameInterval = time.Duration(float64(c.FrameInterval) * f)
+	c.Warmup = time.Duration(float64(c.Warmup) * f)
+	c.Measure = time.Duration(float64(c.Measure) * f)
+	return c
+}
+
+// RunPCS provisions connections to the target load and measures frame
+// delivery jitter over the established circuits.
+func RunPCS(cfg PCSConfig) (PCSResult, error) {
+	if cfg.Ports < 2 || cfg.VCs < 1 || cfg.LinkBandwidthBps <= 0 || cfg.Load <= 0 {
+		return PCSResult{}, fmt.Errorf("mediaworm: invalid PCS config %+v", cfg)
+	}
+	eng := sim.NewEngine()
+	period := sim.Time(float64(cfg.FlitBits) / cfg.LinkBandwidthBps * 1e9)
+	sw, err := pcs.NewSwitch(eng, pcs.Config{
+		Ports: cfg.Ports, VCs: cfg.VCs, Period: period, PipeLatency: cfg.PipeLatency,
+	})
+	if err != nil {
+		return PCSResult{}, err
+	}
+	interval := sim.Time(cfg.FrameInterval.Nanoseconds())
+	nominalFlits := cfg.FrameBytes * 8 / float64(cfg.FlitBits)
+	vtick := sim.Time(float64(interval) / nominalFlits)
+	connsPerLink := cfg.LinkBandwidthBps / (cfg.FrameBytes * 8 / cfg.FrameInterval.Seconds())
+	rnd := rng.NewStream(cfg.Seed, "pcs-provision")
+	conns := sw.ProvisionLoad(cfg.Load, connsPerLink, vtick, rnd)
+
+	warmup := sim.Time(cfg.Warmup.Nanoseconds())
+	stop := warmup + sim.Time(cfg.Measure.Nanoseconds())
+	intervals := stats.NewIntervalTracker(warmup)
+	sw.OnFrame = func(id int, at sim.Time) { intervals.Observe(id, at) }
+	src := rng.NewStream(cfg.Seed, "pcs-traffic")
+	for i, c := range conns {
+		v := &pcs.VBRSource{
+			FrameBytes: cfg.FrameBytes, FrameBytesSD: cfg.FrameBytesSD,
+			Interval: interval, GroupFlits: cfg.GroupFlits,
+			FlitBits: cfg.FlitBits, Stop: stop,
+		}
+		v.SetRand(src.Split(uint64(i)))
+		pcs.StartVBR(sw, c, v, sim.Time(src.Uint64n(uint64(interval))))
+	}
+	eng.Run(stop)
+	eng.Drain()
+	return PCSResult{
+		MeanDeliveryIntervalMs:   intervals.MeanMs(),
+		StdDevDeliveryIntervalMs: intervals.StdDevMs(),
+		FrameIntervals:           intervals.Intervals().Count(),
+		Attempts:                 sw.Attempts,
+		Established:              sw.Established,
+		Dropped:                  sw.Dropped,
+	}, nil
+}
+
+// PCSAdmission reproduces Table 3: blind (random-VC) connection setup into
+// an idle switch until the established connections carry targetLoad, with
+// an attempt budget of capFactor × target connections.
+func PCSAdmission(ports, vcs int, connsPerLink, targetLoad float64, seed uint64) PCSResult {
+	rnd := rng.NewStream(seed, "pcs-admission")
+	r := pcs.SimulateAdmission(ports, vcs, connsPerLink, targetLoad, pcs.RandomVC, 6, rnd)
+	return PCSResult{Attempts: r.Attempts, Established: r.Established, Dropped: r.Dropped}
+}

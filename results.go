@@ -1,0 +1,68 @@
+package mediaworm
+
+// Result reports one simulation run's measurements — the paper's output
+// parameters (§4.1): the mean frame delivery interval d and its standard
+// deviation σd for real-time traffic, and the average latency of best-effort
+// traffic.
+type Result struct {
+	// MeanDeliveryIntervalMs is d in milliseconds: the average time between
+	// deliveries of successive frames of the same stream. 33 ms with
+	// σd ≈ 0 is jitter-free MPEG-2 delivery.
+	MeanDeliveryIntervalMs float64
+	// StdDevDeliveryIntervalMs is σd in milliseconds.
+	StdDevDeliveryIntervalMs float64
+	// FrameIntervals is the number of pooled interval samples.
+	FrameIntervals uint64
+	// Streams is the number of real-time streams generated.
+	Streams int
+
+	// BestEffort summarizes the best-effort class (zero-valued when the mix
+	// has no best-effort component).
+	BestEffort BestEffortResult
+
+	// FlitsDelivered counts every flit that reached a sink (conservation
+	// check surface for callers).
+	FlitsDelivered uint64
+
+	// Playout reports the end-user deadline-miss metric (zero-valued when
+	// Config.PlayoutBufferFrames is 0).
+	Playout PlayoutResult
+}
+
+// PlayoutResult measures soft-guarantee quality as a video client sees it:
+// frames that arrive after their scheduled playout instant, given a jitter
+// buffer of Config.PlayoutBufferFrames frames.
+type PlayoutResult struct {
+	// JudgedFrames excludes each stream's anchoring first frame.
+	JudgedFrames uint64
+	Misses       uint64
+	MissRate     float64
+	// MeanLatenessMs averages how late missing frames were (0 if none).
+	MeanLatenessMs float64
+}
+
+// BestEffortResult summarizes best-effort traffic.
+type BestEffortResult struct {
+	// MeanLatencyUs is the average message latency in microseconds
+	// (injection to tail delivery), as in the paper's Table 2.
+	MeanLatencyUs float64
+	// MaxLatencyUs is the worst observed latency.
+	MaxLatencyUs float64
+	// Injected and Delivered count post-warmup messages.
+	Injected, Delivered uint64
+	// Saturated is true when the class could not drain its offered load —
+	// the paper's "Sat." entries.
+	Saturated bool
+}
+
+// PCSResult reports a PCS run: delivery statistics plus connection setup
+// accounting (Table 3's columns).
+type PCSResult struct {
+	MeanDeliveryIntervalMs   float64
+	StdDevDeliveryIntervalMs float64
+	FrameIntervals           uint64
+
+	Attempts    int
+	Established int
+	Dropped     int
+}
