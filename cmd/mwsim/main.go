@@ -6,6 +6,8 @@
 //	mwsim -load 0.8 -mix 0.8 -policy virtual-clock
 //	mwsim -topology fat-mesh-2x2 -load 0.9 -mix 0.6 -json
 //	mwsim -pcs -load 0.7
+//	mwsim -topology fat-mesh-2x2 -fault-mtbf 30ms -fault-mttr 2ms -retransmit
+//	mwsim -fault-sweep -seed 1
 package main
 
 import (
@@ -16,7 +18,10 @@ import (
 	"time"
 )
 
-import "mediaworm"
+import (
+	"mediaworm"
+	"mediaworm/internal/experiments"
+)
 
 func main() {
 	var (
@@ -35,8 +40,31 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		pcsMode   = flag.Bool("pcs", false, "run the PCS router instead of MediaWorm")
 		asJSON    = flag.Bool("json", false, "emit JSON")
+
+		faultSweep  = flag.Bool("fault-sweep", false, "run the FaultSweep resilience experiment instead of a single simulation")
+		faultMTBF   = flag.Duration("fault-mtbf", 0, "mean time between link failures (0 disables link churn)")
+		faultMTTR   = flag.Duration("fault-mttr", 0, "mean time to repair a failed link")
+		corruptProb = flag.Float64("corrupt-prob", 0, "per-flit corruption probability in [0,1]")
+		retransmit  = flag.Bool("retransmit", false, "enable NI end-to-end retransmission")
+		retxTimeout = flag.Duration("retx-timeout", 0, "retransmission timeout (0 = 2 frame intervals)")
+		retxMax     = flag.Int("retx-max", 0, "max delivery attempts per message (0 = default 4)")
+		watchdog    = flag.Int("watchdog", 0, "deadlock watchdog idle-cycle limit (0 = default when faults on, <0 disables)")
+		wdRecover   = flag.Bool("watchdog-recover", false, "let the watchdog kill the youngest blocked worm to break deadlocks")
 	)
 	flag.Parse()
+
+	if *faultSweep {
+		opt := experiments.DefaultOptions()
+		opt.Scale = *scale
+		opt.Seed = *seed
+		opt.MeasureIntervals = *intervals
+		rep, err := experiments.FaultSweep(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit(rep, *asJSON, func() { rep.Fprint(os.Stdout) })
+		return
+	}
 
 	if *pcsMode {
 		cfg := mediaworm.DefaultPCSConfig().Scale(*scale)
@@ -71,6 +99,16 @@ func main() {
 	cfg = cfg.Scale(*scale)
 	cfg.Warmup = 3 * cfg.FrameInterval
 	cfg.Measure = time.Duration(*intervals) * cfg.FrameInterval
+	cfg.Faults = mediaworm.FaultsConfig{
+		LinkMTBF:           *faultMTBF,
+		LinkMTTR:           *faultMTTR,
+		FlitCorruptionProb: *corruptProb,
+		Retransmit:         *retransmit,
+		RetransmitTimeout:  *retxTimeout,
+		MaxRetransmits:     *retxMax,
+		WatchdogCycles:     *watchdog,
+		WatchdogRecover:    *wdRecover,
+	}
 	res, err := mediaworm.Run(cfg)
 	if err != nil {
 		fatal(err)
@@ -91,6 +129,15 @@ func main() {
 			fmt.Printf("  best-effort: %.1f µs mean (max %.1f), %d/%d delivered%s\n",
 				res.BestEffort.MeanLatencyUs, res.BestEffort.MaxLatencyUs,
 				res.BestEffort.Delivered, res.BestEffort.Injected, sat)
+		}
+		if r := res.Resilience; r.Enabled {
+			fmt.Printf("  faults: %d link downs / %d ups, %d flits dropped, %d msgs killed\n",
+				r.LinkDowns, r.LinkUps, r.FlitsDropped, r.MessagesKilled)
+			fmt.Printf("  resilience: %d resends (%d recovered, %d abandoned), delivered-frame ratio %.4f\n",
+				r.Retransmissions, r.Recovered, r.Abandoned, r.DeliveredFrameRatio)
+			if r.Deadlocks > 0 {
+				fmt.Printf("  deadlocks: %d detected, %d broken\n%s", r.Deadlocks, r.DeadlocksBroken, r.DeadlockReport)
+			}
 		}
 	})
 }

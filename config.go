@@ -105,6 +105,9 @@ type Config struct {
 	// SourcePolicy overrides the injection-link scheduler ("" follows
 	// Policy).
 	SourcePolicy Policy
+	// Faults arms the fault-injection and resilience layer. The zero value
+	// disables it — a perfectly reliable fabric, the paper's assumption.
+	Faults FaultsConfig
 	// VBRModel selects the VBR frame-size process: VBRNormal (the paper's
 	// independent normal draws; "" means this) or VBRGoP (MPEG
 	// Group-of-Pictures I/P/B structure with per-stream random phase).
@@ -112,6 +115,61 @@ type Config struct {
 	// PlayoutBufferFrames sizes the modeled video client's jitter buffer
 	// for the deadline-miss metric (Result.Playout). 0 disables it.
 	PlayoutBufferFrames int
+}
+
+// FaultsConfig describes the faults injected into a run and the resilience
+// mechanisms armed against them. All fault schedules derive from Config.Seed,
+// so a faulted run is exactly as reproducible as a healthy one.
+type FaultsConfig struct {
+	// LinkMTBF and LinkMTTR drive stochastic up/down churn on every
+	// switch-to-switch link: exponential up-times with mean LinkMTBF,
+	// exponential outages with mean LinkMTTR. Both must be positive to
+	// enable churn. Single-switch topologies have no transit links.
+	LinkMTBF, LinkMTTR time.Duration
+	// FlitCorruptionProb corrupts each transmitted flit independently with
+	// this probability; a corrupted flit kills its whole message (wormhole
+	// has no flit-level recovery).
+	FlitCorruptionProb float64
+	// Retransmit enables NI-level end-to-end message retransmission with
+	// capped exponential backoff.
+	Retransmit bool
+	// RetransmitTimeout is the first-attempt delivery deadline
+	// (0 → two frame intervals).
+	RetransmitTimeout time.Duration
+	// MaxRetransmits bounds total delivery attempts per message (0 → 4).
+	MaxRetransmits int
+	// WatchdogCycles arms the progress watchdog: after this many cycles
+	// with flits in flight but no flit motion, the run reports a deadlock
+	// with its blocked-VC wait-for cycle instead of hanging. 0 picks a
+	// default (50000 cycles) whenever any fault is enabled; negative
+	// disables the watchdog.
+	WatchdogCycles int
+	// WatchdogRecover additionally breaks each detected deadlock by killing
+	// the youngest message in the cycle. Pair with Retransmit so the victim
+	// is resent rather than lost.
+	WatchdogRecover bool
+}
+
+// enabled reports whether any fault or resilience mechanism is armed.
+func (f *FaultsConfig) enabled() bool {
+	return f.LinkMTBF > 0 || f.FlitCorruptionProb > 0 || f.Retransmit ||
+		f.WatchdogCycles != 0
+}
+
+func (f *FaultsConfig) validate() error {
+	switch {
+	case (f.LinkMTBF > 0) != (f.LinkMTTR > 0):
+		return fmt.Errorf("mediaworm: LinkMTBF and LinkMTTR must be set together")
+	case f.LinkMTBF < 0 || f.LinkMTTR < 0:
+		return fmt.Errorf("mediaworm: negative link churn times")
+	case f.FlitCorruptionProb < 0 || f.FlitCorruptionProb > 1:
+		return fmt.Errorf("mediaworm: FlitCorruptionProb = %v", f.FlitCorruptionProb)
+	case f.RetransmitTimeout < 0:
+		return fmt.Errorf("mediaworm: RetransmitTimeout = %v", f.RetransmitTimeout)
+	case f.MaxRetransmits < 0:
+		return fmt.Errorf("mediaworm: MaxRetransmits = %d", f.MaxRetransmits)
+	}
+	return nil
 }
 
 // VBRModel names a VBR frame-size process.
@@ -214,7 +272,7 @@ func (c *Config) Validate() error {
 	case c.PlayoutBufferFrames < 0:
 		return fmt.Errorf("mediaworm: PlayoutBufferFrames = %d", c.PlayoutBufferFrames)
 	}
-	return nil
+	return c.Faults.validate()
 }
 
 // CyclePeriod returns the flit cycle time implied by the link bandwidth.

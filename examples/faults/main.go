@@ -1,0 +1,64 @@
+// Faults: QoS under failure. Runs the 2×2 fat-mesh VBR mix while links
+// fail and recover stochastically, with the resilience stack enabled —
+// fault-aware rerouting around dead parallel links, NI end-to-end
+// retransmission, and the deadlock watchdog in recovery mode — and shows
+// how frame delivery degrades gracefully as the fault rate climbs.
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mediaworm"
+)
+
+func main() {
+	fmt.Println("2×2 fat-mesh, load 0.70 at 80:20 VBR:best-effort, link churn")
+	fmt.Println("MTTR fixed at 500 µs; MTBF sweeps from rare to hostile")
+	fmt.Println()
+	fmt.Printf("%-10s  %-5s  %-9s  %-9s  %-8s  %-18s\n",
+		"MTBF", "downs", "d (ms)", "σd (ms)", "DFR", "resends (rec/aband)")
+
+	for _, mtbf := range []time.Duration{0, 20 * time.Millisecond, 5 * time.Millisecond, 2 * time.Millisecond} {
+		cfg := mediaworm.DefaultConfig().Scale(0.05)
+		cfg.Topology = mediaworm.FatMesh2x2
+		cfg.Load = 0.7
+		cfg.RTShare = 0.8
+		cfg.Warmup = 2 * cfg.FrameInterval
+		cfg.Measure = 6 * cfg.FrameInterval
+		cfg.Faults = mediaworm.FaultsConfig{
+			Retransmit:      true,
+			WatchdogRecover: true,
+		}
+		if mtbf > 0 {
+			cfg.Faults.LinkMTBF = mtbf
+			cfg.Faults.LinkMTTR = 500 * time.Microsecond
+		}
+		res, err := mediaworm.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
+		r := res.Resilience
+		label := "none"
+		if mtbf > 0 {
+			label = mtbf.String()
+		}
+		fmt.Printf("%-10s  %-5d  %-9.2f  %-9.3f  %-8.4f  %d (%d/%d)\n",
+			label, r.LinkDowns,
+			res.MeanDeliveryIntervalMs*norm, res.StdDevDeliveryIntervalMs*norm,
+			r.DeliveredFrameRatio, r.Retransmissions, r.Recovered, r.Abandoned)
+		if r.Deadlocks > 0 {
+			fmt.Printf("  watchdog: %d deadlocks detected, %d broken\n", r.Deadlocks, r.DeadlocksBroken)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Every run is reproducible: the injector draws all fault times from")
+	fmt.Println("an RNG substream of Config.Seed, so the same seed replays the same")
+	fmt.Println("failures flit-for-flit. See `mwsim -fault-sweep` for the full")
+	fmt.Println("closed-loop experiment with admission-controlled degradation.")
+}

@@ -122,8 +122,27 @@ type Controller struct {
 	accepted int
 	beLoad   float64
 
-	// Admitted and Rejected count decisions.
-	Admitted, Rejected int
+	// scale is the fraction of nominal capacity currently available
+	// (1 when the fabric is healthy; SetCapacityScale lowers it on faults).
+	scale float64
+	// beShed is the fraction of the standing best-effort load currently
+	// shed to keep the envelope satisfied under degraded capacity.
+	beShed float64
+	// streams holds identity records for streams admitted via AdmitStream,
+	// in admission order, so degradation can pick revocation victims.
+	streams []streamRecord
+	seq     int
+
+	// Admitted and Rejected count decisions; Revoked counts streams
+	// forcibly released by capacity degradation.
+	Admitted, Rejected, Revoked int
+}
+
+// streamRecord identifies one admitted stream for revocation ordering.
+type streamRecord struct {
+	id       int
+	priority int
+	seq      int // admission order; higher = newer
 }
 
 // NewController builds a controller for one link.
@@ -131,7 +150,7 @@ func NewController(env *Envelope, linkBps, streamBps float64) (*Controller, erro
 	if env == nil || linkBps <= 0 || streamBps <= 0 || streamBps > linkBps {
 		return nil, fmt.Errorf("admission: invalid controller parameters")
 	}
-	return &Controller{env: env, linkBps: linkBps, streamBps: streamBps}, nil
+	return &Controller{env: env, linkBps: linkBps, streamBps: streamBps, scale: 1}, nil
 }
 
 // SetBestEffortLoad records the standing best-effort load (fraction of link
@@ -146,14 +165,22 @@ func (c *Controller) SetBestEffortLoad(l float64) {
 // Accepted returns the number of currently admitted streams.
 func (c *Controller) Accepted() int { return c.accepted }
 
-// Load returns the projected total link load with n admitted streams.
+// Load returns the projected total load on the degraded link with n admitted
+// streams: fixed bandwidths become larger fractions as capacity shrinks.
 func (c *Controller) load(n int) (total, rtShare float64) {
-	rt := float64(n) * c.streamBps / c.linkBps
-	total = rt + c.beLoad
+	rt := float64(n) * c.streamBps / (c.linkBps * c.scale)
+	total = rt + (c.beLoad-c.beShed)/c.scale
 	if total <= 0 {
 		return 0, 0
 	}
 	return total, rt / total
+}
+
+// fits reports whether n admitted streams (plus the standing best-effort
+// load) stay inside the envelope at the current capacity.
+func (c *Controller) fits(n int) bool {
+	total, share := c.load(n)
+	return total <= c.env.MaxLoad(share)
 }
 
 // RequestStream decides whether one more stream fits inside the envelope.
@@ -189,4 +216,107 @@ func (c *Controller) Capacity() int {
 		}
 		n++
 	}
+}
+
+// AdmitStream is RequestStream with an identity: the admitted stream is
+// recorded (with its priority) so capacity degradation can revoke it later.
+// Higher priority survives longer; ties are broken newest-first.
+func (c *Controller) AdmitStream(id, priority int) bool {
+	if !c.fits(c.accepted + 1) {
+		c.Rejected++
+		return false
+	}
+	c.accepted++
+	c.Admitted++
+	c.seq++
+	c.streams = append(c.streams, streamRecord{id: id, priority: priority, seq: c.seq})
+	return true
+}
+
+// ReleaseStream returns an AdmitStream-admitted stream's bandwidth. It
+// panics on an unknown id.
+func (c *Controller) ReleaseStream(id int) {
+	for i := range c.streams {
+		if c.streams[i].id == id {
+			c.streams = append(c.streams[:i], c.streams[i+1:]...)
+			c.accepted--
+			return
+		}
+	}
+	panic("admission: release of unknown stream")
+}
+
+// CapacityScale returns the current effective-capacity fraction.
+func (c *Controller) CapacityScale() float64 { return c.scale }
+
+// BestEffortShed returns the fraction of link bandwidth of standing
+// best-effort load currently shed by degradation.
+func (c *Controller) BestEffortShed() float64 { return c.beShed }
+
+// SetCapacityScale records that only the given fraction of nominal link
+// capacity is available (e.g. live transit links / total transit links) and
+// restores the envelope by graceful degradation: standing best-effort load
+// is shed first (it is elastic), and only if that is not enough are admitted
+// streams revoked — lowest priority first, newest first within a priority.
+// It returns the IDs of the revoked streams, in revocation order. Raising
+// the scale un-sheds best-effort load automatically; revoked streams stay
+// revoked until the caller re-admits them against the recovered Capacity.
+func (c *Controller) SetCapacityScale(scale float64) (revoked []int) {
+	if scale <= 0 || scale > 1 {
+		panic("admission: capacity scale outside (0, 1]")
+	}
+	c.scale = scale
+	c.beShed = 0
+	if c.fits(c.accepted) {
+		return nil
+	}
+	if c.beLoad > 0 {
+		// Shed the least best-effort load that restores the envelope
+		// (bisection: fits is monotone in beShed).
+		lo, hi := 0.0, c.beLoad
+		c.beShed = hi
+		if c.fits(c.accepted) {
+			for i := 0; i < 40; i++ {
+				mid := (lo + hi) / 2
+				c.beShed = mid
+				if c.fits(c.accepted) {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			c.beShed = hi
+			return nil
+		}
+		// Even zero best-effort is not enough; keep it all shed.
+	}
+	for !c.fits(c.accepted) && len(c.streams) > 0 {
+		victim := 0
+		for i := 1; i < len(c.streams); i++ {
+			v, w := c.streams[i], c.streams[victim]
+			if v.priority < w.priority || (v.priority == w.priority && v.seq > w.seq) {
+				victim = i
+			}
+		}
+		revoked = append(revoked, c.streams[victim].id)
+		c.streams = append(c.streams[:victim], c.streams[victim+1:]...)
+		c.accepted--
+		c.Revoked++
+	}
+	// Revocation is quantized, so it may overshoot: un-shed whatever
+	// best-effort load fits again.
+	if c.beLoad > 0 && c.fits(c.accepted) {
+		lo, hi := 0.0, c.beShed
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			c.beShed = mid
+			if c.fits(c.accepted) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		c.beShed = hi
+	}
+	return revoked
 }

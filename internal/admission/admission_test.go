@@ -193,3 +193,102 @@ func TestSetBestEffortLoadPanics(t *testing.T) {
 	}()
 	c.SetBestEffortLoad(1.5)
 }
+
+func TestGracefulDegradationShedsBestEffortFirst(t *testing.T) {
+	c, err := NewController(DefaultEnvelope(), 400e6, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetBestEffortLoad(0.2)
+	// Fill to the envelope boundary so any capacity loss needs action.
+	admitted := 0
+	for id := 0; c.AdmitStream(id, 0); id++ {
+		admitted++
+	}
+	if admitted == 0 {
+		t.Fatal("no streams admitted at nominal capacity")
+	}
+	// A mild capacity loss must be absorbed entirely by shedding elastic
+	// best-effort load, with no stream revoked.
+	if revoked := c.SetCapacityScale(0.95); len(revoked) != 0 {
+		t.Fatalf("mild degradation revoked streams: %v", revoked)
+	}
+	if c.BestEffortShed() <= 0 {
+		t.Fatal("mild degradation shed no best-effort load")
+	}
+	if c.Accepted() != admitted {
+		t.Fatalf("accepted dropped to %d without revocation", c.Accepted())
+	}
+}
+
+func TestGracefulDegradationRevokesLowestPriorityNewestFirst(t *testing.T) {
+	c, err := NewController(DefaultEnvelope(), 400e6, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ids 0..19 at priority 1, ids 20..39 at priority 0 (20..39 newest).
+	for id := 0; id < 20; id++ {
+		if !c.AdmitStream(id, 1) {
+			t.Fatalf("stream %d rejected", id)
+		}
+	}
+	for id := 20; id < 40; id++ {
+		if !c.AdmitStream(id, 0) {
+			t.Fatalf("stream %d rejected", id)
+		}
+	}
+	revoked := c.SetCapacityScale(0.5)
+	if len(revoked) == 0 {
+		t.Fatal("halving capacity revoked nothing")
+	}
+	for i, id := range revoked {
+		if id < 20 {
+			t.Fatalf("priority-1 stream %d revoked while priority-0 streams remain", id)
+		}
+		if i > 0 && id >= revoked[i-1] {
+			t.Fatalf("revocation order not newest-first: %v", revoked)
+		}
+	}
+	if got := c.Revoked; got != len(revoked) {
+		t.Fatalf("Revoked counter %d != %d revocations", got, len(revoked))
+	}
+	if !c.fits(c.accepted) {
+		t.Fatal("envelope still violated after revocation")
+	}
+
+	// Recovery: restored capacity un-sheds best-effort and re-opens room
+	// for at least the revoked streams.
+	if rev := c.SetCapacityScale(1); len(rev) != 0 {
+		t.Fatalf("restoring capacity revoked streams: %v", rev)
+	}
+	if c.BestEffortShed() != 0 {
+		t.Fatalf("best-effort still shed %.3f at full capacity", c.BestEffortShed())
+	}
+	readmitted := 0
+	for _, id := range revoked {
+		if c.AdmitStream(id, 0) {
+			readmitted++
+		}
+	}
+	if readmitted != len(revoked) {
+		t.Fatalf("only %d of %d revoked streams re-admitted at full capacity",
+			readmitted, len(revoked))
+	}
+}
+
+func TestSetCapacityScaleValidation(t *testing.T) {
+	c, err := NewController(DefaultEnvelope(), 400e6, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetCapacityScale(%v) did not panic", bad)
+				}
+			}()
+			c.SetCapacityScale(bad)
+		}()
+	}
+}

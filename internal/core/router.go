@@ -44,7 +44,10 @@ type Consumer interface {
 
 // RoutingFunc returns the candidate output ports for msg at the given
 // router. Multiple candidates model the fat-mesh's parallel physical links;
-// the router picks the least-loaded (§3.4). The slice must be non-empty.
+// the router picks the least-loaded (§3.4). An empty result means the
+// destination is currently unreachable (a fault somewhere partitioned it
+// away): the router kills the message so its flits unravel instead of
+// blocking the input VC until the route recovers.
 type RoutingFunc func(routerID int, msg *flit.Message) []int
 
 // Config parameterizes one router.
@@ -180,6 +183,16 @@ type Stats struct {
 	MessagesRouted   uint64 // headers granted
 	RequestsQueued   uint64
 
+	// FlitsDropped counts flits reaped from this router's buffers: flits of
+	// dead (killed) messages, flits corrupted on transmission, and flits of
+	// messages with no live route. The fabric reads it to keep the
+	// injected = delivered + dropped + in-flight conservation invariant.
+	FlitsDropped uint64
+	// MessagesKilled counts messages this router killed itself (corruption
+	// at one of its links, or no live route). Messages killed elsewhere and
+	// merely reaped here are not counted.
+	MessagesKilled uint64
+
 	// Per-cycle input-VC blocking reasons, sampled over buffered-but-idle
 	// head flits during switch traversal (capacity diagnostics).
 	BlockedNotGranted uint64 // header awaiting VC allocation
@@ -193,6 +206,21 @@ type Stats struct {
 	GrantWaitCount uint64
 }
 
+// PortStats counts fault-related activity on one port (the input and output
+// side of a physical channel share an index). The fault experiments and the
+// watchdog read these so dropped-flit accounting has a single source of
+// truth.
+type PortStats struct {
+	// FlitsDropped counts flits reaped at this port: dead-message flits
+	// removed from the input VC buffers or output staging buffers, flits
+	// corrupted on the output link, and flits of unroutable messages.
+	FlitsDropped uint64
+	// StallCycles counts cycles where the output side held staged flits but
+	// transmitted nothing (downstream credit exhausted, link down, or an
+	// injected port stall).
+	StallCycles uint64
+}
+
 // Router is one MediaWorm switch.
 type Router struct {
 	cfg    Config
@@ -202,6 +230,14 @@ type Router struct {
 	seq    uint64 // arbitration sequence counter
 	stats  Stats
 	fullXb bool
+	// Fault state (see DESIGN.md "Fault model"): per-output-port link
+	// health and injected stalls, per-port fault counters, and the optional
+	// per-flit corruption hook.
+	linkUp    []bool
+	stalled   []bool
+	portStats []PortStats
+	corrupt   func(port int, f flit.Flit) bool
+	routeBuf  []int // scratch for health-filtered routing candidates
 	// cands, claimed, claimedBy and picked are per-cycle scratch buffers,
 	// reused so the hot path does not allocate.
 	cands      []sched.Candidate
@@ -225,6 +261,13 @@ func New(cfg Config) (*Router, error) {
 	r.cands = make([]sched.Candidate, 0, cfg.VCs)
 	r.in = make([]inPort, cfg.Ports)
 	r.out = make([]outPort, cfg.Ports)
+	r.linkUp = make([]bool, cfg.Ports)
+	r.stalled = make([]bool, cfg.Ports)
+	r.portStats = make([]PortStats, cfg.Ports)
+	r.routeBuf = make([]int, 0, cfg.Ports)
+	for p := range r.linkUp {
+		r.linkUp[p] = true
+	}
 	for p := 0; p < cfg.Ports; p++ {
 		r.in[p].vcs = make([]inVC, cfg.VCs)
 		for v := range r.in[p].vcs {
@@ -249,6 +292,82 @@ func (r *Router) Config() Config { return r.cfg }
 // Stats returns activity counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// PortStats returns fault counters for port p.
+func (r *Router) PortStats(p int) PortStats { return r.portStats[p] }
+
+// LinkUp reports whether output port p's link is healthy.
+func (r *Router) LinkUp(p int) bool { return r.linkUp[p] }
+
+// PortStalled reports whether output port p has an injected stall.
+func (r *Router) PortStalled(p int) bool { return r.stalled[p] }
+
+// SetCorruption installs a per-flit corruption hook: it is consulted as each
+// flit is transmitted on an output link, and returning true drops the flit
+// and kills its message (the worm unravels and is reclaimed; the NI
+// retransmission layer, if enabled, resends the message end to end).
+func (r *Router) SetCorruption(fn func(port int, f flit.Flit) bool) { r.corrupt = fn }
+
+// SetPortStalled injects or lifts a transient stall on output port p: a
+// stalled port transmits nothing but keeps all state, so backpressure builds
+// upstream and releases when the stall lifts. Unlike a link failure, no
+// message is killed.
+func (r *Router) SetPortStalled(p int, stalled bool) { r.stalled[p] = stalled }
+
+// SetLinkUp changes output port p's link health. Taking a link down kills
+// every message with flits committed to the port — messages holding its
+// output VCs, messages staged on it, and messages granted or requesting it
+// from an input VC — and reclaims their buffers and credits as the dead
+// worms unravel (staged flits are dropped immediately; upstream flits are
+// reaped by each router's next cycle). Headers that requested the port but
+// were not yet granted are re-routed instead of killed. Restoring a link is
+// instant; only future routing decisions see it.
+func (r *Router) SetLinkUp(p int, up bool) {
+	if r.linkUp[p] == up {
+		return
+	}
+	r.linkUp[p] = up
+	if up {
+		return
+	}
+	op := &r.out[p]
+	// Pending requests: return the headers to routing (stage 2 will pick a
+	// healthy candidate next cycle, or kill the message if none is left).
+	for _, req := range op.reqs {
+		req.in.phase = vcIdle
+		req.in.headMsg = nil
+	}
+	op.reqs = op.reqs[:0]
+	// Staged flits and output-VC holders are beyond rerouting: kill them.
+	for v := range op.vcs {
+		ov := &op.vcs[v]
+		for !ov.stage.empty() {
+			f := ov.stage.pop()
+			f.Msg.Kill()
+			r.dropFlit(p)
+		}
+		if ov.busy != nil {
+			ov.busy.Kill()
+			ov.busy = nil
+		}
+	}
+	// Input VCs actively forwarding to the port: their worms straddle the
+	// dead link, so they cannot be rerouted either.
+	for ip := range r.in {
+		for v := range r.in[ip].vcs {
+			in := &r.in[ip].vcs[v]
+			if in.phase == vcActive && in.outPort == p && in.headMsg != nil {
+				in.headMsg.Kill()
+			}
+		}
+	}
+}
+
+// dropFlit accounts one reaped flit at port p.
+func (r *Router) dropFlit(p int) {
+	r.portStats[p].FlitsDropped++
+	r.stats.FlitsDropped++
+}
+
 // Connect attaches the consumer downstream of output port p and records
 // whether that port reaches an endpoint.
 func (r *Router) Connect(p int, c Consumer, endpoint bool) {
@@ -266,7 +385,21 @@ func (r *Router) HasCredit(p, vc int) bool {
 // this contention point's Virtual Clock. Callers must respect HasCredit.
 func (r *Router) Deliver(p, vc int, f flit.Flit) {
 	in := &r.in[p].vcs[vc]
+	if f.Msg.Dead {
+		// The message was killed while this flit crossed the link: reap it
+		// at arrival so the buffer slot is never consumed. Receive-side
+		// tracking is released here; wormhole contiguity guarantees any
+		// following flit on this VC opens a new message.
+		if in.recvMsg == f.Msg {
+			in.recvMsg = nil
+		}
+		r.dropFlit(p)
+		return
+	}
 	if f.IsHeader() {
+		if in.recvMsg != nil && in.recvMsg.Dead {
+			in.recvMsg = nil // dead worm truncated upstream; VC reopens here
+		}
 		if in.recvMsg != nil {
 			panic("core: header delivered while another message is arriving on the VC")
 		}
@@ -297,10 +430,13 @@ func (r *Router) Step(now sim.Time) {
 // submit crossbar requests for idle VCs whose head is an eligible header,
 // then process each output port's FCFS request queue.
 func (r *Router) routeAndArbitrate(now sim.Time) {
-	// Stage 2: routing decision + request submission.
+	// Stage 2: dead-message reaping, then routing decision + request
+	// submission. Reaping first keeps killed worms from occupying VCs or
+	// submitting requests.
 	for p := range r.in {
 		for v := range r.in[p].vcs {
 			in := &r.in[p].vcs[v]
+			r.reapInVC(p, in)
 			if in.phase != vcIdle || in.q.empty() {
 				continue
 			}
@@ -312,9 +448,17 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 				panic("core: non-header flit at head of idle VC")
 			}
 			msg := head.Msg
-			cands := r.cfg.Route(r.cfg.ID, msg)
+			cands := r.liveRoute(msg)
 			if len(cands) == 0 {
-				panic("core: routing function returned no output port")
+				// No live route (all candidate links down, or the routing
+				// function found the destination unreachable): kill the
+				// message so its buffered flits are reclaimed rather than
+				// blocking the VC forever. Retransmission retries it once
+				// a route recovers.
+				msg.Kill()
+				r.stats.MessagesKilled++
+				r.reapInVC(p, in)
+				continue
 			}
 			out := cands[0]
 			if len(cands) > 1 {
@@ -390,6 +534,64 @@ func (r *Router) allocOutVC(op *outPort, msg *flit.Message) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// liveRoute returns msg's routing candidates with dead links filtered out.
+// An empty result means "destination currently unreachable" and the caller
+// kills the message: fault-aware routing functions legitimately return no
+// candidates when a fault elsewhere in the fabric partitions the
+// destination away, even while every local link is up.
+func (r *Router) liveRoute(msg *flit.Message) []int {
+	cands := r.cfg.Route(r.cfg.ID, msg)
+	if len(cands) == 0 {
+		return nil
+	}
+	live := r.routeBuf[:0]
+	for _, p := range cands {
+		if r.linkUp[p] {
+			live = append(live, p)
+		}
+	}
+	r.routeBuf = live
+	return live
+}
+
+// reapInVC removes dead-message state from one input VC: buffered flits of
+// killed messages are dropped, and a killed head message releases its
+// request or output-VC grant so the resources recirculate.
+func (r *Router) reapInVC(p int, in *inVC) {
+	if in.recvMsg != nil && in.recvMsg.Dead {
+		in.recvMsg = nil
+	}
+	for !in.q.empty() && in.q.peek().Msg.Dead {
+		in.q.pop()
+		r.dropFlit(p)
+	}
+	if in.headMsg != nil && in.headMsg.Dead {
+		switch in.phase {
+		case vcRequested:
+			r.removeRequest(in)
+		case vcActive:
+			ov := &r.out[in.outPort].vcs[in.outVC]
+			if ov.busy == in.headMsg {
+				ov.busy = nil
+			}
+		}
+		in.phase = vcIdle
+		in.headMsg = nil
+	}
+}
+
+// removeRequest drops in's pending crossbar request from its output port's
+// FCFS queue.
+func (r *Router) removeRequest(in *inVC) {
+	op := &r.out[in.outPort]
+	for i := range op.reqs {
+		if op.reqs[i].in == in {
+			op.reqs = append(op.reqs[:i], op.reqs[i+1:]...)
+			return
+		}
+	}
 }
 
 // classRange returns the VC partition [lo, hi) for a traffic class.
@@ -641,12 +843,25 @@ func (r *Router) transmit(now sim.Time) {
 	defer func() { r.cands = cands }()
 	for p := range r.out {
 		op := &r.out[p]
+		staged := 0
 		cands = cands[:0]
 		for v := range op.vcs {
 			ov := &op.vcs[v]
+			// Reap dead worms at this output: staged flits of killed
+			// messages are dropped (head-first; a dead worm's flits are
+			// flushed within a few cycles even on shared endpoint VCs),
+			// and a killed holder releases the VC.
+			for !ov.stage.empty() && ov.stage.peek().Msg.Dead {
+				ov.stage.pop()
+				r.dropFlit(p)
+			}
+			if ov.busy != nil && ov.busy.Dead {
+				ov.busy = nil
+			}
 			if ov.stage.empty() {
 				continue
 			}
+			staged++
 			head := ov.stage.peek()
 			if head.Enq >= now { // staged this cycle; send next
 				continue
@@ -656,16 +871,89 @@ func (r *Router) transmit(now sim.Time) {
 			}
 			cands = append(cands, sched.Candidate{VC: v, TS: head.TS, Enq: head.Enq, Seq: uint64(v)})
 		}
+		if !r.linkUp[p] || r.stalled[p] {
+			// A dead or stalled link transmits nothing. Staged flits on a
+			// stalled link wait; on a dead link they belong to worms killed
+			// by SetLinkUp and are reaped above.
+			if staged > 0 {
+				r.portStats[p].StallCycles++
+			}
+			continue
+		}
 		if len(cands) == 0 {
+			if staged > 0 { // staged work, no downstream credit
+				r.portStats[p].StallCycles++
+			}
 			continue
 		}
 		v := cands[op.arb.Pick(cands)].VC
 		ov := &op.vcs[v]
 		f := ov.stage.pop()
+		if r.corrupt != nil && r.corrupt(p, f) {
+			// The flit is corrupted on the wire: the whole message is lost
+			// (wormhole has no flit-level recovery) and unravels.
+			f.Msg.Kill()
+			r.stats.MessagesKilled++
+			r.dropFlit(p)
+			continue
+		}
 		f.Enq = now + r.cfg.Period // arrival downstream after the wire
 		op.consumer.Accept(v, f)
 		r.stats.FlitsTransmitted++
 	}
+}
+
+// Blocked describes one input VC whose worm holds buffer space while waiting
+// on a switching resource — the nodes of the watchdog's wait-for graph.
+type Blocked struct {
+	// Router is the router's fabric ID; InPort/InVC locate the parked worm.
+	Router, InPort, InVC int
+	// OutPort is the output the worm targets. OutVC is its granted output
+	// VC, or -1 while it still awaits virtual-channel allocation.
+	OutPort, OutVC int
+	// Msg is the waiting message. Holder, for ungranted worms, is the
+	// message holding the first busy VC of the class partition the worm
+	// needs (nil if none is visible). The watchdog kills Msg directly when
+	// breaking a deadlock.
+	Msg, Holder *flit.Message
+}
+
+// BlockedWorms returns every input VC whose worm is waiting on a switching
+// resource: granted worms waiting for staging space or downstream credit,
+// and requested worms waiting for an output VC. The fabric's deadlock
+// watchdog chains these across routers into a wait-for cycle.
+func (r *Router) BlockedWorms() []Blocked {
+	var out []Blocked
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			in := &r.in[p].vcs[v]
+			if in.phase == vcIdle || in.headMsg == nil {
+				continue
+			}
+			b := Blocked{
+				Router: r.cfg.ID, InPort: p, InVC: v,
+				OutPort: in.outPort, OutVC: -1, Msg: in.headMsg,
+			}
+			if in.phase == vcActive {
+				b.OutVC = in.outVC
+			} else {
+				op := &r.out[in.outPort]
+				if op.endpoint {
+					b.Holder = op.vcs[in.headMsg.DstVC].busy
+				} else {
+					lo, hi := r.classRange(in.headMsg.Class)
+					for vv := lo; vv < hi; vv++ {
+						if m := op.vcs[vv].busy; m != nil {
+							b.Holder = m
+							break
+						}
+					}
+				}
+			}
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Quiesced reports whether the router holds no flits and no pending

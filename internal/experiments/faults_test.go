@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+// fast fidelity for the fault tests: small time base, short window.
+func faultTestOptions(seed uint64) Options {
+	return Options{Scale: 0.05, WarmupIntervals: 2, MeasureIntervals: 6, Seed: seed}
+}
+
+// TestFaultPointSeedDeterminism is the reproducibility acceptance check:
+// the same seed must give a byte-identical point, including every fault
+// event and every resilience counter; a different seed must not.
+func TestFaultPointSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) FaultPoint {
+		p, err := runFaultPoint(faultTestOptions(seed), 2)
+		if err != nil {
+			t.Fatalf("runFaultPoint: %v", err)
+		}
+		return p
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if a.LinkDowns == 0 {
+		t.Fatalf("no link faults landed at rate 2: %+v", a)
+	}
+	if c := run(8); c == a {
+		t.Fatalf("different seed produced identical point: %+v", c)
+	}
+}
+
+// TestFaultPointHealthyBaseline pins the zero-rate point: no faults, no
+// drops, no retransmissions, and every emitted frame delivered.
+func TestFaultPointHealthyBaseline(t *testing.T) {
+	p, err := runFaultPoint(faultTestOptions(1), 0)
+	if err != nil {
+		t.Fatalf("runFaultPoint: %v", err)
+	}
+	if p.LinkDowns != 0 || p.FlitsDropped != 0 || p.Retransmissions != 0 {
+		t.Fatalf("healthy baseline saw faults: %+v", p)
+	}
+	if p.DeliveredFrameRatio != 1 {
+		t.Fatalf("healthy baseline lost frames: ratio %v", p.DeliveredFrameRatio)
+	}
+}
+
+// TestFaultPointDegradesGracefully checks the closed loop at a hostile
+// fault rate: frames are lost but the run still completes, drains, and
+// delivers the bulk of the offered traffic.
+func TestFaultPointDegradesGracefully(t *testing.T) {
+	p, err := runFaultPoint(faultTestOptions(3), 4)
+	if err != nil {
+		t.Fatalf("runFaultPoint: %v", err)
+	}
+	if p.LinkDowns == 0 {
+		t.Fatalf("rate 4 produced no faults: %+v", p)
+	}
+	if p.DeliveredFrameRatio <= 0.5 || p.DeliveredFrameRatio > 1 {
+		t.Fatalf("delivered-frame ratio out of range: %+v", p)
+	}
+}

@@ -75,7 +75,19 @@ type Message struct {
 	DstVC int
 	// Injected is the instant the message entered its source NI queue.
 	Injected sim.Time
+	// Attempt is the end-to-end transmission attempt: 0 for the original
+	// injection, incremented by the NI retransmission layer on each resend.
+	Attempt int
+	// Dead marks a message killed by the fault/resilience layer (link
+	// failure, flit corruption, retransmission timeout, or deadlock
+	// recovery). Routers and NIs reap dead messages' flits from their
+	// buffers instead of forwarding them, so the worm unravels and its
+	// buffer space and virtual channels are reclaimed.
+	Dead bool
 }
+
+// Kill marks the message dead. Killing an already-dead message is a no-op.
+func (m *Message) Kill() { m.Dead = true }
 
 // IsLastOfFrame reports whether this is the frame's final message.
 func (m *Message) IsLastOfFrame() bool { return m.MsgSeq == m.MsgsInFrame-1 }

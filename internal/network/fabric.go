@@ -26,6 +26,37 @@ type Fabric struct {
 	tickerOn bool
 	lastTick sim.Time
 	tickFn   func() // cached method value so rescheduling does not allocate
+
+	// links records router-to-router wiring: output (router, port) → input
+	// (router, port). The watchdog follows it to chain blocked worms across
+	// routers into a wait-for cycle.
+	links map[linkKey]linkKey
+
+	// Fault/resilience state. Drops are reconciled against work each cycle:
+	// routers and NIs count reaped flits, and the fabric subtracts the
+	// deltas so injected = delivered + dropped + in-flight always holds.
+	lastRouterDrops []uint64
+	lastNIDrops     []uint64
+
+	// Watchdog state (SetWatchdog). lastMotion snapshots the fabric-wide
+	// progress counter; idleTicks counts cycles with work but no motion.
+	watchdogLimit   int
+	watchdogRecover bool
+	lastMotion      uint64
+	idleTicks       int
+
+	// Deadlock is the first watchdog report (nil if it never tripped);
+	// Deadlocks counts trips, DeadlocksBroken recovery kills.
+	Deadlock        *DeadlockReport
+	Deadlocks       int
+	DeadlocksBroken int
+	// OnDeadlock, if set, observes every watchdog trip.
+	OnDeadlock func(*DeadlockReport)
+}
+
+type linkKey struct {
+	r    *core.Router
+	port int
 }
 
 // NewFabric creates an empty fabric with the given cycle period.
@@ -33,7 +64,7 @@ func NewFabric(engine *sim.Engine, period sim.Time) *Fabric {
 	if period <= 0 {
 		panic("network: non-positive period")
 	}
-	f := &Fabric{Engine: engine, Period: period, lastTick: -1}
+	f := &Fabric{Engine: engine, Period: period, lastTick: -1, links: make(map[linkKey]linkKey)}
 	f.tickFn = f.tick
 	return f
 }
@@ -59,6 +90,7 @@ func (f *Fabric) AttachEndpoint(r *core.Router, port, node int) (*NI, *Sink) {
 // (one direction; call twice for a bidirectional channel).
 func (f *Fabric) Link(a *core.Router, ap int, b *core.Router, bp int) {
 	a.Connect(ap, &routerInput{r: b, port: bp}, false)
+	f.links[linkKey{a, ap}] = linkKey{b, bp}
 }
 
 // routerInput adapts a router's input port to the core.Consumer interface.
@@ -90,6 +122,15 @@ func (f *Fabric) wake() {
 	f.Engine.At(next, f.tickFn)
 }
 
+// Wake restarts the cycle driver if it is dormant — the fault injector calls
+// it when lifting a stall or restoring a link so a watchdog-stopped fabric
+// resumes.
+func (f *Fabric) Wake() {
+	if f.work > 0 {
+		f.wake()
+	}
+}
+
 // tick advances the whole fabric one cycle: routers first (in registration
 // order), then NIs. Credits freed by a router's switch traversal are visible
 // to NIs within the same cycle; flits put on wires arrive next cycle.
@@ -102,11 +143,56 @@ func (f *Fabric) tick() {
 	for _, ni := range f.NIs {
 		ni.step(now)
 	}
+	f.reconcileDrops()
+	if f.watchdogLimit > 0 && f.work > 0 && f.watchdogTrip(now) {
+		f.tickerOn = false
+		return
+	}
 	if f.work > 0 {
 		f.Engine.At(now+f.Period, f.tickFn)
 	} else {
 		f.tickerOn = false
 	}
+}
+
+// reconcileDrops subtracts newly reaped flits (dead-message unraveling,
+// corruption, unroutable kills) from the in-flight work counter. Routers and
+// NIs own the drop counters; the fabric only reads the deltas, so every drop
+// path shares one accounting surface.
+func (f *Fabric) reconcileDrops() {
+	for len(f.lastRouterDrops) < len(f.Routers) {
+		f.lastRouterDrops = append(f.lastRouterDrops, 0)
+	}
+	for len(f.lastNIDrops) < len(f.NIs) {
+		f.lastNIDrops = append(f.lastNIDrops, 0)
+	}
+	for i, r := range f.Routers {
+		if d := r.Stats().FlitsDropped; d != f.lastRouterDrops[i] {
+			f.work -= int64(d - f.lastRouterDrops[i])
+			f.lastRouterDrops[i] = d
+		}
+	}
+	for i, ni := range f.NIs {
+		if d := ni.Dropped; d != f.lastNIDrops[i] {
+			f.work -= int64(d - f.lastNIDrops[i])
+			f.lastNIDrops[i] = d
+		}
+	}
+	if f.work < 0 {
+		panic("network: flit conservation violated (work went negative)")
+	}
+}
+
+// DroppedFlits returns the total flits reaped so far across routers and NIs.
+func (f *Fabric) DroppedFlits() uint64 {
+	var total uint64
+	for _, r := range f.Routers {
+		total += r.Stats().FlitsDropped
+	}
+	for _, ni := range f.NIs {
+		total += ni.Dropped
+	}
+	return total
 }
 
 // Work returns the number of flits currently inside the fabric.

@@ -1,0 +1,79 @@
+package network
+
+import (
+	"testing"
+
+	"mediaworm/internal/flit"
+)
+
+// TestMsgQueueHeadCompaction exercises pop's compaction branch (head > 64
+// with the live region at most half the buffer) under a push/pop pattern
+// that crosses the threshold repeatedly, checking FIFO order and contents
+// survive every compaction. Retransmission re-enqueues messages through
+// this queue, so silent corruption here would resend the wrong worm.
+func TestMsgQueueHeadCompaction(t *testing.T) {
+	var q msgQueue
+	mk := func(id uint64) *flit.Message { return &flit.Message{ID: id} }
+
+	var next, popped uint64
+	expect := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if q.empty() {
+				t.Fatalf("queue empty before message %d", popped)
+			}
+			if got := q.peek(); got.ID != popped {
+				t.Fatalf("peek returned id %d, want %d (head=%d, cap=%d)",
+					got.ID, popped, q.head, len(q.buf))
+			}
+			if got := q.pop(); got.ID != popped {
+				t.Fatalf("pop returned id %d, want %d", got.ID, popped)
+			}
+			popped++
+		}
+	}
+
+	// Phase 1: drive head well past 64 while keeping the queue deep enough
+	// that head*2 < len(buf) defers compaction, then drain until it fires.
+	for i := 0; i < 300; i++ {
+		q.push(mk(next))
+		next++
+	}
+	expect(100) // head reaches 100 > 64; live region 200 ⇒ no compaction yet
+	if q.head == 0 {
+		t.Fatal("compaction fired too early: head*2 < len(buf)")
+	}
+	expect(60) // head reaches 150 ≥ half of 300 mid-way ⇒ compaction fires
+	if len(q.buf) >= 300 {
+		t.Fatalf("compaction did not fire: head=%d, len=%d", q.head, len(q.buf))
+	}
+	if q.len() != 140 {
+		t.Fatalf("post-compaction length %d, want 140", q.len())
+	}
+
+	// Phase 2: interleave pushes with pops so the threshold is crossed
+	// again with fresh tail content appended after a compaction.
+	for i := 0; i < 200; i++ {
+		q.push(mk(next))
+		next++
+		expect(1)
+		if i%3 == 0 {
+			q.push(mk(next))
+			next++
+		}
+	}
+	// Drain completely: every remaining message still in order.
+	expect(q.len())
+	if !q.empty() || q.len() != 0 {
+		t.Fatalf("queue not empty after drain: len=%d", q.len())
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed messages", popped, next)
+	}
+
+	// Phase 3: reuse after full drain.
+	q.push(mk(next))
+	if got := q.pop(); got.ID != next {
+		t.Fatalf("post-drain reuse returned id %d, want %d", got.ID, next)
+	}
+}

@@ -66,9 +66,15 @@ type NI struct {
 	Stalls uint64
 	// Sent counts transmitted flits.
 	Sent uint64
+	// Dropped counts flits of dead messages reaped from the injection queues
+	// before transmission. The fabric reconciles it against work each cycle.
+	Dropped uint64
 	// RTFlits and BEFlits count injected flits per class — the offered-load
 	// signal dynamic VC partitioning reads.
 	RTFlits, BEFlits uint64
+
+	// retx, if set, tracks injected messages for end-to-end retransmission.
+	retx *Retransmitter
 }
 
 func newNI(f *Fabric, r *core.Router, port, node int) *NI {
@@ -96,6 +102,9 @@ func (n *NI) Inject(vc int, msg *flit.Message) {
 	}
 	n.vcs[vc].q.push(msg)
 	n.fab.addWork(msg.Flits)
+	if n.retx != nil {
+		n.retx.track(n, vc, msg)
+	}
 }
 
 // SetPolicy replaces the injection link's scheduling discipline (by default
@@ -123,11 +132,25 @@ func (n *NI) Empty() bool {
 	return true
 }
 
+// reap drops dead head messages from a VC's injection queue: the flits not
+// yet transmitted are counted in Dropped (the router reaps the ones already
+// on the wire). Dead messages deeper in the queue are reaped lazily when
+// they reach the head.
+func (n *NI) reap(nv *niVC) {
+	for !nv.q.empty() && nv.q.peek().Dead {
+		msg := nv.q.pop()
+		n.Dropped += uint64(msg.Flits - nv.sent)
+		nv.sent = 0
+		nv.havePending = false
+	}
+}
+
 // step transmits at most one flit onto the injection link this cycle.
 func (n *NI) step(now sim.Time) {
 	cands := n.cands[:0]
 	for v := range n.vcs {
 		nv := &n.vcs[v]
+		n.reap(nv)
 		if nv.q.empty() || !n.router.HasCredit(n.port, v) {
 			continue
 		}

@@ -16,6 +16,10 @@ type Sink struct {
 	// frames maps (stream, frame) to the number of messages still missing.
 	frames map[uint64]int
 
+	// retx, if set, is acknowledged on every tail arrival so the
+	// retransmission layer can cancel the message's timeout.
+	retx *Retransmitter
+
 	// OnFrame, if set, is called when the last flit of a frame's last
 	// outstanding message arrives: the paper's frame delivery instant.
 	OnFrame func(stream, frame int, t sim.Time)
@@ -46,6 +50,9 @@ func (s *Sink) Accept(_ int, f flit.Flit) {
 	s.MessagesReceived++
 	m := f.Msg
 	t := f.Enq // arrival instant at the endpoint
+	if s.retx != nil {
+		s.retx.ack(m)
+	}
 	if s.OnMessage != nil {
 		s.OnMessage(m, t)
 	}

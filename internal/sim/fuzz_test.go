@@ -1,0 +1,189 @@
+package sim
+
+import "testing"
+
+// FuzzEngineInterleavings drives the engine with an arbitrary program of
+// schedule/cancel/stop/run operations — including operations issued from
+// inside running callbacks — and checks the two calendar invariants that
+// everything above this package depends on:
+//
+//  1. events execute in strict (time, scheduling-order) order, and
+//  2. a cancelled event never executes.
+//
+// The byte stream is an opcode tape; exhausting it falls back to zeros, so
+// every input is a valid program and the harness never rejects a mutation.
+func FuzzEngineInterleavings(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 0, 1, 0, 2, 10, 0, 9, 3, 0, 200, 4})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 0})
+	f.Add([]byte{3, 0, 0, 0, 7, 5, 2, 3, 0, 1, 2, 2, 255, 4, 0, 0})
+	f.Add([]byte{2, 50, 0, 30, 3, 1, 0, 0, 2, 0, 1, 0, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxEvents = 512
+		e := NewEngine()
+		type rec struct {
+			id        int // scheduling order: matches engine seq order
+			at        Time
+			ev        *Event
+			cancelled bool
+			fired     bool
+		}
+		var (
+			recs []*rec
+			last *rec // most recently executed, for order checking
+			pos  int
+		)
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if len(recs) >= maxEvents {
+				return
+			}
+			r := &rec{id: len(recs), at: e.Now() + Time(next()%16)}
+			recs = append(recs, r)
+			r.ev = e.At(r.at, func() {
+				if r.cancelled {
+					t.Fatalf("cancelled event %d executed", r.id)
+				}
+				if r.fired {
+					t.Fatalf("event %d executed twice", r.id)
+				}
+				r.fired = true
+				if e.Now() != r.at {
+					t.Fatalf("event %d ran at t=%d, scheduled for %d", r.id, e.Now(), r.at)
+				}
+				if last != nil && (last.at > r.at || (last.at == r.at && last.id > r.id)) {
+					t.Fatalf("order violated: (%d,%d) before (%d,%d)",
+						last.at, last.id, r.at, r.id)
+				}
+				last = r
+				// Callbacks mutate the calendar mid-run too.
+				switch next() % 4 {
+				case 0:
+					if depth < 8 {
+						schedule(depth + 1) // includes at == now: same-instant chains
+					}
+				case 1:
+					if n := len(recs); n > 0 {
+						v := recs[int(next())%n]
+						e.Cancel(v.ev)
+						if !v.fired {
+							v.cancelled = true
+						}
+					}
+				case 2:
+					e.Stop()
+				}
+			})
+		}
+		for ops := 0; ops < 64 && (pos < len(data) || ops == 0); ops++ {
+			switch next() % 4 {
+			case 0:
+				schedule(0)
+			case 1:
+				if n := len(recs); n > 0 {
+					v := recs[int(next())%n]
+					e.Cancel(v.ev)
+					if !v.fired {
+						v.cancelled = true
+					}
+				}
+			case 2:
+				e.Run(e.Now() + Time(next()))
+			case 3:
+				if _, err := e.RunUntilIdle(e.Now()+Time(next()), 1<<20); err != nil {
+					t.Fatalf("RunUntilIdle: %v", err)
+				}
+			}
+		}
+		// Callbacks may Stop mid-drain; each Drain still executes at least
+		// one event first, so re-draining terminates.
+		for e.Pending() > 0 {
+			e.Drain()
+		}
+		for _, r := range recs {
+			if r.cancelled && r.fired {
+				t.Fatalf("cancelled event %d fired", r.id)
+			}
+			if !r.cancelled && !r.fired {
+				t.Fatalf("live event %d never executed", r.id)
+			}
+		}
+	})
+}
+
+// TestRunUntilIdleBreaksZeroDelayLoop pins the misuse guard: a model that
+// reschedules itself at the current instant would spin Run forever;
+// RunUntilIdle returns an error instead of hanging.
+func TestRunUntilIdleBreaksZeroDelayLoop(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.At(e.Now(), loop) }
+	e.At(10, loop)
+	at, err := e.RunUntilIdle(Forever, 1000)
+	if err == nil {
+		t.Fatal("zero-delay loop not detected")
+	}
+	if at != 10 {
+		t.Fatalf("stuck instant reported as %d, want 10", at)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("guard should leave the pending loop event queued for inspection")
+	}
+}
+
+// TestRunUntilIdleMatchesRunOnHealthyModel checks the guard is transparent
+// for a model that advances time: same events, same final clock as Run.
+func TestRunUntilIdleMatchesRunOnHealthyModel(t *testing.T) {
+	build := func(e *Engine, fired *[]Time) {
+		var tick func()
+		n := 0
+		tick = func() {
+			*fired = append(*fired, e.Now())
+			if n++; n < 50 {
+				e.After(3, tick)
+			}
+		}
+		e.At(0, tick)
+		e.At(60, func() { *fired = append(*fired, e.Now()) })
+	}
+	var a, b []Time
+	ea, eb := NewEngine(), NewEngine()
+	build(ea, &a)
+	build(eb, &b)
+	endA := ea.Run(1000)
+	endB, err := eb.RunUntilIdle(1000, 4)
+	if err != nil {
+		t.Fatalf("RunUntilIdle on healthy model: %v", err)
+	}
+	if endA != endB || len(a) != len(b) {
+		t.Fatalf("diverged from Run: end %d vs %d, %d vs %d events", endA, endB, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunUntilIdleToleratesSameInstantFanOut checks that legitimate bursts
+// of events sharing an instant pass when idleLimit covers the fan-out.
+func TestRunUntilIdleToleratesSameInstantFanOut(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 100; i++ {
+		e.At(5, func() { ran++ })
+	}
+	if _, err := e.RunUntilIdle(Forever, 200); err != nil {
+		t.Fatalf("fan-out within limit rejected: %v", err)
+	}
+	if ran != 100 {
+		t.Fatalf("ran %d events, want 100", ran)
+	}
+}

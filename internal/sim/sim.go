@@ -165,3 +165,50 @@ func (e *Engine) Run(horizon Time) Time {
 // Drain runs until the event queue is empty, with no horizon. Use with
 // models that are guaranteed to quiesce.
 func (e *Engine) Drain() Time { return e.Run(Forever) }
+
+// RunUntilIdle executes events like Run but guards against calendar
+// livelock: a model that keeps rescheduling work at the current instant
+// (zero-delay self-scheduling loops) never advances the clock and would
+// spin Run forever. If more than idleLimit events execute in a row without
+// the clock moving, RunUntilIdle stops and returns an error naming the
+// stuck instant, leaving the remaining events queued for inspection.
+// idleLimit must be positive; events legitimately sharing an instant count
+// against the limit, so size it above the model's fan-out per cycle.
+func (e *Engine) RunUntilIdle(horizon Time, idleLimit uint64) (Time, error) {
+	if idleLimit == 0 {
+		panic("sim: RunUntilIdle needs a positive idleLimit")
+	}
+	e.stopped = false
+	var sameInstant uint64
+	last := e.now
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now, nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		if next.dead {
+			continue
+		}
+		if e.now == last {
+			if sameInstant++; sameInstant > idleLimit {
+				heap.Push(&e.queue, next) // leave the offender queued for inspection
+				return e.now, fmt.Errorf(
+					"sim: no clock progress after %d events at t=%d (zero-delay scheduling loop?)",
+					sameInstant, e.now)
+			}
+		} else {
+			sameInstant = 0
+			last = e.now
+		}
+		next.dead = true
+		e.processed++
+		next.fn()
+	}
+	if e.now < horizon && horizon != Forever && len(e.queue) == 0 {
+		e.now = horizon
+	}
+	return e.now, nil
+}

@@ -19,6 +19,32 @@ type Net struct {
 	Routers []*core.Router
 	NIs     []*network.NI
 	Sinks   []*network.Sink
+
+	transit []TransitLink
+}
+
+// TransitLink is one bidirectional switch-to-switch channel: switch A's
+// port APort wired to switch B's port BPort (and back). The fault injector
+// uses this inventory to pick fault targets, and experiments use its length
+// to convert dead links into a capacity fraction.
+type TransitLink struct {
+	A, B         int // switch indices
+	APort, BPort int
+}
+
+// TransitLinks returns the switch-to-switch link inventory (empty for a
+// single switch).
+func (n *Net) TransitLinks() []TransitLink { return n.transit }
+
+// LiveTransitLinks counts transit links whose both directions are up.
+func (n *Net) LiveTransitLinks() int {
+	live := 0
+	for _, l := range n.transit {
+		if n.Routers[l.A].LinkUp(l.APort) && n.Routers[l.B].LinkUp(l.BPort) {
+			live++
+		}
+	}
+	return live
 }
 
 // Endpoints returns the number of endpoint nodes.
@@ -120,6 +146,9 @@ func Tetrahedral(engine *sim.Engine, base core.Config) (*Net, error) {
 		for t := s + 1; t < tetraSwitches; t++ {
 			f.Link(routers[s], tetraPort(s, t), routers[t], tetraPort(t, s))
 			f.Link(routers[t], tetraPort(t, s), routers[s], tetraPort(s, t))
+			net.transit = append(net.transit, TransitLink{
+				A: s, B: t, APort: tetraPort(s, t), BPort: tetraPort(t, s),
+			})
 		}
 	}
 	// Port 7 of every switch is unused; terminate it so a buggy route
@@ -165,6 +194,100 @@ func fatMeshRoute(routerID int, msg *flit.Message) []int {
 	return []int{fmYPortA, fmYPortB}
 }
 
+// fmPorts returns the two parallel ports on switch s that reach switch t,
+// or nil when the switches are not adjacent (the 2×2 diagonal).
+func fmPorts(s, t int) []int {
+	switch {
+	case t == s^1: // X neighbour (flip the x coordinate)
+		return []int{fmXPortA, fmXPortB}
+	case t == s^2: // Y neighbour (flip the y coordinate)
+		return []int{fmYPortA, fmYPortB}
+	default:
+		return nil
+	}
+}
+
+// fatMeshFaultRoute wraps the static XY route with global link-health
+// awareness. While every transit link is up it returns exactly the static
+// candidate set (bit-identical fault-free behaviour). When links are dead it
+// BFSes the 2×2 switch graph over live links and steers toward the next hop
+// of a shortest live path — a *global* detour, because a local fallback
+// ("X is dead, try Y") can bounce a message between two switches forever.
+// The detours mix X-then-Y with Y-then-X segments, so routing under faults
+// is no longer provably deadlock-free: that is exactly the regime the
+// network-layer progress watchdog exists for.
+func fatMeshFaultRoute(routers []*core.Router) core.RoutingFunc {
+	degraded := func() bool {
+		for _, r := range routers {
+			for _, p := range [...]int{fmXPortA, fmXPortB, fmYPortA, fmYPortB} {
+				if !r.LinkUp(p) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// alive reports whether any parallel link from s to t is up (directed:
+	// only s's output ports matter for s's routing decision).
+	alive := func(s, t int) bool {
+		for _, p := range fmPorts(s, t) {
+			if routers[s].LinkUp(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return func(routerID int, msg *flit.Message) []int {
+		dstSw, dstPort := FatMeshEndpointLocation(msg.Dst)
+		if dstSw == routerID {
+			return []int{dstPort}
+		}
+		if !degraded() {
+			return fatMeshRoute(routerID, msg)
+		}
+		// BFS from dstSw backwards over live directed edges, so dist[s] is
+		// the live-hop distance from s to the destination switch.
+		const inf = fmSwitches + 1
+		var dist [fmSwitches]int
+		for i := range dist {
+			dist[i] = inf
+		}
+		dist[dstSw] = 0
+		queue := [fmSwitches]int{dstSw}
+		head, tail := 0, 1
+		for head < tail {
+			t := queue[head]
+			head++
+			for s := 0; s < fmSwitches; s++ {
+				if dist[s] == inf && alive(s, t) {
+					dist[s] = dist[t] + 1
+					queue[tail] = s
+					tail++
+				}
+			}
+		}
+		if dist[routerID] == inf {
+			return nil // unreachable: the router kills the message
+		}
+		// Steer to the neighbour on a shortest live path (ascending switch
+		// id breaks ties deterministically), returning its live ports so
+		// the router still load-balances across a surviving parallel pair.
+		for t := 0; t < fmSwitches; t++ {
+			if fmPorts(routerID, t) == nil || dist[t] != dist[routerID]-1 || !alive(routerID, t) {
+				continue
+			}
+			var cands []int
+			for _, p := range fmPorts(routerID, t) {
+				if routers[routerID].LinkUp(p) {
+					cands = append(cands, p)
+				}
+			}
+			return cands
+		}
+		return nil
+	}
+}
+
 // FatMesh2x2 builds the paper's 4-switch fat-mesh from 8-port routers with
 // 16 endpoints. base.Ports must be 8 (or zero, in which case it is set);
 // base.ID and base.Route are overwritten.
@@ -175,10 +298,12 @@ func FatMesh2x2(engine *sim.Engine, base core.Config) (*Net, error) {
 	if base.Ports != 8 {
 		return nil, fmt.Errorf("topology: fat-mesh needs 8-port routers, got %d", base.Ports)
 	}
-	base.Route = fatMeshRoute
 	f := network.NewFabric(engine, base.Period)
 	net := &Net{Fabric: f}
 	routers := make([]*core.Router, fmSwitches)
+	// The routing closure reads live link health off the routers it is about
+	// to be installed on; the slice is filled before any routing happens.
+	base.Route = fatMeshFaultRoute(routers)
 	for s := 0; s < fmSwitches; s++ {
 		cfg := base
 		cfg.ID = s
@@ -210,6 +335,9 @@ func FatMesh2x2(engine *sim.Engine, base core.Config) (*Net, error) {
 	for _, pr := range pairs {
 		f.Link(routers[pr.a], pr.pa, routers[pr.b], pr.pb)
 		f.Link(routers[pr.b], pr.pb, routers[pr.a], pr.pa)
+		net.transit = append(net.transit, TransitLink{
+			A: pr.a, B: pr.b, APort: pr.pa, BPort: pr.pb,
+		})
 	}
 	return net, nil
 }

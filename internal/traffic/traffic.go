@@ -67,6 +67,40 @@ type Stream struct {
 
 	// FramesInjected counts emitted frames (for tests).
 	FramesInjected int
+
+	// OnEmit, if set, observes every emitted frame (delivered-frame
+	// accounting in the resilience experiments).
+	OnEmit func(stream, frame int)
+
+	// revoked pauses emission (admission-controlled QoS degradation);
+	// parked records that the self-scheduling emit chain has died and
+	// Resume must restart it.
+	revoked bool
+	parked  bool
+}
+
+// ID returns the stream's identifier.
+func (s *Stream) ID() int { return s.cfg.ID }
+
+// Revoked reports whether the stream is currently revoked.
+func (s *Stream) Revoked() bool { return s.revoked }
+
+// Revoke pauses frame emission from the next frame boundary on — the
+// admission controller's graceful-degradation lever. Frames already
+// segmented keep injecting; nothing new is scheduled.
+func (s *Stream) Revoke() { s.revoked = true }
+
+// Resume re-admits a revoked stream: emission restarts one inter-frame
+// interval from now (a fresh phase, as if the stream had just been set up).
+func (s *Stream) Resume() {
+	if !s.revoked {
+		return
+	}
+	s.revoked = false
+	if s.parked {
+		s.parked = false
+		s.eng.At(s.eng.Now()+s.cfg.Interval, s.emitFrame)
+	}
 }
 
 // StartStream wires a stream to its source NI and schedules its first frame.
@@ -91,6 +125,10 @@ func StartStream(eng *sim.Engine, ni *network.NI, cfg StreamConfig, rnd *rng.Sou
 func (s *Stream) emitFrame() {
 	now := s.eng.Now()
 	if now >= s.cfg.Stop {
+		return
+	}
+	if s.revoked {
+		s.parked = true
 		return
 	}
 	bytes := s.cfg.Sizer.NextFrameBytes()
@@ -145,6 +183,9 @@ func (s *Stream) emitFrame() {
 		})
 	}
 	s.FramesInjected++
+	if s.OnEmit != nil {
+		s.OnEmit(s.cfg.ID, frame)
+	}
 	s.frame++
 	s.eng.At(now+s.cfg.Interval, s.emitFrame)
 }

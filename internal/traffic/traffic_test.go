@@ -454,3 +454,61 @@ func TestGoPMixProducesStructuredSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStreamRevokeAndResume(t *testing.T) {
+	eng, net := testNet(t, 2, 4, 4)
+	var ids uint64
+	const interval = 500 * sim.Microsecond
+	var emitted []int
+	st, err := StartStream(eng, net.NIs[0], StreamConfig{
+		ID: 7, Class: flit.CBR, Src: 0, Dst: 1, InVC: 1, DstVC: 2,
+		FrameBytes: 1000, Interval: interval,
+		MsgFlits: 20, FlitBits: 32,
+		Start: 0, Stop: 10 * sim.Millisecond,
+	}, rng.New(1), &ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.OnEmit = func(stream, frame int) { emitted = append(emitted, frame) }
+
+	// Revoke after ~3 frames; the emit chain parks at the next boundary.
+	eng.At(sim.Time(3)*interval+interval/2, func() { st.Revoke() })
+	eng.Run(6 * interval)
+	parkedAt := len(emitted)
+	if parkedAt == 0 {
+		t.Fatal("no frames emitted before revocation")
+	}
+	if !st.Revoked() {
+		t.Fatal("stream not marked revoked")
+	}
+
+	// While revoked, nothing is emitted.
+	eng.Run(8 * interval)
+	if len(emitted) != parkedAt {
+		t.Fatalf("revoked stream emitted %d extra frames", len(emitted)-parkedAt)
+	}
+
+	// Resume restarts emission one interval later and frames keep flowing.
+	resumeAt := eng.Now()
+	st.Resume()
+	if st.Revoked() {
+		t.Fatal("stream still revoked after Resume")
+	}
+	eng.Run(resumeAt + 4*interval)
+	if len(emitted) <= parkedAt {
+		t.Fatal("resumed stream emitted nothing")
+	}
+
+	// Resume on a non-parked stream must not double the emit chain: frame
+	// counts stay consecutive (each frame observed exactly once).
+	st.Resume()
+	eng.Drain()
+	for i, f := range emitted {
+		if f != i {
+			t.Fatalf("frame sequence broken at %d: %v", i, emitted[:i+1])
+		}
+	}
+	if got := st.FramesInjected; got != len(emitted) {
+		t.Fatalf("FramesInjected %d != %d observed emissions", got, len(emitted))
+	}
+}

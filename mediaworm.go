@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"mediaworm/internal/core"
+	"mediaworm/internal/fault"
 	"mediaworm/internal/flit"
+	"mediaworm/internal/network"
 	"mediaworm/internal/pcs"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/sched"
@@ -110,6 +112,49 @@ func Run(cfg Config) (Result, error) {
 
 	warmup := sim.Time(cfg.Warmup.Nanoseconds())
 	stop := warmup + sim.Time(cfg.Measure.Nanoseconds())
+
+	// Fault-injection and resilience wiring (absent when Faults is zero).
+	var (
+		ledger   *stats.FrameLedger
+		retx     *network.Retransmitter
+		injector *fault.Injector
+	)
+	if cfg.Faults.enabled() {
+		fc := cfg.Faults
+		wd := fc.WatchdogCycles
+		if wd == 0 {
+			wd = 50000
+		}
+		if wd > 0 {
+			net.Fabric.SetWatchdog(wd, fc.WatchdogRecover)
+		}
+		if fc.Retransmit {
+			timeout := fc.RetransmitTimeout
+			if timeout == 0 {
+				timeout = 2 * cfg.FrameInterval
+			}
+			attempts := fc.MaxRetransmits
+			if attempts == 0 {
+				attempts = 4
+			}
+			retx = network.NewRetransmitter(net.Fabric,
+				sim.Time(timeout.Nanoseconds()), attempts)
+		}
+		injector = fault.NewInjector(eng, net.Fabric, rng.NewStream(cfg.Seed, "fault"))
+		if fc.LinkMTBF > 0 {
+			for _, l := range net.TransitLinks() {
+				injector.Churn(fault.Link{
+					A: net.Routers[l.A], APort: l.APort,
+					B: net.Routers[l.B], BPort: l.BPort,
+				}, sim.Time(fc.LinkMTBF.Nanoseconds()), sim.Time(fc.LinkMTTR.Nanoseconds()), stop)
+			}
+		}
+		if fc.FlitCorruptionProb > 0 {
+			injector.CorruptFlits(fc.FlitCorruptionProb)
+		}
+		ledger = stats.NewFrameLedger()
+	}
+
 	intervals := stats.NewIntervalTracker(warmup)
 	be := stats.NewBestEffort(warmup)
 	var playout *stats.PlayoutTracker
@@ -122,6 +167,9 @@ func Run(cfg Config) (Result, error) {
 			intervals.Observe(stream, at)
 			if playout != nil {
 				playout.Observe(stream, frame, at)
+			}
+			if ledger != nil {
+				ledger.Delivered(stream)
 			}
 		}
 		s.OnMessage = func(m *flit.Message, at sim.Time) {
@@ -153,6 +201,11 @@ func Run(cfg Config) (Result, error) {
 	for _, src := range w.BESources {
 		src.OnInject = func(m *flit.Message) { be.Injected(m.Injected) }
 	}
+	if ledger != nil {
+		for _, st := range w.Streams {
+			st.OnEmit = func(stream, frame int) { ledger.Emitted(stream) }
+		}
+	}
 
 	// Run through the measurement window, snapshot the best-effort backlog
 	// (the saturation signal), then let in-flight traffic drain (bounded:
@@ -160,8 +213,13 @@ func Run(cfg Config) (Result, error) {
 	eng.Run(stop)
 	injAtStop, delAtStop := be.Counts()
 	eng.Drain()
-	if err := net.Fabric.CheckDrained(); err != nil {
-		return Result{}, fmt.Errorf("mediaworm: %w", err)
+	// A watchdog trip without recovery leaves the deadlocked worms' flits
+	// in the fabric by design — the report stands in for the drain check.
+	deadlockStopped := net.Fabric.Deadlock != nil && !cfg.Faults.WatchdogRecover
+	if !deadlockStopped {
+		if err := net.Fabric.CheckDrained(); err != nil {
+			return Result{}, fmt.Errorf("mediaworm: %w", err)
+		}
 	}
 
 	var sunk uint64
@@ -194,6 +252,29 @@ func Run(cfg Config) (Result, error) {
 			Delivered:     del,
 			Saturated:     saturatedBE(injAtStop, delAtStop),
 		}
+	}
+	if cfg.Faults.enabled() {
+		rr := ResilienceResult{Enabled: true}
+		for _, r := range net.Routers {
+			rr.MessagesKilled += r.Stats().MessagesKilled
+		}
+		rr.FlitsDropped = net.Fabric.DroppedFlits()
+		rr.LinkDowns, rr.LinkUps = injector.LinkDowns, injector.LinkUps
+		if retx != nil {
+			rr.Retransmissions = retx.Retransmissions
+			rr.Recovered = retx.Recovered
+			rr.Abandoned = retx.Abandoned
+		}
+		if ledger != nil {
+			rr.FramesEmitted, rr.FramesDelivered = ledger.Counts()
+			rr.DeliveredFrameRatio = ledger.Ratio()
+		}
+		rr.Deadlocks = net.Fabric.Deadlocks
+		rr.DeadlocksBroken = net.Fabric.DeadlocksBroken
+		if net.Fabric.Deadlock != nil {
+			rr.DeadlockReport = net.Fabric.Deadlock.String()
+		}
+		res.Resilience = rr
 	}
 	return res, nil
 }

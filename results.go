@@ -27,6 +27,37 @@ type Result struct {
 	// Playout reports the end-user deadline-miss metric (zero-valued when
 	// Config.PlayoutBufferFrames is 0).
 	Playout PlayoutResult
+
+	// Resilience reports the fault layer's accounting (zero-valued when
+	// Config.Faults is disabled).
+	Resilience ResilienceResult
+}
+
+// ResilienceResult reports what the fault layer did to a run and how the
+// resilience mechanisms responded.
+type ResilienceResult struct {
+	// Enabled records that Config.Faults was armed (distinguishes a clean
+	// zero-fault run from a run without the fault layer).
+	Enabled bool
+	// LinkDowns/LinkUps count bidirectional transit-link transitions.
+	LinkDowns, LinkUps uint64
+	// FlitsDropped counts flits reaped anywhere in the fabric (dead-worm
+	// unraveling, corruption, unroutable kills). MessagesKilled counts the
+	// messages those flits belonged to, as seen at the routers.
+	FlitsDropped   uint64
+	MessagesKilled uint64
+	// Retransmissions, Recovered and Abandoned summarize the NI
+	// retransmission layer (zero when Faults.Retransmit is off).
+	Retransmissions, Recovered, Abandoned uint64
+	// FramesEmitted/FramesDelivered reconcile source frames against fully
+	// reassembled sink frames; DeliveredFrameRatio is their quotient — the
+	// headline graceful-degradation metric.
+	FramesEmitted, FramesDelivered uint64
+	DeliveredFrameRatio            float64
+	// Deadlocks counts watchdog trips, DeadlocksBroken recovery kills, and
+	// DeadlockReport renders the first trip's blocked-VC wait-for cycle.
+	Deadlocks, DeadlocksBroken int
+	DeadlockReport             string
 }
 
 // PlayoutResult measures soft-guarantee quality as a video client sees it:
