@@ -1,0 +1,175 @@
+// Command mwlint runs the repository's determinism and exhaustiveness
+// analyzers (internal/analysis) over module packages and reports findings
+// in the familiar file:line:col form. It exits 1 when any finding survives
+// annotation filtering, 2 on load or usage errors — so CI can gate on it:
+//
+//	go run ./cmd/mwlint ./...
+//
+// Patterns are ./... (the whole module, the default), a package directory
+// like ./internal/core, or a full import path. See DESIGN.md,
+// "Determinism rules & static analysis", for the rules and the
+// //mw:<analyzer> annotation form that records intentional exceptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mediaworm/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mwlint [-list] [-only a,b] [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var chosen []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				chosen = append(chosen, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("unknown analyzer %q (try -list)", name)
+		}
+		suite = chosen
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paths, err := resolvePatterns(root, flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loader := analysis.NewLoader(root)
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diags, err := analysis.RunAnalyzers(suite, pkg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, err := filepath.Rel(wd, pos.Filename)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mwlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// resolvePatterns expands command-line package patterns into module import
+// paths. Supported: "./..." (everything), "<dir>/..." subtrees, package
+// directories relative to the working directory, and full import paths.
+func resolvePatterns(root string, args []string) ([]string, error) {
+	all, err := analysis.ModulePackages(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return all, nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(arg, "/..."):
+			prefix, err := argToPath(root, strings.TrimSuffix(arg, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("mwlint: no packages match %q", arg)
+			}
+		default:
+			p, err := argToPath(root, arg)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// argToPath maps one non-wildcard argument to a module import path.
+func argToPath(root, arg string) (string, error) {
+	if arg == "." {
+		arg = "./"
+	}
+	if strings.HasPrefix(arg, "./") || strings.HasPrefix(arg, "../") {
+		wd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		abs := filepath.Clean(filepath.Join(wd, arg))
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("mwlint: %q is outside the module", arg)
+		}
+		if rel == "." {
+			return analysis.ModulePath, nil
+		}
+		return analysis.ModulePath + "/" + filepath.ToSlash(rel), nil
+	}
+	return arg, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mwlint: "+format+"\n", args...)
+	os.Exit(2)
+}

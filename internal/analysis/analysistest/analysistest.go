@@ -1,0 +1,157 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// compares its diagnostics against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is one directory under internal/analysis/testdata/src holding a
+// small Go package. Lines that must produce a diagnostic carry a trailing
+// comment of the form
+//
+//	// want "regexp"
+//
+// where the quoted regexp must match the diagnostic's message. Every
+// diagnostic must be wanted and every want must be matched, so fixtures pin
+// both the flagged and the allowed cases. Fixtures are type-checked like
+// real packages (they may import the module's own packages), and the
+// analyzer sees them under a caller-chosen "as-if" import path, which is
+// how path-scoped analyzers are exercised from testdata.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mediaworm/internal/analysis"
+)
+
+// want is one expectation: a diagnostic whose message matches rx on the
+// given line of the given file.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<fixture> as if its import path were asPath, runs
+// the analyzer over it, and reports any mismatch between produced
+// diagnostics and // want expectations as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, fixture, asPath string) {
+	t.Helper()
+	dir := filepath.Join(testdataDir(t), "src", filepath.FromSlash(fixture))
+
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(root)
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, pkg)
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+}
+
+// collectWants scans the fixture's comments for // want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := unquoteWant(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				rx, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", pattern, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+		// Reject wants inside test files: the driver exempts them, so an
+		// expectation there can never be satisfied.
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			for _, w := range wants {
+				if w.file == name {
+					t.Fatalf("%s: // want in a _test.go fixture file; test files are exempt from analysis", filepath.Base(name))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteWant resolves the \" and \\ escapes the want-comment syntax allows.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case '"', '\\':
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// testdataDir locates internal/analysis/testdata relative to this source
+// file, so tests work regardless of the working directory.
+func testdataDir(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate analysistest source file")
+	}
+	return filepath.Join(filepath.Dir(thisFile), "..", "testdata")
+}

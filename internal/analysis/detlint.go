@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetLint forbids nondeterminism sources — the wall clock, the global
+// math/rand generator, and environment reads — inside simulation packages.
+//
+// A simulation run must be a pure function of its Config: the same seed
+// must reproduce the same figures byte for byte (the guarantee CSIM's
+// seeded streams gave the original paper). Wall-clock reads, global
+// randomness, and environment lookups each smuggle ambient state into that
+// function. Command-line front-ends (cmd/..., examples/...) are exempt —
+// progress reporting on a terminal is wall-clock by nature — and an
+// intentional exception inside a simulation package is annotated:
+//
+//	//mw:wallclock — <why this cannot leak into simulation results>
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall-clock, global randomness, and environment reads in simulation packages",
+	Run:  runDetLint,
+}
+
+// detBanned maps package path → function name → the hazard it introduces.
+var detBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+// randConstructors are the math/rand functions that merely build explicitly
+// seeded generators; everything else at package level consults the global
+// source and is banned.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// detLintScoped reports whether the package is a simulation package: part
+// of this module and not a command-line front-end.
+func detLintScoped(path string) bool {
+	if !inModule(path) {
+		return false
+	}
+	return !hasPathPrefix(path, ModulePath+"/cmd") && !hasPathPrefix(path, ModulePath+"/examples")
+}
+
+func runDetLint(pass *Pass) error {
+	if !detLintScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods are fine; only package-level functions are ambient
+			}
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			if why, ok := detBanned[pkgPath][name]; ok {
+				pass.Reportf(sel.Pos(), "%s.%s %s; simulation state must derive from Config alone — inject it, or annotate //mw:wallclock with a justification", pkgPath, name, why)
+				return true
+			}
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name] {
+				pass.Reportf(sel.Pos(), "%s.%s draws from the process-global generator; use a seeded rng.Source so runs reproduce, or annotate //mw:wallclock with a justification", pkgPath, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// The sim fixture pins the flagged cases (wall clock, global rand,
+// environment) plus three false-positive classes: explicit seeded sources,
+// //mw:wallclock annotations, and test-file exemption (exempt_test.go calls
+// time.Now with no want).
+func TestDetLintSimPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/sim", "mediaworm/internal/detfix")
+}
+
+// The cmd fixture pins the scope rule: command-line front-ends may read the
+// wall clock and environment freely.
+func TestDetLintCmdExempt(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/cmd", "mediaworm/cmd/detfix")
+}
+
+// The same front-end code under examples/ is exempt too.
+func TestDetLintExamplesExempt(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/cmd", "mediaworm/examples/detfix")
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive verifies that every switch over one of the module's enum types
+// (flit.Class, sched.Kind, core's VC phases, pcs.SelectMode, config
+// enumerations, …) either covers every declared constant of the type or
+// carries an explicit default clause. A new enum variant must force every
+// dispatch site to take a position, not silently fall through.
+//
+// A named type counts as an enum when it is declared in this module and its
+// declaring package defines at least two constants of exactly that type,
+// and — for integer types — the constant values are the contiguous block
+// 0..n-1 (the iota idiom). Quantity-like types with sparse constants, such
+// as sim.Time with its unit constants, are deliberately not enums.
+//
+// A switch that is intentionally partial is annotated //mw:exhaustive with
+// the reason.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over module enum types to cover every constant or declare a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			enum := enumConstants(tv.Type)
+			if enum == nil {
+				return true
+			}
+			covered := make(map[string]bool)
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				clause := stmt.(*ast.CaseClause)
+				if clause.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, expr := range clause.List {
+					if cv, ok := pass.TypesInfo.Types[expr]; ok && cv.Value != nil {
+						covered[cv.Value.ExactString()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range enum {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				named := namedOf(tv.Type)
+				pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default; cover every constant or add an explicit default (//mw:exhaustive to opt out)",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumConstants returns the declared constants of t's enum, or nil when t
+// is not an enum type of this module.
+func enumConstants(t types.Type) []*types.Const {
+	named := namedOf(t)
+	if named == nil {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !inModule(obj.Pkg().Path()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	isInt := basic.Info()&types.IsInteger != 0
+	isString := basic.Info()&types.IsString != 0
+	if !isInt && !isString {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	if isInt {
+		// Enum iff the distinct values are the contiguous block 0..n-1.
+		vals := make(map[int64]bool)
+		for _, c := range consts {
+			v, ok := constant.Int64Val(c.Val())
+			if !ok {
+				return nil
+			}
+			vals[v] = true
+		}
+		var distinct []int64
+		for v := range vals {
+			distinct = append(distinct, v)
+		}
+		sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+		for i, v := range distinct {
+			if v != int64(i) {
+				return nil
+			}
+		}
+	}
+	return consts
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// One fixture covers both polarities: partial switches over int and string
+// enums are flagged; full coverage (aliases included), defaults,
+// annotations, quantity types, foreign types, and tagless switches are not.
+func TestExhaustiveEnumFixture(t *testing.T) {
+	analysistest.Run(t, analysis.Exhaustive, "exhaustive/enum", "mediaworm/internal/enumfix")
+}

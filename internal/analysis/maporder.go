@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops in simulation-path packages whose
+// bodies do order-sensitive work: posting events on the sim calendar,
+// appending to slices, accumulating floating-point sums, or writing
+// output. Go randomizes map iteration order per run, so any of those leaks
+// the iteration order into observable results and breaks seed
+// reproducibility.
+//
+// The fix is the sorted-keys idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k) // collecting keys alone is order-insensitive
+//	}
+//	sort.Slice(keys, ...)
+//	for _, k := range keys { ... order-sensitive work ... }
+//
+// A loop whose order-insensitivity is subtler than the analyzer can see is
+// annotated //mw:maporder with the argument why.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive work inside range-over-map loops in sim-path packages",
+	Run:  runMapOrder,
+}
+
+// mapOrderScope lists the packages whose execution order feeds simulation
+// results; subpackages inherit the scope.
+var mapOrderScope = []string{
+	ModulePath + "/internal/sim",
+	ModulePath + "/internal/core",
+	ModulePath + "/internal/network",
+	ModulePath + "/internal/sched",
+	ModulePath + "/internal/stats",
+}
+
+func mapOrderScoped(path string) bool {
+	for _, p := range mapOrderScope {
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runMapOrder(pass *Pass) error {
+	if !mapOrderScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				why := orderSensitiveUse(pass, rng.Body)
+				if why == "" {
+					return true
+				}
+				if why == "appends to a slice" && isCollectThenSort(pass, fn, rng) {
+					return true
+				}
+				pass.Reportf(rng.Pos(), "range over map %s %s inside the loop; map order is random per run — iterate sorted keys instead, or annotate //mw:maporder with why order cannot matter", types.ExprString(rng.X), why)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isCollectThenSort recognizes the first half of the sorted-keys idiom: a
+// loop whose whole body is `s = append(s, x)` where s is later passed to a
+// sort or slices function inside the same enclosing function. Sorting makes
+// the collection order irrelevant, so the loop is order-insensitive.
+func isCollectThenSort(pass *Pass, enclosing ast.Node, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	slice := identObj(pass, lhs)
+	if slice == nil {
+		return false
+	}
+	// Look for sort.X(slice, …) / slices.SortX(slice, …) after the loop.
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if sorted || n == nil {
+			return !sorted
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range c.Args {
+			if id, ok := arg.(*ast.Ident); ok && identObj(pass, id) == slice {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// identObj resolves an identifier to its object via either Uses or Defs.
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// orderSensitiveUse scans a range body and names the first construct whose
+// result depends on iteration order, or returns "".
+func orderSensitiveUse(pass *Pass, body *ast.BlockStmt) (why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if w := orderSensitiveCall(pass, n); w != "" {
+				why = w
+				return false
+			}
+		case *ast.AssignStmt:
+			// Floating-point accumulation: x += v (and friends) where x is
+			// a float; float addition does not commute in rounding.
+			switch n.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				if t, ok := pass.TypesInfo.Types[n.Lhs[0]]; ok {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						why = "accumulates a float"
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			why = "sends on a channel"
+			return false
+		}
+		return true
+	})
+	return why
+}
+
+// orderSensitiveCall classifies a call inside the loop body.
+func orderSensitiveCall(pass *Pass, call *ast.CallExpr) string {
+	// append grows a slice in iteration order.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			return "appends to a slice"
+		}
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	// Methods on the sim engine schedule or execute events; their relative
+	// order is the event calendar's tiebreak order.
+	if sig != nil && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == ModulePath+"/internal/sim" && obj.Name() == "Engine" {
+				return "schedules sim events (" + obj.Name() + "." + fn.Name() + ")"
+			}
+		}
+		// Writers serialize in iteration order.
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return "writes output"
+		}
+		return ""
+	}
+	// Package-level print/write helpers serialize in iteration order.
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "writes output"
+		}
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to reach a named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// The sim fixture pins the flagged bodies (append, float accumulation,
+// event posting, output, channel sends) and the allowed ones
+// (collect-then-sort idiom, counting, integer sums, annotations, slice
+// ranges).
+func TestMapOrderSimPackage(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder/sim", "mediaworm/internal/sim/mapfix")
+}
+
+// Identical order-sensitive loops outside the sim-path scope are allowed.
+func TestMapOrderOutsideScope(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder/outside", "mediaworm/internal/report/mapfix")
+}

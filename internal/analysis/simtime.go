@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimTime polices the boundary between the two time domains the codebase
+// carries: time.Duration (user-facing configuration, wall-clock reporting)
+// and sim.Time (the engine's integer-nanosecond tick domain). Both are
+// int64 nanoseconds, so a direct conversion compiles and is numerically
+// right today — and silently wrong the day either side changes units. The
+// analyzer flags direct conversions in either direction, plus conversions
+// of a time.Duration to a bare integer (tick counts), and asks for the
+// unit to be spelled out:
+//
+//	sim.Time(d)              → sim.Time(d.Nanoseconds())
+//	sim.Time(time.Millisecond) → sim.Millisecond
+//	time.Duration(t)         → time.Duration(t) * time.Nanosecond, or keep t in ticks
+//	uint64(d)                → derive the count from d.Nanoseconds() and the tick period
+//
+// A deliberate crossing is annotated //mw:simtime with the reason.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "flag silent conversions between time.Duration and the sim.Time tick domain",
+	Run:  runSimTime,
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func isDuration(t types.Type) bool { return isNamed(t, "time", "Duration") }
+func isSimTime(t types.Type) bool {
+	return isNamed(t, ModulePath+"/internal/sim", "Time")
+}
+
+func runSimTime(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			// A conversion is a call whose Fun denotes a type.
+			funTV, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !funTV.IsType() {
+				return true
+			}
+			argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			dst, src := funTV.Type, argTV.Type
+			switch {
+			case isSimTime(dst) && isDuration(src):
+				pass.Reportf(call.Pos(), "sim.Time(%s) converts a time.Duration straight into the tick domain; write sim.Time((%s).Nanoseconds()) or use sim unit constants (//mw:simtime to opt out)",
+					types.ExprString(call.Args[0]), types.ExprString(call.Args[0]))
+			case isDuration(dst) && isSimTime(src):
+				pass.Reportf(call.Pos(), "time.Duration(%s) converts a sim.Time tick count straight into wall-clock units; multiply by time.Nanosecond explicitly or keep the value in ticks (//mw:simtime to opt out)",
+					types.ExprString(call.Args[0]))
+			case isDuration(src) && isBareInteger(dst):
+				pass.Reportf(call.Pos(), "%s(%s) collapses a time.Duration into a unitless integer; use .Nanoseconds() (or .Milliseconds(), …) so the unit is explicit (//mw:simtime to opt out)",
+					types.ExprString(call.Fun), types.ExprString(call.Args[0]))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBareInteger reports whether t is an unnamed basic integer type.
+func isBareInteger(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

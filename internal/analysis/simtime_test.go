@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// The mix fixture pins the three flagged conversion shapes (Duration →
+// sim.Time, sim.Time → Duration, Duration → bare integer) and the allowed
+// ones (.Nanoseconds(), sim unit constants, untyped constants,
+// within-domain extraction, annotations).
+func TestSimTimeMixFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SimTime, "simtime/mix", "mediaworm/internal/timefix")
+}

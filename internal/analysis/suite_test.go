@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mediaworm/internal/analysis"
+)
+
+// The suite must register at least the four determinism analyzers, with
+// distinct names (annotation matching is by name).
+func TestSuiteRegistration(t *testing.T) {
+	suite := analysis.Suite()
+	if len(suite) < 4 {
+		t.Fatalf("suite has %d analyzers, want >= 4", len(suite))
+	}
+	seen := make(map[string]bool)
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"detlint", "maporder", "exhaustive", "simtime"} {
+		if !seen[name] {
+			t.Errorf("suite missing %q", name)
+		}
+	}
+}
+
+// The tree itself must be clean: this is `go run ./cmd/mwlint ./...` as a
+// test, so a finding fails the ordinary test run too, not just CI's
+// dedicated step.
+func TestModuleTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := analysis.ModulePackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("found only %d packages, discovery is broken: %v", len(paths), paths)
+	}
+	loader := analysis.NewLoader(root)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzers(analysis.Suite(), pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s: %s: %s", fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column), d.Analyzer.Name, d.Message)
+		}
+	}
+}

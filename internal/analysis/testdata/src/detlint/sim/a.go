@@ -1,0 +1,54 @@
+// Package detfix exercises detlint inside a simulation package: ambient
+// state sources are flagged, explicit constructions and annotated
+// exceptions are not.
+package detfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()           // want "time.Now reads the wall clock"
+	t := time.Unix(0, 0)     // time.Unix is pure construction: allowed
+	_ = time.Since(t)        // want "time.Since reads the wall clock"
+	_ = time.Until(t)        // want "time.Until reads the wall clock"
+	_ = rand.Intn(3)         // want "math/rand.Intn draws from the process-global generator"
+	rand.Shuffle(2, swap)    // want "math/rand.Shuffle draws from the process-global generator"
+	_ = os.Getenv("SEED")    // want "os.Getenv reads the process environment"
+	_, _ = os.LookupEnv("S") // want "os.LookupEnv reads the process environment"
+}
+
+func flaggedValueReference() func() time.Time {
+	// Passing the function around is as ambient as calling it.
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+func allowedExplicitSource() int {
+	// An explicitly seeded generator is the deterministic idiom.
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(3)
+}
+
+func allowedAnnotated() time.Time {
+	return time.Now() //mw:wallclock — fixture: progress reporting only, never simulation state
+}
+
+func allowedAnnotatedAbove() time.Time {
+	//mw:wallclock — fixture: annotation on the preceding line also counts
+	return time.Now()
+}
+
+// clock has methods shadowing the banned names; methods are never ambient.
+type clock struct{}
+
+func (clock) Now() time.Time       { return time.Unix(0, 0) }
+func (clock) Getenv(string) string { return "" }
+
+func allowedMethods(c clock) {
+	_ = c.Now()
+	_ = c.Getenv("SEED")
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,10 @@
+package detfix
+
+import "time"
+
+// Test files are exempt from determinism analysis: wall-clock timing in a
+// benchmark or timeout guard never feeds simulation results.
+func timingGuard() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

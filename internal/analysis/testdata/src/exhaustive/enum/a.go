@@ -1,0 +1,119 @@
+// Package enumfix exercises exhaustive on module enum types: partial
+// switches without a default are flagged; full coverage, explicit defaults,
+// annotated exceptions, quantity types, and foreign types are not.
+package enumfix
+
+import "time"
+
+// Color is an iota enum: contiguous 0..n-1 values.
+type Color uint8
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Crimson aliases Red's value; covering either covers both.
+const Crimson Color = 0
+
+// Mode is a string enum.
+type Mode string
+
+const (
+	Fast Mode = "fast"
+	Slow Mode = "slow"
+)
+
+// Ticks is a quantity type: its constants are sparse units, not an
+// enumeration, so switches over it are never exhaustiveness-checked.
+type Ticks int64
+
+const (
+	OneTick  Ticks = 1
+	Thousand Ticks = 1000
+)
+
+func flaggedMissingCase(c Color) string {
+	switch c { // want "switch over Color misses Blue and has no default"
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return ""
+}
+
+func flaggedStringEnum(m Mode) int {
+	switch m { // want "switch over Mode misses Slow and has no default"
+	case Fast:
+		return 0
+	}
+	return 1
+}
+
+func allowedFullCoverage(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return ""
+}
+
+func allowedAliasCoverage(c Color) string {
+	// Crimson == Red, so the value set is fully covered.
+	switch c {
+	case Crimson:
+		return "crimson"
+	case Green, Blue:
+		return "cool"
+	}
+	return ""
+}
+
+func allowedDefault(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+func allowedAnnotated(c Color) string {
+	//mw:exhaustive — fixture: only Red needs special casing here
+	switch c {
+	case Red:
+		return "red"
+	}
+	return ""
+}
+
+func allowedQuantityType(t Ticks) string {
+	switch t {
+	case OneTick:
+		return "tick"
+	}
+	return ""
+}
+
+func allowedForeignEnum(m time.Month) string {
+	// time.Month is not a module type; its exhaustiveness is not ours.
+	switch m {
+	case time.January:
+		return "jan"
+	}
+	return ""
+}
+
+func allowedTagless(c Color) string {
+	switch {
+	case c == Red:
+		return "red"
+	}
+	return ""
+}

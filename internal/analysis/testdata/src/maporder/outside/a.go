@@ -1,0 +1,21 @@
+// Package mapout holds the same order-sensitive map ranges as the sim
+// fixture but sits outside the sim-path package scope, so maporder must
+// stay silent: report formatting, vizualization, and tooling may iterate
+// maps however they like as long as they are not feeding the simulation.
+package mapout
+
+func appendValues(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

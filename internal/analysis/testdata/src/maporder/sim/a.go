@@ -1,0 +1,90 @@
+// Package mapfix exercises maporder inside a sim-path package: map ranges
+// doing order-sensitive work are flagged; the sorted-keys idiom, pure
+// counting, and annotated loops are not.
+package mapfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mediaworm/internal/sim"
+)
+
+func flaggedAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map m appends to a slice"
+		out = append(out, v)
+	}
+	return out
+}
+
+func flaggedFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "range over map m accumulates a float"
+		sum += v
+	}
+	return sum
+}
+
+func flaggedEventPost(eng *sim.Engine, m map[int]func()) {
+	for k, fn := range m { // want "range over map m schedules sim events"
+		eng.At(sim.Time(k), fn)
+	}
+}
+
+func flaggedOutput(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "range over map m writes output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func flaggedSend(ch chan int, m map[int]bool) {
+	for k := range m { // want "range over map m sends on a channel"
+		ch <- k
+	}
+}
+
+func allowedSortedKeys(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m { // collecting keys is order-insensitive once sorted below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func allowedCounting(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func allowedIntSum(m map[int]int64) int64 {
+	var sum int64
+	for _, v := range m { // integer addition commutes exactly
+		sum += v
+	}
+	return sum
+}
+
+func allowedAnnotated(m map[int]float64) float64 {
+	var sum float64
+	//mw:maporder — fixture: result is compared against an order-independent tolerance
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func allowedSliceRange(eng *sim.Engine, fns []func()) {
+	for i, fn := range fns { // slices iterate in index order: deterministic
+		eng.At(sim.Time(i), fn)
+	}
+}

@@ -1,0 +1,48 @@
+// Package timefix exercises simtime: silent crossings between
+// time.Duration and the sim.Time tick domain are flagged; conversions that
+// spell out the unit, stay within one domain, or carry an annotation are
+// not.
+package timefix
+
+import (
+	"time"
+
+	"mediaworm/internal/sim"
+)
+
+func flaggedDurationToTicks(d time.Duration) sim.Time {
+	return sim.Time(d) // want "converts a time.Duration straight into the tick domain"
+}
+
+func flaggedDurationConstant() sim.Time {
+	return sim.Time(time.Millisecond) // want "converts a time.Duration straight into the tick domain"
+}
+
+func flaggedTicksToDuration(t sim.Time) time.Duration {
+	return time.Duration(t) // want "converts a sim.Time tick count straight into wall-clock units"
+}
+
+func flaggedUnitlessCollapse(d time.Duration) uint64 {
+	return uint64(d) // want "collapses a time.Duration into a unitless integer"
+}
+
+func allowedExplicitNanoseconds(d time.Duration) sim.Time {
+	return sim.Time(d.Nanoseconds())
+}
+
+func allowedSimUnits() sim.Time {
+	return 5 * sim.Millisecond
+}
+
+func allowedUntypedConstant() time.Duration {
+	return time.Duration(5) * time.Second
+}
+
+func allowedIntWithinDomain(t sim.Time) uint64 {
+	// sim.Time is already the tick domain; extracting the count is fine.
+	return uint64(t)
+}
+
+func allowedAnnotated(d time.Duration) sim.Time {
+	return sim.Time(d) //mw:simtime — fixture: both domains are nanoseconds here by construction
+}

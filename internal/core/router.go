@@ -569,6 +569,8 @@ func (r *Router) reapInVC(p int, in *inVC) {
 	}
 	if in.headMsg != nil && in.headMsg.Dead {
 		switch in.phase {
+		case vcIdle:
+			// Nothing granted yet, so nothing to tear down.
 		case vcRequested:
 			r.removeRequest(in)
 		case vcActive:

@@ -32,6 +32,11 @@ type Options struct {
 	Seed uint64
 	// Progress, if non-nil, is called after each simulated point.
 	Progress func(figure string, point string, elapsed time.Duration)
+	// Clock supplies the wall-clock readings behind Progress's elapsed
+	// argument. It exists so the one wall-clock dependency in this package
+	// is injected rather than ambient: simulation results never touch it,
+	// and tests can pin it. Nil means the real clock.
+	Clock func() time.Time
 }
 
 // DefaultOptions balances fidelity and single-core runtime (~minutes for
@@ -52,6 +57,11 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Clock == nil {
+		// Progress timing is the package's sole legitimate wall-clock use:
+		// it reports to a human and feeds no simulation state.
+		o.Clock = time.Now //mw:wallclock — default for the injectable progress clock; never read on a simulation path
 	}
 	return o
 }
@@ -180,7 +190,7 @@ func baseConfig(opt Options) mediaworm.Config {
 
 // runPoint executes cfg and normalizes the result to paper-scale ms.
 func runPoint(cfg mediaworm.Config, opt Options) (Point, error) {
-	start := time.Now()
+	start := opt.Clock()
 	res, err := mediaworm.Run(cfg)
 	if err != nil {
 		return Point{}, err
@@ -199,7 +209,7 @@ func runPoint(cfg mediaworm.Config, opt Options) (Point, error) {
 		p.BELatencyUs = 0
 	}
 	if opt.Progress != nil {
-		opt.Progress("", fmt.Sprintf("load=%.2f mix=%.0f:%.0f", cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100), time.Since(start))
+		opt.Progress("", fmt.Sprintf("load=%.2f mix=%.0f:%.0f", cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100), opt.Clock().Sub(start))
 	}
 	return p, nil
 }

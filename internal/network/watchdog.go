@@ -140,7 +140,7 @@ func (f *Fabric) buildDeadlockReport(now sim.Time) *DeadlockReport {
 		b core.Blocked
 	}
 	var nodes []node
-	byVC := make(map[linkKey]map[int]int)           // (router, inPort) → inVC → node index
+	byVC := make(map[linkKey]map[int]int)                 // (router, inPort) → inVC → node index
 	byMsg := make(map[*core.Router]map[*flit.Message]int) // router → head message → node index
 	for _, r := range f.Routers {
 		for _, b := range r.BlockedWorms() {
