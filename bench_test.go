@@ -120,6 +120,37 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead compares one simulation point with tracing
+// disabled (the default; instrumentation reduces to nil-pointer checks)
+// against the same point with the full observability subsystem armed. The
+// disabled variant is the ISSUE's <5%-overhead contract surface; compare
+// against BenchmarkSingleRun and run with -benchmem to see the disabled
+// path add zero allocations.
+func BenchmarkTraceOverhead(b *testing.B) {
+	base := mediaworm.DefaultConfig().Scale(0.05)
+	base.RTShare = 0.8
+	base.Warmup = 2 * base.FrameInterval
+	base.Measure = 5 * base.FrameInterval
+	for _, bc := range []struct {
+		name  string
+		trace mediaworm.TraceConfig
+	}{
+		{"disabled", mediaworm.TraceConfig{}},
+		{"enabled", mediaworm.TraceConfig{Enabled: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := base
+			cfg.Trace = bc.trace
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mediaworm.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Ablation and extension benches (DESIGN.md §6 "ablation benches for the
 // design choices DESIGN.md calls out").
 

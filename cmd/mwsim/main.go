@@ -21,6 +21,7 @@ import (
 import (
 	"mediaworm"
 	"mediaworm/internal/experiments"
+	"mediaworm/internal/obs"
 )
 
 func main() {
@@ -50,6 +51,11 @@ func main() {
 		retxMax     = flag.Int("retx-max", 0, "max delivery attempts per message (0 = default 4)")
 		watchdog    = flag.Int("watchdog", 0, "deadlock watchdog idle-cycle limit (0 = default when faults on, <0 disables)")
 		wdRecover   = flag.Bool("watchdog-recover", false, "let the watchdog kill the youngest blocked worm to break deadlocks")
+
+		tracePath     = flag.String("trace", "", "write a Chrome trace-event JSON file (enables tracing)")
+		metricsPath   = flag.String("metrics", "", "write a per-port/per-VC metrics CSV file (enables tracing)")
+		traceEvents   = flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
+		traceInterval = flag.Duration("trace-interval", 0, "metrics snapshot interval in simulated time (0 = final snapshot only)")
 	)
 	flag.Parse()
 
@@ -109,9 +115,33 @@ func main() {
 		WatchdogCycles:     *watchdog,
 		WatchdogRecover:    *wdRecover,
 	}
+	if *tracePath != "" || *metricsPath != "" {
+		cfg.Trace = mediaworm.TraceConfig{
+			Enabled:         true,
+			EventCap:        *traceEvents,
+			MetricsInterval: *traceInterval,
+		}
+	}
 	res, err := mediaworm.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Trace != nil {
+		if *tracePath != "" {
+			if err := writeFile(*tracePath, func(f *os.File) error {
+				return obs.WriteChromeTrace(f, res.Trace)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsPath != "" {
+			if err := writeFile(*metricsPath, func(f *os.File) error {
+				return obs.WriteMetricsCSV(f, res.Trace)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		res.Trace = nil // keep the JSON/text result output compact
 	}
 	emit(res, *asJSON, func() {
 		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
@@ -152,6 +182,18 @@ func emit(v any, asJSON bool, plain func()) {
 		return
 	}
 	plain()
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

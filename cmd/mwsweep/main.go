@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mediaworm"
+	"mediaworm/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "video time-base scale")
 	intervals := flag.Int("intervals", 10, "measured frame intervals")
 	seed := flag.Uint64("seed", 1, "random seed")
+	tracePrefix := flag.String("trace-prefix", "", "write <prefix><point>.trace.json per point (enables tracing)")
+	metricsPrefix := flag.String("metrics-prefix", "", "write <prefix><point>.metrics.csv per point (enables tracing)")
+	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
 	flag.Parse()
 
 	if *steps < 1 {
@@ -74,9 +78,29 @@ func main() {
 		cfg = cfg.Scale(*scale)
 		cfg.Warmup = 3 * cfg.FrameInterval
 		cfg.Measure = time.Duration(*intervals) * cfg.FrameInterval
+		if *tracePrefix != "" || *metricsPrefix != "" {
+			cfg.Trace = mediaworm.TraceConfig{Enabled: true, EventCap: *traceEvents}
+		}
 		res, err := mediaworm.Run(cfg)
 		if err != nil {
 			fatal(err)
+		}
+		if res.Trace != nil {
+			point := fmt.Sprintf("%s-%g", *param, x)
+			if *tracePrefix != "" {
+				if err := writeFile(*tracePrefix+point+".trace.json", func(f *os.File) error {
+					return obs.WriteChromeTrace(f, res.Trace)
+				}); err != nil {
+					fatal(err)
+				}
+			}
+			if *metricsPrefix != "" {
+				if err := writeFile(*metricsPrefix+point+".metrics.csv", func(f *os.File) error {
+					return obs.WriteMetricsCSV(f, res.Trace)
+				}); err != nil {
+					fatal(err)
+				}
+			}
 		}
 		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
 		if err := w.Write([]string{
@@ -92,6 +116,18 @@ func main() {
 		}
 		w.Flush()
 	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

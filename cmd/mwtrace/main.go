@@ -1,0 +1,93 @@
+// Command mwtrace inspects Chrome trace-event JSON files written by the
+// observability subsystem (mwsim -trace, mwsweep -trace-prefix, or
+// obs.WriteChromeTrace).
+//
+//	mwtrace summary run.trace.json     # event counts, span balance, time span
+//	mwtrace validate run.trace.json    # structural checks; exit 1 on failure
+//	mwtrace diff a.trace.json b.trace.json  # exit 1 when traces differ
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mediaworm/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "summary":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		tr := readTrace(os.Args[2])
+		printSummary(os.Args[2], tr)
+	case "validate":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		tr := readTrace(os.Args[2])
+		if err := tr.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "mwtrace: %s: %v\n", os.Args[2], err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (%d events)\n", os.Args[2], len(tr.TraceEvents))
+	case "diff":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		a := readTrace(os.Args[2])
+		b := readTrace(os.Args[3])
+		diffs := obs.DiffChrome(a, b)
+		if len(diffs) == 0 {
+			fmt.Println("traces are identical")
+			return
+		}
+		for _, d := range diffs {
+			fmt.Println(d)
+		}
+		os.Exit(1)
+	default:
+		usage()
+	}
+}
+
+func readTrace(path string) *obs.ChromeTrace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return tr
+}
+
+func printSummary(path string, tr *obs.ChromeTrace) {
+	s := tr.Summarize()
+	fmt.Printf("%s\n", path)
+	fmt.Printf("  events:    %d (%d block spans)\n", s.Events, s.Spans)
+	fmt.Printf("  processes: %d\n", s.Processes)
+	fmt.Printf("  time span: %.3f .. %.3f us (%.3f us)\n", s.FirstTs, s.LastTs, s.LastTs-s.FirstTs)
+	for i, name := range s.CountsName {
+		fmt.Printf("  %-24s %d\n", name, s.Counts[i])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mwtrace summary  <trace.json>
+  mwtrace validate <trace.json>
+  mwtrace diff     <a.trace.json> <b.trace.json>`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mwtrace:", err)
+	os.Exit(1)
+}

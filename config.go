@@ -115,6 +115,33 @@ type Config struct {
 	// PlayoutBufferFrames sizes the modeled video client's jitter buffer
 	// for the deadline-miss metric (Result.Playout). 0 disables it.
 	PlayoutBufferFrames int
+	// Trace arms the observability subsystem (internal/obs). The zero value
+	// disables it: the run pays one nil-check per instrumentation site and
+	// allocates nothing.
+	Trace TraceConfig
+}
+
+// TraceConfig configures flit-lifecycle tracing and metrics collection.
+type TraceConfig struct {
+	// Enabled turns tracing on. Result.Trace then carries the capture.
+	Enabled bool
+	// EventCap bounds the trace ring buffer in events (0 → 65536). When a
+	// run emits more, the oldest events are overwritten and counted as
+	// dropped rather than growing memory without bound.
+	EventCap int
+	// MetricsInterval is the simulated time between metrics snapshots.
+	// 0 takes only the final end-of-run snapshot.
+	MetricsInterval time.Duration
+}
+
+func (t *TraceConfig) validate() error {
+	switch {
+	case t.EventCap < 0:
+		return fmt.Errorf("mediaworm: Trace.EventCap = %d", t.EventCap)
+	case t.MetricsInterval < 0:
+		return fmt.Errorf("mediaworm: Trace.MetricsInterval = %v", t.MetricsInterval)
+	}
+	return nil
 }
 
 // FaultsConfig describes the faults injected into a run and the resilience
@@ -271,6 +298,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mediaworm: unknown VBR model %q", c.VBRModel)
 	case c.PlayoutBufferFrames < 0:
 		return fmt.Errorf("mediaworm: PlayoutBufferFrames = %d", c.PlayoutBufferFrames)
+	}
+	if err := c.Trace.validate(); err != nil {
+		return err
 	}
 	return c.Faults.validate()
 }

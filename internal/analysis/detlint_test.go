@@ -15,6 +15,14 @@ func TestDetLintSimPackage(t *testing.T) {
 	analysistest.Run(t, analysis.DetLint, "detlint/sim", "mediaworm/internal/detfix")
 }
 
+// The obs fixture pins that the observability subsystem is inside detlint's
+// scope: a trace event stamped from the wall clock is exactly the bug that
+// would break byte-identical same-seed traces, and it must be flagged under
+// the real package path.
+func TestDetLintObsPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/obs", "mediaworm/internal/obs")
+}
+
 // The cmd fixture pins the scope rule: command-line front-ends may read the
 // wall clock and environment freely.
 func TestDetLintCmdExempt(t *testing.T) {

@@ -14,3 +14,10 @@ import (
 func TestSimTimeMixFixture(t *testing.T) {
 	analysistest.Run(t, analysis.SimTime, "simtime/mix", "mediaworm/internal/timefix")
 }
+
+// The obs fixture pins the Duration→tick boundary the observability
+// subsystem actually has (TraceConfig.MetricsInterval → Tracer.interval):
+// a silent conversion there must be flagged under the real package path.
+func TestSimTimeObsFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SimTime, "simtime/obs", "mediaworm/internal/obs")
+}

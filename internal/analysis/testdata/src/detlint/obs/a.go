@@ -1,0 +1,30 @@
+// Package obs (fixture) pins detlint's coverage of the observability
+// subsystem: internal/obs is a simulation-side package, so an event stamped
+// from the wall clock — the exact bug that would silently break the golden
+// byte-identical-trace guarantee — must be flagged there like anywhere else
+// on the simulation path.
+package obs
+
+import "time"
+
+// Event mirrors the real package's shape closely enough to make the
+// tempting bug writable: a trace record with a timestamp field.
+type Event struct {
+	At   int64
+	Kind uint8
+}
+
+func emitStampedFromWallClock(ring []Event) {
+	ring[0] = Event{
+		At: time.Now().UnixNano(), // want "time.Now reads the wall clock"
+	}
+}
+
+func snapshotAge(started time.Time) time.Duration {
+	return time.Since(started) // want "time.Since reads the wall clock"
+}
+
+func emitStampedFromSimTime(ring []Event, now int64) {
+	// The correct idiom: the caller passes the engine's simulated now.
+	ring[0] = Event{At: now}
+}

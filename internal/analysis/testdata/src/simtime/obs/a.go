@@ -1,0 +1,35 @@
+// Package obs (fixture) pins simtime's coverage of the observability
+// subsystem: configuration crosses from the public time.Duration surface
+// (TraceConfig.MetricsInterval) into the sim.Time tick domain, and a silent
+// conversion at that boundary — dropping the unit on the floor — must be
+// flagged in internal/obs like anywhere else.
+package obs
+
+import (
+	"time"
+
+	"mediaworm/internal/sim"
+)
+
+type options struct {
+	MetricsInterval time.Duration
+}
+
+type tracer struct {
+	interval sim.Time
+}
+
+func newSilent(opt options) *tracer {
+	return &tracer{
+		interval: sim.Time(opt.MetricsInterval), // want "converts a time.Duration straight into the tick domain"
+	}
+}
+
+func newExplicit(opt options) *tracer {
+	// The correct idiom spells out the unit.
+	return &tracer{interval: sim.Time(opt.MetricsInterval.Nanoseconds())}
+}
+
+func exportSilent(at sim.Time) time.Duration {
+	return time.Duration(at) // want "converts a sim.Time tick count straight into wall-clock units"
+}

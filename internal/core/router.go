@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"mediaworm/internal/flit"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/sched"
 	"mediaworm/internal/sim"
 )
@@ -84,6 +85,10 @@ type Config struct {
 	// message-granularity ownership (ablation; the paper multiplexes
 	// connections onto shared VCs, the default here).
 	ExclusiveEndpointVCs bool
+
+	// Tracer is the observability sink (nil = tracing disabled; the
+	// instrumentation then costs one branch per site).
+	Tracer *obs.Tracer
 }
 
 func (c *Config) validate() error {
@@ -134,6 +139,11 @@ type inVC struct {
 	outPort   int
 	outVC     int
 	grantedAt sim.Time
+
+	// port/vcIdx locate this VC for trace events; blkCause is the cause of
+	// the currently open blocking span (CauseNone = no open span).
+	port, vcIdx int16
+	blkCause    obs.Cause
 }
 
 // request is a pending crossbar arbitration request (stage 3).
@@ -246,6 +256,10 @@ type Router struct {
 	picked     []int8
 	feeder     []*inVC
 	feederCand []sched.Candidate
+	// trc is the observability sink (nil = disabled); now mirrors the
+	// current cycle instant so arbiter observers can stamp their events.
+	trc *obs.Tracer
+	now sim.Time
 }
 
 // New builds a router. Output ports must be connected with Connect before
@@ -272,6 +286,8 @@ func New(cfg Config) (*Router, error) {
 		r.in[p].vcs = make([]inVC, cfg.VCs)
 		for v := range r.in[p].vcs {
 			r.in[p].vcs[v].q = newRing(cfg.BufferDepth)
+			r.in[p].vcs[v].port = int16(p)
+			r.in[p].vcs[v].vcIdx = int16(v)
 		}
 		r.in[p].arb = sched.New(cfg.Policy)
 		r.out[p].vcs = make([]outVC, cfg.VCs)
@@ -279,6 +295,22 @@ func New(cfg Config) (*Router, error) {
 			r.out[p].vcs[v].stage = newRing(cfg.StageDepth)
 		}
 		r.out[p].arb = sched.New(cfg.Policy)
+	}
+	if cfg.Tracer.Enabled() {
+		r.trc = cfg.Tracer
+		r.trc.RegisterRouter(cfg.ID, cfg.Ports, cfg.VCs)
+		id := int16(cfg.ID)
+		for p := 0; p < cfg.Ports; p++ {
+			port := int16(p)
+			r.in[p].arb = sched.Observed(r.in[p].arb, func(w sched.Candidate, n int) {
+				r.trc.Emit(obs.Event{At: r.now, Kind: obs.EvPickInput, Router: id,
+					Port: port, VC: int16(w.VC), Arg: obs.TSArg(w.TS), Seq: int32(n)})
+			})
+			r.out[p].arb = sched.Observed(r.out[p].arb, func(w sched.Candidate, n int) {
+				r.trc.Emit(obs.Event{At: r.now, Kind: obs.EvPickOutput, Router: id,
+					Port: port, VC: int16(w.VC), Arg: obs.TSArg(w.TS), Seq: int32(n)})
+			})
+		}
 	}
 	return r, nil
 }
@@ -346,6 +378,9 @@ func (r *Router) SetLinkUp(p int, up bool) {
 			r.dropFlit(p)
 		}
 		if ov.busy != nil {
+			if !ov.busy.Dead {
+				r.traceKill(p, ov.busy, obs.CauseLinkDown)
+			}
 			ov.busy.Kill()
 			ov.busy = nil
 		}
@@ -356,6 +391,9 @@ func (r *Router) SetLinkUp(p int, up bool) {
 		for v := range r.in[ip].vcs {
 			in := &r.in[ip].vcs[v]
 			if in.phase == vcActive && in.outPort == p && in.headMsg != nil {
+				if !in.headMsg.Dead {
+					r.traceKill(p, in.headMsg, obs.CauseLinkDown)
+				}
 				in.headMsg.Kill()
 			}
 		}
@@ -366,6 +404,56 @@ func (r *Router) SetLinkUp(p int, up bool) {
 func (r *Router) dropFlit(p int) {
 	r.portStats[p].FlitsDropped++
 	r.stats.FlitsDropped++
+	if r.trc != nil {
+		r.trc.Emit(obs.Event{At: r.now, Kind: obs.EvDrop,
+			Router: int16(r.cfg.ID), Port: int16(p), VC: -1})
+	}
+}
+
+// traceKill emits a message-kill event (no-op when tracing is off).
+func (r *Router) traceKill(p int, msg *flit.Message, cause obs.Cause) {
+	if r.trc != nil {
+		r.trc.Emit(obs.Event{At: r.now, Kind: obs.EvKill, Cause: cause,
+			Router: int16(r.cfg.ID), Port: int16(p), VC: -1,
+			Msg: msg.ID, Class: msg.Class})
+	}
+}
+
+// traceBlock opens (or re-causes) the blocking span on an input VC.
+func (r *Router) traceBlock(in *inVC, now sim.Time, cause obs.Cause) {
+	if r.trc == nil || in.blkCause == cause {
+		return
+	}
+	var msg uint64
+	var class flit.Class
+	if in.headMsg != nil {
+		msg, class = in.headMsg.ID, in.headMsg.Class
+	} else if !in.q.empty() {
+		m := in.q.peek().Msg
+		msg, class = m.ID, m.Class
+	}
+	if in.blkCause != obs.CauseNone {
+		r.trc.Emit(obs.Event{At: now, Kind: obs.EvUnblock, Cause: in.blkCause,
+			Router: int16(r.cfg.ID), Port: in.port, VC: in.vcIdx, Msg: msg, Class: class})
+	}
+	in.blkCause = cause
+	r.trc.Emit(obs.Event{At: now, Kind: obs.EvBlock, Cause: cause,
+		Router: int16(r.cfg.ID), Port: in.port, VC: in.vcIdx, Msg: msg, Class: class})
+}
+
+// traceUnblock closes the input VC's open blocking span, if any.
+func (r *Router) traceUnblock(in *inVC, now sim.Time) {
+	if r.trc == nil || in.blkCause == obs.CauseNone {
+		return
+	}
+	var msg uint64
+	var class flit.Class
+	if in.headMsg != nil {
+		msg, class = in.headMsg.ID, in.headMsg.Class
+	}
+	r.trc.Emit(obs.Event{At: now, Kind: obs.EvUnblock, Cause: in.blkCause,
+		Router: int16(r.cfg.ID), Port: in.port, VC: in.vcIdx, Msg: msg, Class: class})
+	in.blkCause = obs.CauseNone
 }
 
 // Connect attaches the consumer downstream of output port p and records
@@ -421,6 +509,7 @@ func (r *Router) Deliver(p, vc int, f flit.Flit) {
 // Step advances the router one cycle ending at time now. The fabric calls
 // Step on every router each cycle, then lets NIs inject.
 func (r *Router) Step(now sim.Time) {
+	r.now = now
 	r.routeAndArbitrate(now)
 	r.switchTraversal(now)
 	r.transmit(now)
@@ -457,6 +546,7 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 				// a route recovers.
 				msg.Kill()
 				r.stats.MessagesKilled++
+				r.traceKill(p, msg, obs.CauseNoRoute)
 				r.reapInVC(p, in)
 				continue
 			}
@@ -506,6 +596,12 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 			r.stats.MessagesRouted++
 			r.stats.GrantWait += uint64(now - req.at)
 			r.stats.GrantWaitCount++
+			if r.trc != nil {
+				r.trc.Emit(obs.Event{At: now, Kind: obs.EvVCAlloc,
+					Router: int16(r.cfg.ID), Port: int16(p), VC: int16(vc),
+					Msg: req.in.headMsg.ID, Class: req.in.headMsg.Class,
+					Arg: int64(now - req.at)})
+			}
 		}
 		op.reqs = kept
 	}
@@ -568,6 +664,7 @@ func (r *Router) reapInVC(p int, in *inVC) {
 		r.dropFlit(p)
 	}
 	if in.headMsg != nil && in.headMsg.Dead {
+		r.traceUnblock(in, r.now)
 		switch in.phase {
 		case vcIdle:
 			// Nothing granted yet, so nothing to tear down.
@@ -668,6 +765,9 @@ func (r *Router) switchTraversal(now sim.Time) {
 			in := &ip.vcs[v]
 			if claimed[in.outPort] && in.phase == vcActive {
 				r.stats.BlockedClaimed++
+				if !in.q.empty() {
+					r.traceBlock(in, now, obs.CauseClaimed)
+				}
 				continue
 			}
 			if !r.vcEligible(in, now) {
@@ -675,10 +775,13 @@ func (r *Router) switchTraversal(now sim.Time) {
 					switch {
 					case in.phase != vcActive:
 						r.stats.BlockedNotGranted++
+						r.traceBlock(in, now, obs.CauseNotGranted)
 					case in.grantedAt >= now || in.q.peek().Enq >= now:
 						r.stats.BlockedJustMoved++
+						r.traceBlock(in, now, obs.CauseJustMoved)
 					default:
 						r.stats.BlockedStageFull++
+						r.traceBlock(in, now, obs.CauseStageFull)
 					}
 				}
 				continue
@@ -809,9 +912,16 @@ func (r *Router) vcEligible(in *inVC, now sim.Time) bool {
 // forward moves in's head flit through the crossbar into its output VC's
 // staging buffer and releases message-granularity resources on the tail.
 func (r *Router) forward(in *inVC, now sim.Time) {
+	r.traceUnblock(in, now)
 	f := in.q.pop()
 	op := &r.out[in.outPort]
 	ov := &op.vcs[in.outVC]
+	if r.trc != nil {
+		r.trc.Emit(obs.Event{At: now, Kind: obs.EvSwitchArb,
+			Router: int16(r.cfg.ID), Port: in.port, VC: in.vcIdx,
+			Msg: f.Msg.ID, Class: f.Msg.Class, Seq: int32(f.Seq),
+			Arg: int64(in.outPort)<<16 | int64(in.outVC)})
+	}
 	if f.IsHeader() && ov.busy == f.Msg {
 		// Exclusive (transit) VC: a fresh per-message clock, per §3.3's
 		// "each message works as if it were a connection". Shared endpoint
@@ -896,10 +1006,20 @@ func (r *Router) transmit(now sim.Time) {
 			// (wormhole has no flit-level recovery) and unravels.
 			f.Msg.Kill()
 			r.stats.MessagesKilled++
+			r.traceKill(p, f.Msg, obs.CauseCorrupt)
 			r.dropFlit(p)
 			continue
 		}
 		f.Enq = now + r.cfg.Period // arrival downstream after the wire
+		if r.trc != nil {
+			// Emit before Accept: a sink consumer ejects the flit at its
+			// downstream arrival time (now+Period), and per-lane timestamps
+			// must stay non-decreasing in emission order.
+			r.trc.Emit(obs.Event{At: now, Kind: obs.EvLinkTraverse,
+				Router: int16(r.cfg.ID), Port: int16(p), VC: int16(v),
+				Msg: f.Msg.ID, Class: f.Msg.Class, Seq: int32(f.Seq),
+				Arg: obs.TSArg(f.TS)})
+		}
 		op.consumer.Accept(v, f)
 		r.stats.FlitsTransmitted++
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mediaworm"
+	"mediaworm/internal/obs"
 )
 
 // Options tunes experiment fidelity versus wall-clock cost.
@@ -37,6 +38,12 @@ type Options struct {
 	// is injected rather than ambient: simulation results never touch it,
 	// and tests can pin it. Nil means the real clock.
 	Clock func() time.Time
+	// Trace arms the observability subsystem for every simulated point
+	// (see mediaworm.TraceConfig). Captures are delivered to TraceSink.
+	Trace mediaworm.TraceConfig
+	// TraceSink, if non-nil, receives each point's trace capture, labelled
+	// with the point's sweep position. Only called when Trace.Enabled.
+	TraceSink func(point string, capture *obs.Capture)
 }
 
 // DefaultOptions balances fidelity and single-core runtime (~minutes for
@@ -185,6 +192,7 @@ func baseConfig(opt Options) mediaworm.Config {
 	cfg.Warmup = time.Duration(opt.WarmupIntervals) * cfg.FrameInterval
 	cfg.Measure = time.Duration(opt.MeasureIntervals) * cfg.FrameInterval
 	cfg.Seed = opt.Seed
+	cfg.Trace = opt.Trace
 	return cfg
 }
 
@@ -207,6 +215,10 @@ func runPoint(cfg mediaworm.Config, opt Options) (Point, error) {
 	}
 	if res.BestEffort.Injected == 0 {
 		p.BELatencyUs = 0
+	}
+	if res.Trace != nil && opt.TraceSink != nil {
+		opt.TraceSink(fmt.Sprintf("load=%.2f mix=%.0f:%.0f policy=%s",
+			cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100, cfg.Policy), res.Trace)
 	}
 	if opt.Progress != nil {
 		opt.Progress("", fmt.Sprintf("load=%.2f mix=%.0f:%.0f", cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100), opt.Clock().Sub(start))

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mediaworm"
+	"mediaworm/internal/obs"
+)
+
+// traceSweep runs the miniSweep points with tracing armed and serializes
+// every point's Chrome trace into one buffer, in sweep order.
+func traceSweep(t *testing.T, opt Options) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	opt.TraceSink = func(point string, capture *obs.Capture) {
+		out.WriteString(point)
+		out.WriteByte('\n')
+		if err := obs.WriteChromeTrace(&out, capture); err != nil {
+			t.Fatalf("%s: %v", point, err)
+		}
+	}
+	miniSweep(t, opt)
+	return out.Bytes()
+}
+
+// TestChromeTraceDeterminism is the observability subsystem's golden test:
+// two sweeps from one seed must export byte-identical Chrome traces. The
+// trace records every scheduling decision and flit movement, so this is a
+// far finer-grained determinism probe than the aggregate figures — a single
+// reordered arbitration anywhere shows up as a byte diff.
+func TestChromeTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opt := Options{
+		Scale: 0.05, WarmupIntervals: 1, MeasureIntervals: 4, Seed: 7,
+		Clock: func() time.Time { return time.Unix(0, 0) },
+		Trace: mediaworm.TraceConfig{Enabled: true, EventCap: 1 << 14,
+			MetricsInterval: 500 * time.Microsecond},
+	}
+	run1 := traceSweep(t, opt)
+	run2 := traceSweep(t, opt)
+	if len(run1) == 0 {
+		t.Fatal("tracing produced no output; TraceSink never fired")
+	}
+	if !bytes.Equal(run1, run2) {
+		// Locate the first differing byte for a useful failure message.
+		n := len(run1)
+		if len(run2) < n {
+			n = len(run2)
+		}
+		i := 0
+		for i < n && run1[i] == run2[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + 80
+		if hi > n {
+			hi = n
+		}
+		t.Fatalf("same seed, traces differ at byte %d (lens %d vs %d):\nrun1: …%s…\nrun2: …%s…",
+			i, len(run1), len(run2), run1[lo:hi], run2[lo:hi])
+	}
+
+	// Every exported trace must also parse back and pass structural
+	// validation — determinism of an invalid artifact would be hollow.
+	valOpt := opt
+	captures := 0
+	valOpt.TraceSink = func(point string, capture *obs.Capture) {
+		captures++
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, capture); err != nil {
+			t.Fatalf("%s: write: %v", point, err)
+		}
+		tr, err := obs.ReadChromeTrace(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse back: %v", point, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", point, err)
+		}
+		if len(capture.Snapshots) < 2 {
+			t.Fatalf("%s: %d snapshots; MetricsInterval is not ticking", point, len(capture.Snapshots))
+		}
+	}
+	miniSweep(t, valOpt)
+	if captures != 4 {
+		t.Fatalf("validated %d captures, want 4 (2 policies × 2 loads)", captures)
+	}
+}

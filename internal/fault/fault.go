@@ -15,6 +15,7 @@ import (
 	"mediaworm/internal/core"
 	"mediaworm/internal/flit"
 	"mediaworm/internal/network"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/sim"
 )
@@ -45,6 +46,10 @@ type Injector struct {
 	// OnFault, if set, observes every state change for tracing: kind is
 	// "link-down", "link-up", "stall", or "unstall".
 	OnFault func(at sim.Time, kind string, router, port int)
+
+	// Tracer, if set, records every fault transition as an obs.EvFault
+	// event (Cause link-down or stalled; Arg 1 = onset, 0 = lift).
+	Tracer *obs.Tracer
 }
 
 // NewInjector creates an injector for the fabric. src seeds the stochastic
@@ -71,6 +76,21 @@ func (in *Injector) split() *rng.Source {
 func (in *Injector) note(kind string, r *core.Router, port int) {
 	if in.OnFault != nil {
 		in.OnFault(in.engine.Now(), kind, r.ID(), port)
+	}
+	if in.Tracer != nil {
+		cause, onset := obs.CauseLinkDown, int64(1)
+		switch kind {
+		case "link-down":
+		case "link-up":
+			onset = 0
+		case "stall":
+			cause = obs.CauseStalled
+		case "unstall":
+			cause, onset = obs.CauseStalled, 0
+		}
+		in.Tracer.Emit(obs.Event{At: in.engine.Now(), Kind: obs.EvFault,
+			Cause: cause, Router: int16(r.ID()), Port: int16(port), VC: -1,
+			Arg: onset})
 	}
 }
 

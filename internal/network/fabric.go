@@ -10,6 +10,7 @@ import (
 
 	"mediaworm/internal/core"
 	"mediaworm/internal/flit"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/sim"
 )
 
@@ -52,6 +53,9 @@ type Fabric struct {
 	DeadlocksBroken int
 	// OnDeadlock, if set, observes every watchdog trip.
 	OnDeadlock func(*DeadlockReport)
+
+	// trc is the observability sink (nil = tracing disabled).
+	trc *obs.Tracer
 }
 
 type linkKey struct {
@@ -78,7 +82,7 @@ func (f *Fabric) AddRouter(r *core.Router) {
 // AttachEndpoint wires endpoint node onto router r's port p: a fresh NI
 // feeding the input side and a fresh Sink consuming the output side.
 func (f *Fabric) AttachEndpoint(r *core.Router, port, node int) (*NI, *Sink) {
-	sink := &Sink{fab: f, Node: node, frames: make(map[uint64]int)}
+	sink := &Sink{fab: f, Node: node, router: r.ID(), port: port, frames: make(map[uint64]int)}
 	r.Connect(port, sink, true)
 	ni := newNI(f, r, port, node)
 	f.NIs = append(f.NIs, ni)
@@ -101,6 +105,21 @@ type routerInput struct {
 
 func (ri *routerInput) HasCredit(vc int) bool      { return ri.r.HasCredit(ri.port, vc) }
 func (ri *routerInput) Accept(vc int, f flit.Flit) { ri.r.Deliver(ri.port, vc, f) }
+
+// SetTracer attaches the observability sink: NI arbitrations, injections,
+// ejections and watchdog verdicts are traced, and the tracer's periodic
+// metrics snapshots are driven from the fabric's cycle. Call after wiring
+// (the routers already carry the tracer via their core.Config) and before
+// traffic starts. A nil tracer is a no-op.
+func (f *Fabric) SetTracer(t *obs.Tracer) {
+	if !t.Enabled() {
+		return
+	}
+	f.trc = t
+	for _, ni := range f.NIs {
+		ni.observeArb(t)
+	}
+}
 
 // addWork accounts flits entering the fabric and wakes the cycle driver.
 func (f *Fabric) addWork(flits int) {
@@ -144,6 +163,7 @@ func (f *Fabric) tick() {
 		ni.step(now)
 	}
 	f.reconcileDrops()
+	f.trc.Tick(now)
 	if f.watchdogLimit > 0 && f.work > 0 && f.watchdogTrip(now) {
 		f.tickerOn = false
 		return

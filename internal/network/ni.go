@@ -3,6 +3,7 @@ package network
 import (
 	"mediaworm/internal/core"
 	"mediaworm/internal/flit"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/sched"
 	"mediaworm/internal/sim"
 )
@@ -75,6 +76,11 @@ type NI struct {
 
 	// retx, if set, tracks injected messages for end-to-end retransmission.
 	retx *Retransmitter
+
+	// trc is the observability sink (nil = disabled); blocked tracks the
+	// open no-credit blocking span on the injection link.
+	trc     *obs.Tracer
+	blocked bool
 }
 
 func newNI(f *Fabric, r *core.Router, port, node int) *NI {
@@ -101,6 +107,11 @@ func (n *NI) Inject(vc int, msg *flit.Message) {
 		n.BEFlits += uint64(msg.Flits)
 	}
 	n.vcs[vc].q.push(msg)
+	if n.trc != nil {
+		n.trc.Emit(obs.Event{At: msg.Injected, Kind: obs.EvInject,
+			Router: int16(n.router.ID()), Port: int16(n.port), VC: int16(vc),
+			Msg: msg.ID, Class: msg.Class, Arg: int64(msg.Dst), Seq: int32(msg.Flits)})
+	}
 	n.fab.addWork(msg.Flits)
 	if n.retx != nil {
 		n.retx.track(n, vc, msg)
@@ -111,6 +122,40 @@ func (n *NI) Inject(vc int, msg *flit.Message) {
 // the NI follows the router's policy). Call before traffic starts.
 func (n *NI) SetPolicy(k sched.Kind) {
 	n.arb = sched.New(k)
+	if n.trc != nil {
+		n.wrapArb()
+	}
+}
+
+// observeArb attaches the tracer and wraps the injection multiplexer so
+// its decisions are traced. Called by Fabric.SetTracer.
+func (n *NI) observeArb(t *obs.Tracer) {
+	n.trc = t
+	n.wrapArb()
+}
+
+// wrapArb (re)wraps the current arbiter with the pick observer.
+func (n *NI) wrapArb() {
+	id, port := int16(n.router.ID()), int16(n.port)
+	n.arb = sched.Observed(n.arb, func(w sched.Candidate, cands int) {
+		n.trc.Emit(obs.Event{At: n.fab.lastTick, Kind: obs.EvPickSource,
+			Router: id, Port: port, VC: int16(w.VC),
+			Arg: obs.TSArg(w.TS), Seq: int32(cands)})
+	})
+}
+
+// traceStall opens or closes the injection link's no-credit blocking span.
+func (n *NI) traceStall(now sim.Time, stalled bool) {
+	if n.trc == nil || n.blocked == stalled {
+		return
+	}
+	n.blocked = stalled
+	kind := obs.EvUnblock
+	if stalled {
+		kind = obs.EvBlock
+	}
+	n.trc.Emit(obs.Event{At: now, Kind: kind, Cause: obs.CauseNoCredit,
+		Router: int16(n.router.ID()), Port: int16(n.port), VC: -1})
 }
 
 // Backlog returns the number of messages queued across all VCs.
@@ -163,6 +208,12 @@ func (n *NI) step(now sim.Time) {
 			// the injection instant, so the clock argument is Injected.
 			nv.pendingTS = nv.clk.Stamp(head.Injected, head.Vtick)
 			nv.havePending = true
+			if n.trc != nil {
+				n.trc.Emit(obs.Event{At: now, Kind: obs.EvVCTick,
+					Router: int16(n.router.ID()), Port: int16(n.port), VC: int16(v),
+					Msg: head.ID, Class: head.Class, Seq: int32(nv.sent),
+					Arg: obs.TSArg(nv.pendingTS)})
+			}
 		}
 		cands = append(cands, sched.Candidate{VC: v, TS: nv.pendingTS, Enq: head.Injected, Seq: uint64(v)})
 	}
@@ -170,9 +221,13 @@ func (n *NI) step(now sim.Time) {
 	if len(cands) == 0 {
 		if !n.Empty() {
 			n.Stalls++
+			n.traceStall(now, true)
+		} else {
+			n.traceStall(now, false)
 		}
 		return
 	}
+	n.traceStall(now, false)
 	n.Sent++
 	w := cands[n.arb.Pick(cands)].VC
 	nv := &n.vcs[w]

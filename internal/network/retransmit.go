@@ -2,6 +2,7 @@ package network
 
 import (
 	"mediaworm/internal/flit"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/sim"
 )
 
@@ -124,15 +125,34 @@ func (rt *Retransmitter) expire(id uint64) {
 	}
 	st.timer = nil
 	st.msg.Kill()
+	trc := st.ni.trc
+	if trc != nil {
+		trc.Emit(obs.Event{At: rt.engine.Now(), Kind: obs.EvKill,
+			Cause: obs.CauseTimeout, Router: int16(st.ni.router.ID()),
+			Port: int16(st.ni.port), VC: int16(st.vc),
+			Msg: st.msg.ID, Class: st.msg.Class, Seq: int32(st.msg.Attempt)})
+	}
 	// The kill leaves a worm to unravel; restart the cycle driver in case
 	// the watchdog had stopped it.
 	st.ni.fab.Wake()
 	if st.msg.Attempt+1 >= rt.MaxAttempts {
 		delete(rt.pending, id)
 		rt.Abandoned++
+		if trc != nil {
+			trc.Emit(obs.Event{At: rt.engine.Now(), Kind: obs.EvAbandon,
+				Router: int16(st.ni.router.ID()), Port: int16(st.ni.port),
+				VC: int16(st.vc), Msg: st.msg.ID, Class: st.msg.Class,
+				Seq: int32(st.msg.Attempt)})
+		}
 		return
 	}
 	rt.Retransmissions++
+	if trc != nil {
+		trc.Emit(obs.Event{At: rt.engine.Now(), Kind: obs.EvRetransmit,
+			Router: int16(st.ni.router.ID()), Port: int16(st.ni.port),
+			VC: int16(st.vc), Msg: st.msg.ID, Class: st.msg.Class,
+			Seq: int32(st.msg.Attempt + 1)})
+	}
 	clone := *st.msg
 	clone.Dead = false
 	clone.Attempt++

@@ -2,6 +2,7 @@ package network
 
 import (
 	"mediaworm/internal/flit"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/sim"
 )
 
@@ -13,6 +14,8 @@ type Sink struct {
 	fab *Fabric
 	// Node is the endpoint identifier.
 	Node int
+	// router/port locate the output port feeding this sink, for tracing.
+	router, port int
 	// frames maps (stream, frame) to the number of messages still missing.
 	frames map[uint64]int
 
@@ -41,7 +44,7 @@ func frameKey(stream, frame int) uint64 {
 func (s *Sink) HasCredit(int) bool { return true }
 
 // Accept implements core.Consumer.
-func (s *Sink) Accept(_ int, f flit.Flit) {
+func (s *Sink) Accept(vc int, f flit.Flit) {
 	s.fab.work--
 	s.FlitsReceived++
 	if !f.IsTail() {
@@ -50,6 +53,16 @@ func (s *Sink) Accept(_ int, f flit.Flit) {
 	s.MessagesReceived++
 	m := f.Msg
 	t := f.Enq // arrival instant at the endpoint
+	if s.fab.trc != nil {
+		// Stamp with the fabric tick during which the tail crossed the link,
+		// not the (future) arrival instant t: per-lane timestamps must stay
+		// non-decreasing in emission order, and other same-tick events share
+		// this port's lane. The true end-to-end latency rides in Arg.
+		s.fab.trc.Emit(obs.Event{At: s.fab.lastTick, Kind: obs.EvEject,
+			Router: int16(s.router), Port: int16(s.port), VC: int16(vc),
+			Msg: m.ID, Class: m.Class, Seq: int32(m.FrameSeq),
+			Arg: int64(t - m.Injected)})
+	}
 	if s.retx != nil {
 		s.retx.ack(m)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"mediaworm/internal/core"
 	"mediaworm/internal/flit"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/sim"
 )
 
@@ -105,6 +106,13 @@ func (f *Fabric) watchdogTrip(now sim.Time) bool {
 	}
 	if f.OnDeadlock != nil {
 		f.OnDeadlock(report)
+	}
+	if f.trc != nil {
+		defer func() {
+			f.trc.Emit(obs.Event{At: now, Kind: obs.EvDeadlock,
+				Router: -1, Port: -1, VC: -1,
+				Msg: report.Victim, Arg: int64(len(report.Blocked))})
+		}()
 	}
 	if f.watchdogRecover && len(report.Cycle) > 0 {
 		// Break the cycle: kill the youngest message in it (highest ID —

@@ -1,0 +1,423 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mediaworm/internal/sim"
+)
+
+// Exporters for a finished Capture. Both outputs are deterministic: event
+// order is ring order (chronological), lane layout comes from the sorted
+// registration dims, and JSON objects are encoded with encoding/json,
+// which sorts map keys. Byte-identical captures yield byte-identical files.
+
+// ChromeEvent is one entry of the Chrome trace-event format's JSON-array
+// flavor (the format chrome://tracing and Perfetto load).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object flavor of the trace-event format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Lane layout: one Chrome "process" per router (pid = router ID + 1; pid 0
+// is the engine/fabric control plane), one "thread" per port and per
+// (port, VC) lane. tid 0 is the router-level lane; port p occupies tids
+// 1+p*(vcs+1) (port lane) through 1+p*(vcs+1)+vcs (its VC lanes).
+
+const ctrlPid = 0 // engine/fabric process
+
+// metricsTid is the control process's counter lane. Counter series are
+// appended after the event stream but stamped at their snapshot instants,
+// so they get a lane of their own to keep every lane's timestamps
+// non-decreasing in stream order.
+const metricsTid = 1
+
+func laneTid(port, vc, vcs int) int {
+	if port < 0 {
+		return 0
+	}
+	t := 1 + port*(vcs+1)
+	if vc >= 0 {
+		t += 1 + vc
+	}
+	return t
+}
+
+// usec converts a sim.Time (ns) to trace microseconds.
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// BuildChromeTrace lays a Capture out as Chrome trace events: metadata
+// names for every process and lane, instants for the point events,
+// duration spans for block/unblock pairs, and counter series from the
+// snapshots.
+func BuildChromeTrace(c *Capture) *ChromeTrace {
+	tr := &ChromeTrace{DisplayTimeUnit: "ns"}
+	emit := func(ev ChromeEvent) { tr.TraceEvents = append(tr.TraceEvents, ev) }
+
+	meta := func(pid, tid int, key, value string) {
+		emit(ChromeEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	meta(ctrlPid, 0, "process_name", "engine+fabric")
+	meta(ctrlPid, metricsTid, "thread_name", "metrics")
+	vcsOf := make(map[int]int, len(c.Routers))
+	for _, d := range c.Routers {
+		pid := d.ID + 1
+		vcsOf[d.ID] = d.VCs
+		meta(pid, 0, "process_name", fmt.Sprintf("router %d", d.ID))
+		meta(pid, 0, "thread_name", "router")
+		for p := 0; p < d.Ports; p++ {
+			meta(pid, laneTid(p, -1, d.VCs), "thread_name", fmt.Sprintf("port %d", p))
+			for v := 0; v < d.VCs; v++ {
+				meta(pid, laneTid(p, v, d.VCs), "thread_name", fmt.Sprintf("port %d vc %d", p, v))
+			}
+		}
+	}
+
+	for _, ev := range c.Events {
+		pid, tid := ctrlPid, 0
+		if ev.Router >= 0 {
+			pid = int(ev.Router) + 1
+			tid = laneTid(int(ev.Port), int(ev.VC), vcsOf[int(ev.Router)])
+		}
+		ce := ChromeEvent{Ts: usec(ev.At), Pid: pid, Tid: tid}
+		args := map[string]any{}
+		if ev.Msg != 0 {
+			args["msg"] = ev.Msg
+		}
+		switch ev.Kind {
+		case EvBlock:
+			ce.Name = "blocked: " + ev.Cause.String()
+			ce.Ph = "B"
+			args["cause"] = ev.Cause.String()
+		case EvUnblock:
+			ce.Name = "blocked: " + ev.Cause.String()
+			ce.Ph = "E"
+		default:
+			ce.Name = ev.Kind.String()
+			ce.Ph = "i"
+			ce.S = "t"
+			if ev.Cause != CauseNone {
+				args["cause"] = ev.Cause.String()
+			}
+			switch ev.Kind {
+			case EvInject:
+				args["dst"] = ev.Arg
+				args["flits"] = ev.Seq
+				args["class"] = ev.Class.String()
+			case EvVCAlloc:
+				args["wait_ns"] = ev.Arg
+			case EvSwitchArb:
+				args["out_port"] = ev.Arg >> 16
+				args["out_vc"] = ev.Arg & 0xffff
+				args["flit"] = ev.Seq
+			case EvLinkTraverse:
+				args["ts"] = ev.Arg
+				args["flit"] = ev.Seq
+			case EvEject:
+				args["latency_ns"] = ev.Arg
+				args["frame"] = ev.Seq
+				args["class"] = ev.Class.String()
+			case EvPickInput, EvPickOutput, EvPickSource:
+				args["winner_ts"] = ev.Arg
+				args["candidates"] = ev.Seq
+			case EvVCTick:
+				args["ts"] = ev.Arg
+			case EvRetransmit:
+				args["attempt"] = ev.Seq
+			case EvFault:
+				args["onset"] = ev.Arg
+			case EvDeadlock:
+				args["blocked"] = ev.Arg
+			default:
+				if ev.Arg != 0 {
+					args["arg"] = ev.Arg
+				}
+				if ev.Seq != 0 {
+					args["seq"] = ev.Seq
+				}
+			}
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		emit(ce)
+	}
+
+	counter := func(at sim.Time, name string, values map[string]any) {
+		emit(ChromeEvent{Name: name, Ph: "C", Ts: usec(at), Pid: ctrlPid, Tid: metricsTid, Args: values})
+	}
+	for _, s := range c.Snapshots {
+		counter(s.At, "engine", map[string]any{
+			"pending": s.Engine.Pending, "max_pending": s.Engine.MaxPending,
+		})
+		counter(s.At, "trace", map[string]any{
+			"events": s.Events, "dropped": s.DroppedEvents,
+		})
+		for cls, h := range s.Latency {
+			if h.N == 0 {
+				continue
+			}
+			counter(s.At, fmt.Sprintf("latency class %d", cls), map[string]any{
+				"mean_ns": h.Mean(), "p99_ns": h.Quantile(0.99),
+			})
+		}
+	}
+	return tr
+}
+
+// WriteChromeTrace serializes the capture as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, c *Capture) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildChromeTrace(c))
+}
+
+// ReadChromeTrace parses a trace file written by WriteChromeTrace (or any
+// JSON-object-flavor trace-event file).
+func ReadChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var tr ChromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obs: parsing chrome trace: %w", err)
+	}
+	return &tr, nil
+}
+
+// Validate checks a parsed trace against the trace-event format's
+// requirements: known phases, sane B/E span nesting per lane, and
+// non-decreasing timestamps among non-metadata events.
+//
+// Span nesting tolerates the window edges a bounded ring imposes: a lane's
+// FIRST span event may be a stray "E" (its "B" was overwritten before the
+// capture window), and spans still open at the last event are fine (the
+// worm was blocked when the run ended — Perfetto renders both). What it
+// rejects is an "E" after the lane's spans have balanced, which no valid
+// emission order produces.
+func (tr *ChromeTrace) Validate() error {
+	type lane struct{ pid, tid int }
+	depth := make(map[lane]int)
+	spanSeen := make(map[lane]bool)
+	lastTs := make(map[lane]float64)
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "B", "E", "i", "I", "C", "X":
+		default:
+			return fmt.Errorf("event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		l := lane{ev.Pid, ev.Tid}
+		if ev.Ts < lastTs[l] {
+			return fmt.Errorf("event %d (%q): timestamp %v before %v on pid %d tid %d",
+				i, ev.Name, ev.Ts, lastTs[l], ev.Pid, ev.Tid)
+		}
+		lastTs[l] = ev.Ts
+		switch ev.Ph {
+		case "B":
+			depth[l]++
+			spanSeen[l] = true
+		case "E":
+			if depth[l] == 0 {
+				if spanSeen[l] {
+					return fmt.Errorf("event %d (%q): span end without begin on pid %d tid %d",
+						i, ev.Name, ev.Pid, ev.Tid)
+				}
+				// Pre-window close: the matching "B" fell off the ring.
+			} else {
+				depth[l]--
+			}
+			spanSeen[l] = true
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a parsed trace for cmd/mwtrace: event counts by name,
+// processes seen, and the covered time range.
+type Summary struct {
+	Events     int
+	Spans      int
+	Processes  int
+	FirstTs    float64
+	LastTs     float64
+	CountsName []string // sorted names
+	Counts     []int    // parallel to CountsName
+}
+
+// Summarize builds a Summary deterministically (names insertion-sorted, no
+// map iteration in the output).
+func (tr *ChromeTrace) Summarize() Summary {
+	var s Summary
+	pids := map[int]bool{}
+	counts := map[string]int{}
+	first := true
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			pids[ev.Pid] = true
+			continue
+		}
+		s.Events++
+		if ev.Ph == "B" {
+			s.Spans++
+		}
+		pids[ev.Pid] = true
+		counts[ev.Name]++
+		if first || ev.Ts < s.FirstTs {
+			s.FirstTs = ev.Ts
+		}
+		if first || ev.Ts > s.LastTs {
+			s.LastTs = ev.Ts
+		}
+		first = false
+	}
+	s.Processes = len(pids)
+	for name := range counts {
+		s.CountsName = append(s.CountsName, name)
+	}
+	sort.Strings(s.CountsName)
+	for _, name := range s.CountsName {
+		s.Counts = append(s.Counts, counts[name])
+	}
+	return s
+}
+
+// DiffChrome compares two parsed traces and returns human-readable
+// difference lines (empty means identical event streams).
+func DiffChrome(a, b *ChromeTrace) []string {
+	var diffs []string
+	if len(a.TraceEvents) != len(b.TraceEvents) {
+		diffs = append(diffs, fmt.Sprintf("event count: %d vs %d",
+			len(a.TraceEvents), len(b.TraceEvents)))
+	}
+	n := len(a.TraceEvents)
+	if len(b.TraceEvents) < n {
+		n = len(b.TraceEvents)
+	}
+	const maxReport = 20
+	for i := 0; i < n && len(diffs) < maxReport; i++ {
+		ea, eb := a.TraceEvents[i], b.TraceEvents[i]
+		ja, _ := json.Marshal(ea)
+		jb, _ := json.Marshal(eb)
+		if string(ja) != string(jb) {
+			diffs = append(diffs, fmt.Sprintf("event %d: %s vs %s", i, ja, jb))
+		}
+	}
+	return diffs
+}
+
+// WriteMetricsCSV dumps the capture's snapshots in a long/tidy format:
+//
+//	at_ns,scope,router,port,vc,metric,value
+//
+// Only non-zero values are emitted, so sparse fabrics stay small. Latency
+// histograms appear as count/min/max/mean/p50/p90/p99 summary rows per
+// traffic class.
+func WriteMetricsCSV(w io.Writer, c *Capture) error {
+	if _, err := fmt.Fprintln(w, "at_ns,scope,router,port,vc,metric,value"); err != nil {
+		return err
+	}
+	row := func(at sim.Time, scope string, router, port, vc int, metric string, value any) error {
+		_, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%s,%v\n", at, scope, router, port, vc, metric, value)
+		return err
+	}
+	for _, s := range c.Snapshots {
+		if err := row(s.At, "engine", -1, -1, -1, "processed", s.Engine.Processed); err != nil {
+			return err
+		}
+		if err := row(s.At, "engine", -1, -1, -1, "pending", s.Engine.Pending); err != nil {
+			return err
+		}
+		if err := row(s.At, "engine", -1, -1, -1, "max_pending", s.Engine.MaxPending); err != nil {
+			return err
+		}
+		if err := row(s.At, "trace", -1, -1, -1, "events", s.Events); err != nil {
+			return err
+		}
+		if s.DroppedEvents > 0 {
+			if err := row(s.At, "trace", -1, -1, -1, "dropped_events", s.DroppedEvents); err != nil {
+				return err
+			}
+		}
+		vcAt, portAt := 0, 0
+		for _, d := range c.Routers {
+			for p := 0; p < d.Ports; p++ {
+				if portAt < len(s.PerPort) {
+					pc := s.PerPort[portAt]
+					for _, m := range [...]struct {
+						name string
+						v    uint64
+					}{
+						{"injected", pc.Injected}, {"ejected", pc.Ejected},
+						{"dropped", pc.Dropped}, {"killed", pc.Killed},
+						{"retransmits", pc.Retransmits}, {"faults", pc.Faults},
+					} {
+						if m.v == 0 {
+							continue
+						}
+						if err := row(s.At, "port", d.ID, p, -1, m.name, m.v); err != nil {
+							return err
+						}
+					}
+				}
+				portAt++
+				for v := 0; v < d.VCs; v++ {
+					if vcAt < len(s.PerVC) {
+						vc := s.PerVC[vcAt]
+						for _, m := range [...]struct {
+							name string
+							v    uint64
+						}{
+							{"switched", vc.Switched}, {"transmitted", vc.Transmitted},
+							{"grants", vc.Grants}, {"grant_wait_ns", vc.GrantWait},
+							{"blocks", vc.Blocks}, {"vc_ticks", vc.VCTicks},
+						} {
+							if m.v == 0 {
+								continue
+							}
+							if err := row(s.At, "vc", d.ID, p, v, m.name, m.v); err != nil {
+								return err
+							}
+						}
+					}
+					vcAt++
+				}
+			}
+		}
+		for cls := range s.Latency {
+			h := &s.Latency[cls]
+			if h.N == 0 {
+				continue
+			}
+			for _, m := range [...]struct {
+				name string
+				v    any
+			}{
+				{"latency_count", h.N}, {"latency_min_ns", int64(h.Min)},
+				{"latency_max_ns", int64(h.Max)}, {"latency_mean_ns", h.Mean()},
+				{"latency_p50_ns", int64(h.Quantile(0.50))},
+				{"latency_p90_ns", int64(h.Quantile(0.90))},
+				{"latency_p99_ns", int64(h.Quantile(0.99))},
+			} {
+				if err := row(s.At, "class", cls, -1, -1, m.name, m.v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

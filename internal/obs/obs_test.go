@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sim"
+)
+
+// TestDisabledPathZeroAlloc is the subsystem's headline contract: every
+// Tracer method on the nil (disabled) tracer must cost zero allocations.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var trc *Tracer
+	ev := Event{At: 100, Kind: EvLinkTraverse, Router: 0, Port: 1, VC: 2, Msg: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		trc.Emit(ev)
+		trc.Tick(100)
+		trc.RegisterRouter(0, 8, 16)
+		if trc.Enabled() {
+			t.Fatal("nil tracer reports enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates: %v allocs/op", allocs)
+	}
+	if c := trc.Capture(); c != nil {
+		t.Fatalf("nil tracer capture = %+v, want nil", c)
+	}
+}
+
+// TestEnabledEmitZeroAlloc: the hot emit path must not allocate either —
+// the ring is preallocated and Event is a value type.
+func TestEnabledEmitZeroAlloc(t *testing.T) {
+	trc := New(Options{Enabled: true, EventCap: 1024})
+	trc.RegisterRouter(0, 8, 16)
+	ev := Event{At: 100, Kind: EvLinkTraverse, Router: 0, Port: 1, VC: 2, Msg: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		trc.Emit(ev)
+		trc.Tick(100)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled emit path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestNewDisabledReturnsNil(t *testing.T) {
+	if trc := New(Options{}); trc != nil {
+		t.Fatalf("New(disabled) = %v, want nil", trc)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	trc := New(Options{Enabled: true, EventCap: 4})
+	for i := 0; i < 10; i++ {
+		trc.Emit(Event{At: sim.Time(i), Kind: EvSnapshot, Router: -1, Port: -1, VC: -1})
+	}
+	c := trc.Capture()
+	if c.TotalEvents != 10 || c.DroppedEvents != 6 {
+		t.Fatalf("totals = %d/%d dropped, want 10/6", c.TotalEvents, c.DroppedEvents)
+	}
+	if len(c.Events) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(c.Events))
+	}
+	for i, ev := range c.Events {
+		if want := sim.Time(6 + i); ev.At != want {
+			t.Fatalf("event %d at %d, want %d (oldest-first unroll)", i, ev.At, want)
+		}
+	}
+}
+
+func TestCapturePartialRing(t *testing.T) {
+	trc := New(Options{Enabled: true, EventCap: 8})
+	for i := 0; i < 3; i++ {
+		trc.Emit(Event{At: sim.Time(i), Kind: EvSnapshot, Router: -1, Port: -1, VC: -1})
+	}
+	c := trc.Capture()
+	if len(c.Events) != 3 || c.DroppedEvents != 0 {
+		t.Fatalf("events=%d dropped=%d, want 3/0", len(c.Events), c.DroppedEvents)
+	}
+	for i, ev := range c.Events {
+		if ev.At != sim.Time(i) {
+			t.Fatalf("event %d at %d, want %d", i, ev.At, i)
+		}
+	}
+}
+
+func TestCounterFolding(t *testing.T) {
+	trc := New(Options{Enabled: true, EventCap: 64})
+	trc.RegisterRouter(2, 4, 8)
+
+	// VC-level events on (router 2, port 1, vc 3).
+	trc.Emit(Event{Kind: EvSwitchArb, Router: 2, Port: 1, VC: 3})
+	trc.Emit(Event{Kind: EvLinkTraverse, Router: 2, Port: 1, VC: 3})
+	trc.Emit(Event{Kind: EvLinkTraverse, Router: 2, Port: 1, VC: 3})
+	trc.Emit(Event{Kind: EvVCAlloc, Router: 2, Port: 1, VC: 3, Arg: 40})
+	trc.Emit(Event{Kind: EvVCAlloc, Router: 2, Port: 1, VC: 3, Arg: 60})
+	trc.Emit(Event{Kind: EvBlock, Router: 2, Port: 1, VC: 3, Cause: CauseNotGranted})
+	trc.Emit(Event{Kind: EvUnblock, Router: 2, Port: 1, VC: 3, Cause: CauseNotGranted})
+	trc.Emit(Event{Kind: EvVCTick, Router: 2, Port: 1, VC: 3, Arg: 123})
+
+	// Port-level events on (router 2, port 0).
+	trc.Emit(Event{Kind: EvInject, Router: 2, Port: 0, VC: -1})
+	trc.Emit(Event{Kind: EvEject, Router: 2, Port: 0, VC: 1, Class: flit.VBR, Arg: 5000})
+	trc.Emit(Event{Kind: EvDrop, Router: 2, Port: 0, VC: -1})
+	trc.Emit(Event{Kind: EvKill, Router: 2, Port: 0, VC: -1, Cause: CauseCorrupt})
+	trc.Emit(Event{Kind: EvRetransmit, Router: 2, Port: 0, VC: 2, Seq: 2})
+	trc.Emit(Event{Kind: EvFault, Router: 2, Port: 0, VC: -1, Cause: CauseLinkDown, Arg: 1})
+
+	// Out-of-range / unregistered events must not panic or count.
+	trc.Emit(Event{Kind: EvSwitchArb, Router: 9, Port: 0, VC: 0})
+	trc.Emit(Event{Kind: EvSwitchArb, Router: 2, Port: 99, VC: 0})
+	trc.Emit(Event{Kind: EvEject, Router: -1, Port: -1, VC: -1, Class: flit.CBR, Arg: 100})
+
+	trc.Snapshot(1000)
+	c := trc.Capture()
+	if len(c.Snapshots) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(c.Snapshots))
+	}
+	s := c.Snapshots[0]
+
+	vc := s.PerVC[1*8+3] // router 2 is the only registered router; port 1, vc 3
+	if vc.Switched != 1 || vc.Transmitted != 2 || vc.Grants != 2 ||
+		vc.GrantWait != 100 || vc.Blocks != 1 || vc.VCTicks != 1 {
+		t.Fatalf("vc counters = %+v", vc)
+	}
+	p := s.PerPort[0]
+	if p.Injected != 1 || p.Ejected != 1 || p.Dropped != 1 || p.Killed != 1 ||
+		p.Retransmits != 1 || p.Faults != 1 {
+		t.Fatalf("port counters = %+v", p)
+	}
+
+	// Latency histograms: one VBR observation at 5000 ns, plus one CBR
+	// observation from the fabric-level eject (class still applies).
+	if s.Latency[flit.VBR].N != 1 || s.Latency[flit.VBR].Sum != 5000 {
+		t.Fatalf("VBR latency hist = %+v", s.Latency[flit.VBR])
+	}
+	if s.Latency[flit.CBR].N != 1 {
+		t.Fatalf("CBR latency hist = %+v", s.Latency[flit.CBR])
+	}
+}
+
+func TestRegisterRouterIdempotent(t *testing.T) {
+	trc := New(Options{Enabled: true, EventCap: 8})
+	trc.RegisterRouter(0, 4, 4)
+	trc.RegisterRouter(0, 4, 4)
+	trc.RegisterRouter(1, 2, 2)
+	c := trc.Capture()
+	if len(c.Routers) != 2 {
+		t.Fatalf("routers = %v, want 2 entries", c.Routers)
+	}
+	if c.Routers[0] != (RouterDim{ID: 0, Ports: 4, VCs: 4}) ||
+		c.Routers[1] != (RouterDim{ID: 1, Ports: 2, VCs: 2}) {
+		t.Fatalf("routers = %v", c.Routers)
+	}
+}
+
+func TestTickSnapshotInterval(t *testing.T) {
+	trc := New(Options{Enabled: true, EventCap: 64, MetricsInterval: 100 * time.Nanosecond})
+	for now := sim.Time(0); now <= 350; now += 10 {
+		trc.Tick(now)
+	}
+	trc.Snapshot(400) // the run's final snapshot
+	c := trc.Capture()
+	if len(c.Snapshots) != 4 {
+		t.Fatalf("snapshots = %d, want 4 (at 100, 200, 300, 400)", len(c.Snapshots))
+	}
+	for i, want := range []sim.Time{100, 200, 300, 400} {
+		if c.Snapshots[i].At != want {
+			t.Fatalf("snapshot %d at %d, want %d", i, c.Snapshots[i].At, want)
+		}
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for _, v := range []sim.Time{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.N != 6 || h.Min != 1 || h.Max != 1000 || h.Sum != 1110 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if got := h.Mean(); got != 185 {
+		t.Fatalf("mean = %v, want 185", got)
+	}
+	// p50 falls in the bucket of 3 and 4 → upper bounds 3 or 7.
+	if q := h.Quantile(0.5); q != 3 && q != 7 {
+		t.Fatalf("p50 = %d, want bucket bound 3 or 7", q)
+	}
+	// p100 clamps to Max.
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	// Empty hist.
+	var e Hist
+	if e.Mean() != 0 || e.Quantile(0.9) != 0 {
+		t.Fatal("empty hist must report zeros")
+	}
+}
+
+func TestKindCauseStrings(t *testing.T) {
+	for k := 0; k < numKinds; k++ {
+		if Kind(k).String() == "" {
+			t.Fatalf("Kind(%d) has no name", k)
+		}
+	}
+	for c := 0; c < numCauses; c++ {
+		if Cause(c).String() == "" {
+			t.Fatalf("Cause(%d) has no name", c)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" || Cause(200).String() != "Cause(200)" {
+		t.Fatal("out-of-range kinds/causes must stringify, not panic")
+	}
+}
+
+func TestTSArg(t *testing.T) {
+	if TSArg(sim.Forever) != -1 {
+		t.Fatal("TSArg(Forever) != -1")
+	}
+	if TSArg(12345) != 12345 {
+		t.Fatal("TSArg(finite) must pass through")
+	}
+}

@@ -79,6 +79,14 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Probe observes engine execution for instrumentation: it is called after
+// every executed event with the current time and the calendar depth. The
+// observability layer (internal/obs) implements it; a nil probe costs one
+// branch per event.
+type Probe interface {
+	OnEvent(now Time, pending int)
+}
+
 // Engine is a discrete-event simulation kernel. It is not safe for concurrent
 // use; a simulation run is a single-goroutine computation.
 type Engine struct {
@@ -88,7 +96,11 @@ type Engine struct {
 	stopped bool
 	// processed counts executed events, for instrumentation and tests.
 	processed uint64
+	probe     Probe
 }
+
+// SetProbe attaches an execution probe (nil detaches).
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
 
 // NewEngine returns an engine at time zero.
 func NewEngine() *Engine {
@@ -155,6 +167,9 @@ func (e *Engine) Run(horizon Time) Time {
 		next.dead = true
 		e.processed++
 		next.fn()
+		if e.probe != nil {
+			e.probe.OnEvent(e.now, len(e.queue))
+		}
 	}
 	if e.now < horizon && horizon != Forever && len(e.queue) == 0 {
 		e.now = horizon
@@ -206,6 +221,9 @@ func (e *Engine) RunUntilIdle(horizon Time, idleLimit uint64) (Time, error) {
 		next.dead = true
 		e.processed++
 		next.fn()
+		if e.probe != nil {
+			e.probe.OnEvent(e.now, len(e.queue))
+		}
 	}
 	if e.now < horizon && horizon != Forever && len(e.queue) == 0 {
 		e.now = horizon

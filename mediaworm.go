@@ -26,6 +26,7 @@ import (
 	"mediaworm/internal/fault"
 	"mediaworm/internal/flit"
 	"mediaworm/internal/network"
+	"mediaworm/internal/obs"
 	"mediaworm/internal/pcs"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/sched"
@@ -73,6 +74,14 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	eng := sim.NewEngine()
+	// trc is nil unless tracing is enabled; every layer below takes the
+	// nil tracer as "observability off".
+	trc := obs.New(obs.Options{
+		Enabled:         cfg.Trace.Enabled,
+		EventCap:        cfg.Trace.EventCap,
+		MetricsInterval: cfg.Trace.MetricsInterval,
+	})
+	trc.RegisterEngine(eng)
 	rtVCs := traffic.PartitionVCs(cfg.VCs, cfg.RTShare)
 	rcfg := core.Config{
 		Ports:                cfg.Ports,
@@ -85,6 +94,7 @@ func Run(cfg Config) (Result, error) {
 		Period:               sim.Time(cfg.CyclePeriod().Nanoseconds()),
 		AllocatorIterations:  cfg.AllocatorIterations,
 		ExclusiveEndpointVCs: cfg.ExclusiveEndpointVCs,
+		Tracer:               trc,
 	}
 	var net *topology.Net
 	switch cfg.Topology {
@@ -100,6 +110,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	net.Fabric.SetTracer(trc)
 	if cfg.SourcePolicy != "" && cfg.SourcePolicy != cfg.Policy {
 		srcKind, err := schedKind(cfg.SourcePolicy)
 		if err != nil {
@@ -141,6 +152,7 @@ func Run(cfg Config) (Result, error) {
 				sim.Time(timeout.Nanoseconds()), attempts)
 		}
 		injector = fault.NewInjector(eng, net.Fabric, rng.NewStream(cfg.Seed, "fault"))
+		injector.Tracer = trc
 		if fc.LinkMTBF > 0 {
 			for _, l := range net.TransitLinks() {
 				injector.Churn(fault.Link{
@@ -275,6 +287,10 @@ func Run(cfg Config) (Result, error) {
 			rr.DeadlockReport = net.Fabric.Deadlock.String()
 		}
 		res.Resilience = rr
+	}
+	if trc.Enabled() {
+		trc.Snapshot(eng.Now())
+		res.Trace = trc.Capture()
 	}
 	return res, nil
 }

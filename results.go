@@ -1,5 +1,7 @@
 package mediaworm
 
+import "mediaworm/internal/obs"
+
 // Result reports one simulation run's measurements — the paper's output
 // parameters (§4.1): the mean frame delivery interval d and its standard
 // deviation σd for real-time traffic, and the average latency of best-effort
@@ -31,6 +33,11 @@ type Result struct {
 	// Resilience reports the fault layer's accounting (zero-valued when
 	// Config.Faults is disabled).
 	Resilience ResilienceResult
+
+	// Trace is the observability capture (nil unless Config.Trace.Enabled).
+	// Export it with obs.WriteChromeTrace / obs.WriteMetricsCSV, or inspect
+	// it with cmd/mwtrace.
+	Trace *obs.Capture `json:",omitempty"`
 }
 
 // ResilienceResult reports what the fault layer did to a run and how the
