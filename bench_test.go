@@ -1,6 +1,7 @@
 package mediaworm_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -103,6 +104,30 @@ func BenchmarkFig9(b *testing.B) {
 		}
 		fig.Fprint(io.Discard)
 		experiments.Fig9BestEffort(fig, io.Discard)
+	}
+}
+
+// BenchmarkSweepSerialVsParallel measures the worker-pool speedup on the
+// Fig. 3 sweep (10 independent simulation points) at widths 1/2/4/8,
+// reporting throughput as points/sec. Output is byte-identical at every
+// width — only wall clock changes — and the speedup ceiling is GOMAXPROCS:
+// on a single-core runner every width degenerates to serial throughput.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	points := 2 * len(experiments.Fig3Loads) // policies × loads
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := benchOpt()
+			opt.Parallel = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fig, err := experiments.Fig3(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fig.Fprint(io.Discard)
+			}
+			b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/sec")
+		})
 	}
 }
 

@@ -2,15 +2,23 @@
 // one CSV row per point — the general-purpose companion to cmd/paperfigs
 // for exploring operating envelopes.
 //
+// Points are independent seeded simulations, so they fan out across a
+// bounded worker pool (-parallel, default all cores) with rows, trace files
+// and metrics files emitted in sweep order — output is byte-identical to a
+// serial run. -replicas R re-runs each point under R independent derived
+// seeds and appends mean ± 95% CI columns.
+//
 // Examples:
 //
 //	mwsweep -param load -from 0.5 -to 0.96 -steps 8 -mix 0.8
 //	mwsweep -param mix -from 0.1 -to 1.0 -steps 10 -load 0.9
-//	mwsweep -param vcs -from 4 -to 24 -steps 6 -load 0.9 -policy fifo
+//	mwsweep -param vcs -from 4 -to 24 -steps 6 -load 0.9 -policy fifo -parallel 4 -replicas 5
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -20,6 +28,9 @@ import (
 
 	"mediaworm"
 	"mediaworm/internal/obs"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/runner"
+	"mediaworm/internal/stats"
 )
 
 func main() {
@@ -35,6 +46,8 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "video time-base scale")
 	intervals := flag.Int("intervals", 10, "measured frame intervals")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all cores, 1 = serial); output is byte-identical either way")
+	replicas := flag.Int("replicas", 1, "independent-seed runs per point, reported as mean ± 95% CI")
 	tracePrefix := flag.String("trace-prefix", "", "write <prefix><point>.trace.json per point (enables tracing)")
 	metricsPrefix := flag.String("metrics-prefix", "", "write <prefix><point>.metrics.csv per point (enables tracing)")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
@@ -43,17 +56,22 @@ func main() {
 	if *steps < 1 {
 		fatal(fmt.Errorf("steps must be ≥ 1"))
 	}
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := w.Write([]string{*param, "d_ms", "sd_ms", "be_latency_us", "be_saturated", "playout_miss_rate", "streams"}); err != nil {
-		fatal(err)
+	reps := *replicas
+	if reps < 1 {
+		reps = 1
 	}
 
+	// Build the full grid up front: one config per (step, replica), replica
+	// seeds derived from (seed, step, replica) so results are independent of
+	// worker scheduling.
+	xs := make([]float64, *steps)
+	cfgs := make([]mediaworm.Config, *steps)
 	for i := 0; i < *steps; i++ {
 		x := *from
 		if *steps > 1 {
 			x += (*to - *from) * float64(i) / float64(*steps-1)
 		}
+		xs[i] = x
 		cfg := mediaworm.DefaultConfig()
 		cfg.Topology = mediaworm.Topology(*topo)
 		cfg.Policy = mediaworm.Policy(*policy)
@@ -81,40 +99,115 @@ func main() {
 		if *tracePrefix != "" || *metricsPrefix != "" {
 			cfg.Trace = mediaworm.TraceConfig{Enabled: true, EventCap: *traceEvents}
 		}
+		cfgs[i] = cfg
+	}
+
+	type run struct {
+		res   mediaworm.Result
+		norm  float64 // ms normalization for this config
+		trace *obs.Capture
+		point string // file-name stem for trace/metrics artifacts
+	}
+	jobs := *steps * reps
+	runs := make([]run, jobs)
+	var sinkErr error
+	_, err := runner.Map(context.Background(), jobs, runner.Options{
+		Workers: *parallel,
+		// Artifact files are written from the collector in sweep order, so
+		// a failing write aborts deterministically at the same point a
+		// serial sweep would have.
+		OnDone: func(i int) {
+			r := &runs[i]
+			if r.trace == nil || sinkErr != nil {
+				return
+			}
+			if *tracePrefix != "" {
+				sinkErr = writeFile(*tracePrefix+r.point+".trace.json", func(f *os.File) error {
+					return obs.WriteChromeTrace(f, r.trace)
+				})
+			}
+			if *metricsPrefix != "" && sinkErr == nil {
+				sinkErr = writeFile(*metricsPrefix+r.point+".metrics.csv", func(f *os.File) error {
+					return obs.WriteMetricsCSV(f, r.trace)
+				})
+			}
+			r.trace = nil
+		},
+	}, func(_ context.Context, i int) (struct{}, error) {
+		cell, rep := i/reps, i%reps
+		cfg := cfgs[cell]
+		if rep > 0 {
+			cfg.Seed = rng.DeriveSeed(cfg.Seed, uint64(cell), uint64(rep))
+		}
 		res, err := mediaworm.Run(cfg)
 		if err != nil {
+			return struct{}{}, err
+		}
+		point := fmt.Sprintf("%s-%g", *param, xs[cell])
+		if rep > 0 {
+			point += fmt.Sprintf("-rep%d", rep)
+		}
+		runs[i] = run{
+			res:   res,
+			norm:  33.0 / (cfg.FrameInterval.Seconds() * 1000),
+			trace: res.Trace,
+			point: point,
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		var re *runner.Error
+		if errors.As(err, &re) {
+			fatal(fmt.Errorf("point %s=%g: %w", *param, xs[re.Index/reps], re.Err))
+		}
+		fatal(err)
+	}
+	if sinkErr != nil {
+		fatal(sinkErr)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{*param, "d_ms", "sd_ms", "be_latency_us", "be_saturated", "playout_miss_rate", "streams"}
+	if reps > 1 {
+		header = append(header, "d_ms_ci95", "sd_ms_ci95", "be_latency_us_ci95", "replicas")
+	}
+	if err := w.Write(header); err != nil {
+		fatal(err)
+	}
+	for cell := 0; cell < *steps; cell++ {
+		var d, sd, be, miss stats.Welford
+		saturated := 0
+		for rep := 0; rep < reps; rep++ {
+			r := &runs[cell*reps+rep]
+			d.Add(r.res.MeanDeliveryIntervalMs * r.norm)
+			sd.Add(r.res.StdDevDeliveryIntervalMs * r.norm)
+			be.Add(r.res.BestEffort.MeanLatencyUs)
+			miss.Add(r.res.Playout.MissRate)
+			if r.res.BestEffort.Saturated {
+				saturated++
+			}
+		}
+		row := []string{
+			strconv.FormatFloat(xs[cell], 'g', 6, 64),
+			strconv.FormatFloat(d.Mean(), 'f', 3, 64),
+			strconv.FormatFloat(sd.Mean(), 'f', 4, 64),
+			strconv.FormatFloat(be.Mean(), 'f', 1, 64),
+			strconv.FormatBool(2*saturated >= reps),
+			strconv.FormatFloat(miss.Mean(), 'f', 5, 64),
+			strconv.Itoa(runs[cell*reps].res.Streams),
+		}
+		if reps > 1 {
+			row = append(row,
+				strconv.FormatFloat(d.CI95(), 'f', 4, 64),
+				strconv.FormatFloat(sd.CI95(), 'f', 4, 64),
+				strconv.FormatFloat(be.CI95(), 'f', 2, 64),
+				strconv.Itoa(reps),
+			)
+		}
+		if err := w.Write(row); err != nil {
 			fatal(err)
 		}
-		if res.Trace != nil {
-			point := fmt.Sprintf("%s-%g", *param, x)
-			if *tracePrefix != "" {
-				if err := writeFile(*tracePrefix+point+".trace.json", func(f *os.File) error {
-					return obs.WriteChromeTrace(f, res.Trace)
-				}); err != nil {
-					fatal(err)
-				}
-			}
-			if *metricsPrefix != "" {
-				if err := writeFile(*metricsPrefix+point+".metrics.csv", func(f *os.File) error {
-					return obs.WriteMetricsCSV(f, res.Trace)
-				}); err != nil {
-					fatal(err)
-				}
-			}
-		}
-		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
-		if err := w.Write([]string{
-			strconv.FormatFloat(x, 'g', 6, 64),
-			strconv.FormatFloat(res.MeanDeliveryIntervalMs*norm, 'f', 3, 64),
-			strconv.FormatFloat(res.StdDevDeliveryIntervalMs*norm, 'f', 4, 64),
-			strconv.FormatFloat(res.BestEffort.MeanLatencyUs, 'f', 1, 64),
-			strconv.FormatBool(res.BestEffort.Saturated),
-			strconv.FormatFloat(res.Playout.MissRate, 'f', 5, 64),
-			strconv.Itoa(res.Streams),
-		}); err != nil {
-			fatal(err)
-		}
-		w.Flush()
 	}
 }
 

@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	paperfigs [-scale 0.2] [-seed 1] [-intervals 10] [-only fig3,table2] [-v]
+//	paperfigs [-scale 0.2] [-seed 1] [-intervals 10] [-only fig3,table2]
+//	          [-parallel 0] [-replicas 1] [-v]
 //
 // -scale 1.0 runs the paper's exact workload (slow: full MPEG-2 frames at
 // 33 ms); the default shrinks the video time base 5× and normalizes
 // reported intervals back to the 33 ms base.
+//
+// -parallel fans independent sweep points across worker goroutines (0 uses
+// every core); output is byte-identical to a serial run for the same seed.
+// -replicas R re-runs every point R times with independent derived seeds and
+// reports replica means with 95% confidence half-widths (± columns).
 package main
 
 import (
@@ -26,6 +32,8 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "video time-base scale factor (1.0 = paper-exact)")
 	seed := flag.Uint64("seed", 1, "workload random seed")
 	intervals := flag.Int("intervals", 10, "measured frame intervals per point")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores, 1 = serial); output is byte-identical either way")
+	replicas := flag.Int("replicas", 1, "independent-seed runs per point, reported as mean ± 95% CI")
 	only := flag.String("only", "", "comma-separated subset: fig3,fig4,fig5,table2,fig6,fig7,fig8,table3,fig9,table1; ablations/extensions by id (abl-alloc,abl-endpointvc,abl-source,abl-sched,ext-gop,ext-tetra,ext-dynpart) or 'extras' for all of them")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
@@ -36,6 +44,8 @@ func main() {
 	opt.Scale = *scale
 	opt.Seed = *seed
 	opt.MeasureIntervals = *intervals
+	opt.Parallel = *parallel
+	opt.Replicas = *replicas
 	if *verbose {
 		opt.Progress = func(fig, point string, elapsed time.Duration) {
 			fmt.Fprintf(os.Stderr, "  %s (%.1fs)\n", point, elapsed.Seconds())

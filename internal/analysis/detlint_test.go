@@ -23,6 +23,14 @@ func TestDetLintObsPackage(t *testing.T) {
 	analysistest.Run(t, analysis.DetLint, "detlint/obs", "mediaworm/internal/obs")
 }
 
+// The runner fixture pins the parallel executor's contract: the worker pool
+// lives inside detlint's scope, where sync/atomic/context concurrency is
+// unremarkable but wall-clock reads are still flagged — a time-derived
+// decision in the pool would leak goroutine scheduling into results.
+func TestDetLintRunnerPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/runner", "mediaworm/internal/runner")
+}
+
 // The cmd fixture pins the scope rule: command-line front-ends may read the
 // wall clock and environment freely.
 func TestDetLintCmdExempt(t *testing.T) {

@@ -1,0 +1,49 @@
+// Package runnerfix exercises detlint against the parallel sweep executor's
+// vocabulary: concurrency primitives (sync, sync/atomic, context) are fine —
+// determinism comes from positional reassembly, not from avoiding
+// goroutines — but wall clocks stay banned even here, since a time-derived
+// decision inside the pool would leak scheduling order into results.
+package runnerfix
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func allowedConcurrency(ctx context.Context, n int) int {
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	done := 0
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return done
+}
+
+func flaggedWallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func flaggedDeadline(ctx context.Context) bool {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return false
+	}
+	return time.Until(d) > 0 // want "time.Until reads the wall clock"
+}

@@ -13,121 +13,102 @@ import (
 // AblationLoads are the high-load points where the design choices matter.
 var AblationLoads = []float64{0.80, 0.90, 0.96}
 
+// ablationSweep runs one variant per series over AblationLoads through the
+// shared grid executor; mutate customizes the config per variant index.
+func ablationSweep(opt Options, fig *Figure, labels []string, mutate func(cfg *mediaworm.Config, variant int)) (*Figure, error) {
+	opt = opt.normalized()
+	var cfgs []mediaworm.Config
+	for v := range labels {
+		for _, load := range AblationLoads {
+			cfg := baseConfig(opt)
+			cfg.Load = load
+			mutate(&cfg, v)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", fig.ID, err)
+	}
+	for v, label := range labels {
+		fig.Series = append(fig.Series, Series{
+			Label:  label,
+			Points: pts[v*len(AblationLoads) : (v+1)*len(AblationLoads)],
+		})
+	}
+	return fig, nil
+}
+
 // AblationAllocator compares one allocator iteration (greedy matching)
 // against two (one-step augmentation) on a mixed 50:50 workload — the
 // second iteration is what sustains the paper's 0.9+ operating points.
 func AblationAllocator(opt Options) (*Figure, error) {
-	opt = opt.normalized()
 	fig := &Figure{
 		ID:     "abl-alloc",
 		Title:  "Ablation: switch-allocator iterations (50:50 mix)",
 		XLabel: "load",
 		ShowBE: true,
 	}
-	for _, iters := range []int{1, 2} {
-		s := Series{Label: fmt.Sprintf("%d-iter", iters)}
-		for _, load := range AblationLoads {
-			cfg := baseConfig(opt)
-			cfg.Load = load
-			cfg.RTShare = 0.5
-			cfg.AllocatorIterations = iters
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("abl-alloc %d iters load %v: %w", iters, load, err)
-			}
-			s.Points = append(s.Points, p)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	iters := []int{1, 2}
+	return ablationSweep(opt, fig, []string{"1-iter", "2-iter"}, func(cfg *mediaworm.Config, v int) {
+		cfg.RTShare = 0.5
+		cfg.AllocatorIterations = iters[v]
+	})
 }
 
 // AblationEndpointVCs compares shared endpoint output VCs (the paper's
 // multiple-connections-per-VC model) against exclusive per-message
 // ownership, which exhausts the VC pool at high load.
 func AblationEndpointVCs(opt Options) (*Figure, error) {
-	opt = opt.normalized()
 	fig := &Figure{
 		ID:     "abl-endpointvc",
 		Title:  "Ablation: shared vs exclusive endpoint output VCs (50:50 mix)",
 		XLabel: "load",
 		ShowBE: true,
 	}
-	for _, exclusive := range []bool{false, true} {
-		label := "shared"
-		if exclusive {
-			label = "exclusive"
-		}
-		s := Series{Label: label}
-		for _, load := range AblationLoads {
-			cfg := baseConfig(opt)
-			cfg.Load = load
-			cfg.RTShare = 0.5
-			cfg.ExclusiveEndpointVCs = exclusive
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("abl-endpointvc %s load %v: %w", label, load, err)
-			}
-			s.Points = append(s.Points, p)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	return ablationSweep(opt, fig, []string{"shared", "exclusive"}, func(cfg *mediaworm.Config, v int) {
+		cfg.RTShare = 0.5
+		cfg.ExclusiveEndpointVCs = v == 1
+	})
 }
 
 // AblationSourcePolicy keeps Virtual Clock inside the router but varies the
 // source NI's injection-link scheduler — the serialization point the paper
 // leaves unspecified (DESIGN.md §7).
 func AblationSourcePolicy(opt Options) (*Figure, error) {
-	opt = opt.normalized()
 	fig := &Figure{
 		ID:     "abl-source",
 		Title:  "Ablation: source NI scheduling (router uses Virtual Clock, 80:20 mix)",
 		XLabel: "load",
 		ShowBE: true,
 	}
-	for _, src := range []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.FIFO} {
-		s := Series{Label: "NI " + string(src)}
-		for _, load := range AblationLoads {
-			cfg := baseConfig(opt)
-			cfg.Load = load
-			cfg.RTShare = 0.8
-			cfg.SourcePolicy = src
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("abl-source %s load %v: %w", src, load, err)
-			}
-			s.Points = append(s.Points, p)
-		}
-		fig.Series = append(fig.Series, s)
+	policies := []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.FIFO}
+	labels := make([]string, len(policies))
+	for i, p := range policies {
+		labels[i] = "NI " + string(p)
 	}
-	return fig, nil
+	return ablationSweep(opt, fig, labels, func(cfg *mediaworm.Config, v int) {
+		cfg.RTShare = 0.8
+		cfg.SourcePolicy = policies[v]
+	})
 }
 
 // AblationScheduler adds the round-robin scheduler the paper mentions as a
 // "rate agnostic" alternative to FIFO, alongside both paper policies.
 func AblationScheduler(opt Options) (*Figure, error) {
-	opt = opt.normalized()
 	fig := &Figure{
 		ID:     "abl-sched",
 		Title:  "Ablation: scheduling discipline (80:20 mix)",
 		XLabel: "load",
 		ShowBE: true,
 	}
-	for _, policy := range []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.RoundRobin, mediaworm.FIFO} {
-		s := Series{Label: string(policy)}
-		for _, load := range AblationLoads {
-			cfg := baseConfig(opt)
-			cfg.Load = load
-			cfg.RTShare = 0.8
-			cfg.Policy = policy
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("abl-sched %s load %v: %w", policy, load, err)
-			}
-			s.Points = append(s.Points, p)
-		}
-		fig.Series = append(fig.Series, s)
+	policies := []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.RoundRobin, mediaworm.FIFO}
+	labels := make([]string, len(policies))
+	for i, p := range policies {
+		labels[i] = string(p)
 	}
-	return fig, nil
+	return ablationSweep(opt, fig, labels, func(cfg *mediaworm.Config, v int) {
+		cfg.RTShare = 0.8
+		cfg.Policy = policies[v]
+	})
 }

@@ -31,18 +31,32 @@ type Options struct {
 	WarmupIntervals, MeasureIntervals int
 	// Seed drives all randomness.
 	Seed uint64
-	// Progress, if non-nil, is called after each simulated point.
+	// Parallel bounds the sweep worker pool: 1 runs points serially, 0 uses
+	// every core (GOMAXPROCS). Output is byte-identical at any setting —
+	// see internal/runner and DESIGN.md §12.
+	Parallel int
+	// Replicas runs each sweep point this many times with independent seeds
+	// derived from (Seed, point index, replica index) and reports the
+	// replica mean with 95% confidence half-widths (Point.DMsCI95 etc.).
+	// 0 or 1 keeps the single-run behaviour, byte-identical to before.
+	Replicas int
+	// Progress, if non-nil, is called after each simulated point, always
+	// from the sweep's calling goroutine and always in grid order, even
+	// when Parallel fans points out across workers.
 	Progress func(figure string, point string, elapsed time.Duration)
 	// Clock supplies the wall-clock readings behind Progress's elapsed
 	// argument. It exists so the one wall-clock dependency in this package
 	// is injected rather than ambient: simulation results never touch it,
-	// and tests can pin it. Nil means the real clock.
+	// and tests can pin it. Nil means the real clock. It must be safe for
+	// concurrent use — workers read it when Parallel > 1 (time.Now is).
 	Clock func() time.Time
 	// Trace arms the observability subsystem for every simulated point
 	// (see mediaworm.TraceConfig). Captures are delivered to TraceSink.
 	Trace mediaworm.TraceConfig
 	// TraceSink, if non-nil, receives each point's trace capture, labelled
-	// with the point's sweep position. Only called when Trace.Enabled.
+	// with the point's sweep position. Only called when Trace.Enabled. Like
+	// Progress it fires on the calling goroutine in grid order, so captures
+	// from concurrently simulated points never interleave.
 	TraceSink func(point string, capture *obs.Capture)
 }
 
@@ -64,6 +78,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Replicas < 1 {
+		o.Replicas = 1
 	}
 	if o.Clock == nil {
 		// Progress timing is the package's sole legitimate wall-clock use:
@@ -89,6 +106,13 @@ type Point struct {
 	BESaturated bool
 	// Samples is the number of pooled interval observations.
 	Samples uint64
+	// Replicas is the number of independent-seed runs pooled into this
+	// point (see Options.Replicas); 0 or 1 means a single run.
+	Replicas int
+	// DMsCI95, SDMsCI95 and BECI95 are the half-widths of the Student-t
+	// 95% confidence intervals of DMs, SDMs and BELatencyUs across
+	// replicas. All zero for single-run points.
+	DMsCI95, SDMsCI95, BECI95 float64
 }
 
 // Series is a labelled sequence of points (one curve of a figure).
@@ -112,19 +136,44 @@ type Figure struct {
 	Notes string
 }
 
+// replicated reports whether any point pools multiple replicas, which adds
+// ± (95% CI half-width) columns to the rendered table.
+func (f *Figure) replicated() bool {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Replicas > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Fprint renders the figure as an aligned text table: one row per X value,
-// one (d, σd) column pair per series.
+// one (d, σd) column pair per series. Replicated sweeps add a ± column (the
+// 95% confidence half-width across replicas) after each metric.
 func (f *Figure) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
 	if len(f.Series) == 0 {
 		fmt.Fprintln(w, "(empty)")
 		return
 	}
+	ci := f.replicated()
 	header := []string{f.XLabel}
 	for _, s := range f.Series {
-		header = append(header, s.Label+" d(ms)", s.Label+" σd(ms)")
+		header = append(header, s.Label+" d(ms)")
+		if ci {
+			header = append(header, "±d")
+		}
+		header = append(header, s.Label+" σd(ms)")
+		if ci {
+			header = append(header, "±σd")
+		}
 		if f.ShowBE {
 			header = append(header, s.Label+" BE(µs)")
+			if ci {
+				header = append(header, "±BE")
+			}
 		}
 	}
 	rows := [][]string{header}
@@ -133,12 +182,25 @@ func (f *Figure) Fprint(w io.Writer) {
 		row := []string{fmtX(p0, f.XIsMix)}
 		for _, s := range f.Series {
 			p := s.Points[i]
-			row = append(row, fmt.Sprintf("%.2f", p.DMs), fmt.Sprintf("%.3f", p.SDMs))
+			row = append(row, fmt.Sprintf("%.2f", p.DMs))
+			if ci {
+				row = append(row, fmt.Sprintf("%.2f", p.DMsCI95))
+			}
+			row = append(row, fmt.Sprintf("%.3f", p.SDMs))
+			if ci {
+				row = append(row, fmt.Sprintf("%.3f", p.SDMsCI95))
+			}
 			if f.ShowBE {
 				if p.BESaturated {
 					row = append(row, "Sat.")
+					if ci {
+						row = append(row, "-")
+					}
 				} else {
 					row = append(row, fmt.Sprintf("%.1f", p.BELatencyUs))
+					if ci {
+						row = append(row, fmt.Sprintf("%.1f", p.BECI95))
+					}
 				}
 			}
 		}
@@ -196,32 +258,13 @@ func baseConfig(opt Options) mediaworm.Config {
 	return cfg
 }
 
-// runPoint executes cfg and normalizes the result to paper-scale ms.
+// runPoint executes one config as a single-cell grid: a convenience for
+// callers that sweep nothing. Replication, progress and trace emission all
+// behave exactly as in a full runGrid sweep.
 func runPoint(cfg mediaworm.Config, opt Options) (Point, error) {
-	start := opt.Clock()
-	res, err := mediaworm.Run(cfg)
+	pts, err := runGrid(opt, []mediaworm.Config{cfg})
 	if err != nil {
 		return Point{}, err
 	}
-	norm := paperIntervalMs / (cfg.FrameInterval.Seconds() * 1000)
-	p := Point{
-		Load:        cfg.Load,
-		RTShare:     cfg.RTShare,
-		DMs:         res.MeanDeliveryIntervalMs * norm,
-		SDMs:        res.StdDevDeliveryIntervalMs * norm,
-		BELatencyUs: res.BestEffort.MeanLatencyUs,
-		BESaturated: res.BestEffort.Saturated,
-		Samples:     res.FrameIntervals,
-	}
-	if res.BestEffort.Injected == 0 {
-		p.BELatencyUs = 0
-	}
-	if res.Trace != nil && opt.TraceSink != nil {
-		opt.TraceSink(fmt.Sprintf("load=%.2f mix=%.0f:%.0f policy=%s",
-			cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100, cfg.Policy), res.Trace)
-	}
-	if opt.Progress != nil {
-		opt.Progress("", fmt.Sprintf("load=%.2f mix=%.0f:%.0f", cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100), opt.Clock().Sub(start))
-	}
-	return p, nil
+	return pts[0], nil
 }

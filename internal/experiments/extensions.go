@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"mediaworm/internal/core"
 	"mediaworm/internal/flit"
 	"mediaworm/internal/network"
+	"mediaworm/internal/runner"
 	"mediaworm/internal/sched"
 	"mediaworm/internal/sim"
 	"mediaworm/internal/stats"
@@ -29,20 +31,27 @@ func ExtGoP(opt Options) (*Figure, error) {
 		XLabel: "load",
 		Notes:  "GoP = IBBPBBPBBPBB pattern, 5:3:1 I:P:B sizes, random per-stream phase",
 	}
-	for _, model := range []mediaworm.VBRModel{mediaworm.VBRNormal, mediaworm.VBRGoP} {
-		s := Series{Label: string(model)}
-		for _, load := range []float64{0.60, 0.80, 0.90} {
+	models := []mediaworm.VBRModel{mediaworm.VBRNormal, mediaworm.VBRGoP}
+	loads := []float64{0.60, 0.80, 0.90}
+	var cfgs []mediaworm.Config
+	for _, model := range models {
+		for _, load := range loads {
 			cfg := baseConfig(opt)
 			cfg.Load = load
 			cfg.RTShare = 1.0
 			cfg.VBRModel = model
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("ext-gop %s load %v: %w", model, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-gop: %w", err)
+	}
+	for i, model := range models {
+		fig.Series = append(fig.Series, Series{
+			Label:  string(model),
+			Points: pts[i*len(loads) : (i+1)*len(loads)],
+		})
 	}
 	return fig, nil
 }
@@ -56,20 +65,27 @@ func ExtTetrahedral(opt Options) (*Figure, error) {
 		Title:  "Extension: fat-mesh vs tetrahedral cluster (80:20 mix)",
 		XLabel: "load",
 	}
-	for _, topo := range []mediaworm.Topology{mediaworm.FatMesh2x2, mediaworm.Tetrahedral} {
-		s := Series{Label: string(topo)}
-		for _, load := range []float64{0.60, 0.70, 0.80} {
+	topos := []mediaworm.Topology{mediaworm.FatMesh2x2, mediaworm.Tetrahedral}
+	loads := []float64{0.60, 0.70, 0.80}
+	var cfgs []mediaworm.Config
+	for _, topo := range topos {
+		for _, load := range loads {
 			cfg := baseConfig(opt)
 			cfg.Topology = topo
 			cfg.Load = load
 			cfg.RTShare = 0.8
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("ext-tetra %s load %v: %w", topo, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-tetra: %w", err)
+	}
+	for i, topo := range topos {
+		fig.Series = append(fig.Series, Series{
+			Label:  string(topo),
+			Points: pts[i*len(loads) : (i+1)*len(loads)],
+		})
 	}
 	return fig, nil
 }
@@ -90,18 +106,15 @@ type DynPartResult struct {
 
 // ExtDynamicPartition runs the shifting-mix workload (20:80 then 70:30 at
 // the same total load) under a static 50:50 VC split and under the dynamic
-// partition controller, and reports both.
+// partition controller, and reports both. The two variants are independent
+// closed-loop simulations and run through the shared worker pool.
 func ExtDynamicPartition(opt Options) ([]DynPartResult, error) {
 	opt = opt.normalized()
-	var out []DynPartResult
-	for _, dynamic := range []bool{false, true} {
-		r, err := runShiftingMix(opt, dynamic)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return runner.Map(context.Background(), 2,
+		runner.Options{Workers: opt.Parallel},
+		func(_ context.Context, i int) (DynPartResult, error) {
+			return runShiftingMix(opt, i == 1)
+		})
 }
 
 func runShiftingMix(opt Options, dynamic bool) (DynPartResult, error) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -9,6 +11,7 @@ import (
 	"mediaworm/internal/flit"
 	"mediaworm/internal/network"
 	"mediaworm/internal/rng"
+	"mediaworm/internal/runner"
 	"mediaworm/internal/sim"
 	"mediaworm/internal/stats"
 	"mediaworm/internal/topology"
@@ -56,6 +59,9 @@ type FaultReport struct {
 var FaultSweepRates = []float64{0, 0.5, 1, 2, 4}
 
 // FaultSweep runs the resilience sweep at each rate in FaultSweepRates.
+// Rates are independent closed-loop simulations (fault schedules derive from
+// Options.Seed, not from each other), so they fan out across the worker pool
+// with results reassembled in rate order.
 func FaultSweep(opt Options) (*FaultReport, error) {
 	opt = opt.normalized()
 	rep := &FaultReport{
@@ -63,13 +69,19 @@ func FaultSweep(opt Options) (*FaultReport, error) {
 			"watchdog in recovery mode; retransmit timeout = 2 frame intervals, 4 attempts; " +
 			"admission revokes newest-first on capacity loss and re-admits on recovery",
 	}
-	for _, rate := range FaultSweepRates {
-		p, err := runFaultPoint(opt, rate)
-		if err != nil {
-			return nil, fmt.Errorf("fault sweep at rate %v: %w", rate, err)
+	pts, err := runner.Map(context.Background(), len(FaultSweepRates),
+		runner.Options{Workers: opt.Parallel},
+		func(_ context.Context, i int) (FaultPoint, error) {
+			return runFaultPoint(opt, FaultSweepRates[i])
+		})
+	if err != nil {
+		var re *runner.Error
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("fault sweep at rate %v: %w", FaultSweepRates[re.Index], re.Err)
 		}
-		rep.Points = append(rep.Points, p)
+		return nil, fmt.Errorf("fault sweep: %w", err)
 	}
+	rep.Points = pts
 	return rep, nil
 }
 

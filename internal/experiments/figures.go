@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"mediaworm"
+	"mediaworm/internal/runner"
 )
 
 // Fig3Loads are the input-link loads of the paper's Fig. 3 sweep.
@@ -21,20 +23,26 @@ func Fig3(opt Options) (*Figure, error) {
 		Title:  "Virtual Clock vs FIFO (16 VCs, 80:20 mix)",
 		XLabel: "load",
 	}
-	for _, policy := range []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.FIFO} {
-		s := Series{Label: string(policy)}
+	policies := []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.FIFO}
+	var cfgs []mediaworm.Config
+	for _, policy := range policies {
 		for _, load := range Fig3Loads {
 			cfg := baseConfig(opt)
 			cfg.Policy = policy
 			cfg.Load = load
 			cfg.RTShare = 0.8
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s load %v: %w", policy, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	for i, policy := range policies {
+		fig.Series = append(fig.Series, Series{
+			Label:  string(policy),
+			Points: pts[i*len(Fig3Loads) : (i+1)*len(Fig3Loads)],
+		})
 	}
 	return fig, nil
 }
@@ -48,20 +56,26 @@ func Fig4(opt Options) (*Figure, error) {
 		Title:  "CBR vs VBR traffic (16 VCs, 400 Mb/s, no best-effort)",
 		XLabel: "load",
 	}
-	for _, class := range []mediaworm.TrafficClass{mediaworm.VBR, mediaworm.CBR} {
-		s := Series{Label: string(class)}
+	classes := []mediaworm.TrafficClass{mediaworm.VBR, mediaworm.CBR}
+	var cfgs []mediaworm.Config
+	for _, class := range classes {
 		for _, load := range Fig3Loads {
 			cfg := baseConfig(opt)
 			cfg.Class = class
 			cfg.Load = load
 			cfg.RTShare = 1.0
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %s load %v: %w", class, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
+	for i, class := range classes {
+		fig.Series = append(fig.Series, Series{
+			Label:  string(class),
+			Points: pts[i*len(Fig3Loads) : (i+1)*len(Fig3Loads)],
+		})
 	}
 	return fig, nil
 }
@@ -81,7 +95,8 @@ type Table2 struct {
 	Notes string
 }
 
-// Fprint renders Table 2.
+// Fprint renders Table 2. Replicated cells carry their 95% confidence
+// half-width as "mean±ci".
 func (t *Table2) Fprint(w io.Writer) {
 	fmt.Fprintln(w, "== table2: Average latency for best-effort traffic (µs) ==")
 	header := []string{"x:y"}
@@ -92,9 +107,12 @@ func (t *Table2) Fprint(w io.Writer) {
 	for i, mix := range t.Mixes {
 		row := []string{fmt.Sprintf("%d:%d", int(mix*100+0.5), int((1-mix)*100+0.5))}
 		for _, p := range t.Cells[i] {
-			if p.BESaturated {
+			switch {
+			case p.BESaturated:
 				row = append(row, "Sat.")
-			} else {
+			case p.Replicas > 1:
+				row = append(row, fmt.Sprintf("%.1f±%.1f", p.BELatencyUs, p.BECI95))
+			default:
 				row = append(row, fmt.Sprintf("%.1f", p.BELatencyUs))
 			}
 		}
@@ -128,16 +146,25 @@ func Fig5Table2(opt Options) (*Figure, *Table2, error) {
 	tab.Cells = make([][]Point, len(tab.Mixes))
 	// Series per load, points per mix (the paper's Fig. 5 x-axis is the
 	// mix proportion).
+	var cfgs []mediaworm.Config
 	for _, load := range Table2Loads {
-		s := Series{Label: fmt.Sprintf("load %.2f", load)}
-		for mi, mix := range Fig5Mixes {
+		for _, mix := range Fig5Mixes {
 			cfg := baseConfig(opt)
 			cfg.Load = load
 			cfg.RTShare = mix
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig5 mix %v load %v: %w", mix, load, err)
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig5: %w", err)
+	}
+	i := 0
+	for _, load := range Table2Loads {
+		s := Series{Label: fmt.Sprintf("load %.2f", load)}
+		for mi, mix := range Fig5Mixes {
+			p := pts[i]
+			i++
 			s.Points = append(s.Points, p)
 			if mix < 1 {
 				tab.Cells[mi] = append(tab.Cells[mi], p)
@@ -170,21 +197,26 @@ func Fig6(opt Options) (*Figure, error) {
 		{"4 VC mux", 4, false},
 		{"4 VC full", 4, true},
 	}
+	var cfgs []mediaworm.Config
 	for _, v := range variants {
-		s := Series{Label: v.label}
 		for _, load := range Fig6Loads {
 			cfg := baseConfig(opt)
 			cfg.VCs = v.vcs
 			cfg.FullCrossbar = v.full
 			cfg.Load = load
 			cfg.RTShare = 1.0
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s load %v: %w", v.label, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	for i, v := range variants {
+		fig.Series = append(fig.Series, Series{
+			Label:  v.label,
+			Points: pts[i*len(Fig6Loads) : (i+1)*len(Fig6Loads)],
+		})
 	}
 	return fig, nil
 }
@@ -212,20 +244,26 @@ func Fig7(opt Options) (*Figure, error) {
 		XLabel: "load",
 		Notes:  "series are message sizes in flits; the largest carries a whole frame per message (the paper's 2560-flit point, scaled)",
 	}
-	for _, size := range Fig7MsgSizes(opt) {
-		s := Series{Label: fmt.Sprintf("%d flits", size)}
+	sizes := Fig7MsgSizes(opt)
+	var cfgs []mediaworm.Config
+	for _, size := range sizes {
 		for _, load := range Fig7Loads {
 			cfg := baseConfig(opt)
 			cfg.MsgFlits = size
 			cfg.Load = load
 			cfg.RTShare = 1.0
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 size %d load %v: %w", size, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	for i, size := range sizes {
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("%d flits", size),
+			Points: pts[i*len(Fig7Loads) : (i+1)*len(Fig7Loads)],
+		})
 	}
 	return fig, nil
 }
@@ -243,23 +281,23 @@ func Fig8(opt Options) (*Figure, error) {
 		Title:  "MediaWorm vs PCS (8×8, 100 Mb/s, 24 VCs)",
 		XLabel: "load",
 	}
-	worm := Series{Label: "wormhole"}
+	var wormCfgs []mediaworm.Config
 	for _, load := range Fig8Loads {
 		cfg := baseConfig(opt)
 		cfg.LinkBandwidthBps = 100e6
 		cfg.VCs = 24
 		cfg.Load = load
 		cfg.RTShare = 1.0
-		p, err := runPoint(cfg, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 wormhole load %v: %w", load, err)
-		}
-		worm.Points = append(worm.Points, p)
+		wormCfgs = append(wormCfgs, cfg)
 	}
-	fig.Series = append(fig.Series, worm)
+	wormPts, err := runGrid(opt, wormCfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 wormhole: %w", err)
+	}
+	fig.Series = append(fig.Series, Series{Label: "wormhole", Points: wormPts})
 
-	pcsSeries := Series{Label: "PCS"}
 	base := baseConfig(opt)
+	var pcsCfgs []mediaworm.PCSConfig
 	for _, load := range Fig8Loads {
 		cfg := mediaworm.DefaultPCSConfig()
 		cfg.FrameBytes = base.FrameBytes
@@ -269,20 +307,13 @@ func Fig8(opt Options) (*Figure, error) {
 		cfg.Measure = base.Measure
 		cfg.Seed = opt.Seed
 		cfg.Load = load
-		res, err := mediaworm.RunPCS(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 PCS load %v: %w", load, err)
-		}
-		norm := paperIntervalMs / (cfg.FrameInterval.Seconds() * 1000)
-		pcsSeries.Points = append(pcsSeries.Points, Point{
-			Load:    load,
-			RTShare: 1.0,
-			DMs:     res.MeanDeliveryIntervalMs * norm,
-			SDMs:    res.StdDevDeliveryIntervalMs * norm,
-			Samples: res.FrameIntervals,
-		})
+		pcsCfgs = append(pcsCfgs, cfg)
 	}
-	fig.Series = append(fig.Series, pcsSeries)
+	pcsPts, err := runPCSGrid(opt, pcsCfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 PCS: %w", err)
+	}
+	fig.Series = append(fig.Series, Series{Label: "PCS", Points: pcsPts})
 	return fig, nil
 }
 
@@ -325,9 +356,13 @@ func RunTable3(opt Options) *Table3 {
 		Loads: Table3Loads,
 		Notes: "probes pick input and output VCs blindly (no backtracking); established connections persist — see DESIGN.md §7",
 	}
-	for _, load := range Table3Loads {
-		t.Rows = append(t.Rows, mediaworm.PCSAdmission(8, 24, 25, load, opt.Seed))
-	}
+	// PCSAdmission is infallible and combinatorial (no simulation), but the
+	// rows are independent — run them through the same pool.
+	t.Rows, _ = runner.Map(context.Background(), len(Table3Loads),
+		runner.Options{Workers: opt.Parallel},
+		func(_ context.Context, i int) (mediaworm.PCSResult, error) {
+			return mediaworm.PCSAdmission(8, 24, 25, Table3Loads[i], opt.Seed), nil
+		})
 	return t
 }
 
@@ -348,20 +383,25 @@ func Fig9(opt Options) (*Figure, error) {
 		XIsMix: true,
 		Notes:  "best-effort latency per point is printed by cmd/paperfigs alongside (Fig. 9(c))",
 	}
+	var cfgs []mediaworm.Config
 	for _, load := range Fig9Loads {
-		s := Series{Label: fmt.Sprintf("load %.2f", load)}
 		for _, mix := range Fig9Mixes {
 			cfg := baseConfig(opt)
 			cfg.Topology = mediaworm.FatMesh2x2
 			cfg.Load = load
 			cfg.RTShare = mix
-			p, err := runPoint(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 mix %v load %v: %w", mix, load, err)
-			}
-			s.Points = append(s.Points, p)
+			cfgs = append(cfgs, cfg)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	pts, err := runGrid(opt, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	for i, load := range Fig9Loads {
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("load %.2f", load),
+			Points: pts[i*len(Fig9Mixes) : (i+1)*len(Fig9Mixes)],
+		})
 	}
 	return fig, nil
 }
@@ -379,9 +419,12 @@ func Fig9BestEffort(fig *Figure, w io.Writer) {
 		row := []string{fmtX(fig.Series[0].Points[i], true)}
 		for _, s := range fig.Series {
 			p := s.Points[i]
-			if p.BESaturated {
+			switch {
+			case p.BESaturated:
 				row = append(row, "Sat.")
-			} else {
+			case p.Replicas > 1:
+				row = append(row, fmt.Sprintf("%.1f±%.1f", p.BELatencyUs, p.BECI95))
+			default:
 				row = append(row, fmt.Sprintf("%.1f", p.BELatencyUs))
 			}
 		}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"mediaworm"
+	"mediaworm/internal/obs"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/stats"
+)
+
+// These tests pin the tentpole guarantee of the parallel sweep executor:
+// running any figure at Options.Parallel = N is byte-identical to running it
+// serially — results, rendered tables, progress lines and trace exports all
+// come out in grid order regardless of worker interleaving.
+
+// goldenOpt is the shared configuration of the golden comparisons; the
+// pinned clock makes even the elapsed-time side of progress identical.
+func goldenOpt(parallel int) Options {
+	return Options{
+		Scale: 0.05, WarmupIntervals: 1, MeasureIntervals: 3, Seed: 7,
+		Parallel: parallel,
+		Clock:    func() time.Time { return time.Unix(0, 0) },
+	}
+}
+
+// renderFig3Table2 runs the two figures the paper's CI golden check uses and
+// returns their full-precision state plus rendered output.
+func renderFig3Table2(t *testing.T, opt Options) (string, []byte) {
+	t.Helper()
+	fig3, err := Fig3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, tab2, err := Fig5Table2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	fig3.Fprint(&out)
+	fig5.Fprint(&out)
+	tab2.Fprint(&out)
+	return fmt.Sprintf("%+v\n%+v\n%+v", fig3, fig5, tab2), out.Bytes()
+}
+
+// TestParallelSweepMatchesSerial is the golden test: Fig. 3 and the Fig. 5 /
+// Table 2 grid must render byte-identically at -parallel 1 and -parallel 8
+// from the same seed, down to full float precision of the underlying points.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	fullSerial, outSerial := renderFig3Table2(t, goldenOpt(1))
+	fullPar, outPar := renderFig3Table2(t, goldenOpt(8))
+	if fullSerial != fullPar {
+		t.Errorf("full-precision results differ between -parallel 1 and 8:\nserial: %s\nparallel: %s",
+			fullSerial, fullPar)
+	}
+	if !bytes.Equal(outSerial, outPar) {
+		t.Errorf("rendered output differs between -parallel 1 and 8:\nserial:\n%s\nparallel:\n%s",
+			outSerial, outPar)
+	}
+}
+
+// progressGrid runs a 4-cell grid and records every Progress line in arrival
+// order.
+func progressGrid(t *testing.T, parallel int) []string {
+	t.Helper()
+	opt := goldenOpt(parallel)
+	var lines []string
+	opt.Progress = func(fig, point string, elapsed time.Duration) {
+		lines = append(lines, fmt.Sprintf("%s (%s)", point, elapsed))
+	}
+	var cfgs []mediaworm.Config
+	for _, policy := range []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.FIFO} {
+		for _, load := range []float64{0.5, 0.9} {
+			cfg := baseConfig(opt.normalized())
+			cfg.Policy = policy
+			cfg.Load = load
+			cfg.RTShare = 0.8
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	if _, err := runGrid(opt, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestParallelProgressMonotone pins the collector-side emission fix: progress
+// lines fire from the calling goroutine in grid order even when workers
+// complete out of order, so a parallel run's progress is indistinguishable
+// from a serial run's.
+func TestParallelProgressMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	serial := progressGrid(t, 1)
+	parallel := progressGrid(t, 8)
+	want := []string{
+		"load=0.50 mix=80:20 (0s)",
+		"load=0.90 mix=80:20 (0s)",
+		"load=0.50 mix=80:20 (0s)",
+		"load=0.90 mix=80:20 (0s)",
+	}
+	if len(serial) != len(want) {
+		t.Fatalf("serial run emitted %d progress lines, want %d: %q", len(serial), len(want), serial)
+	}
+	for i := range want {
+		if serial[i] != want[i] {
+			t.Errorf("serial progress line %d = %q, want %q", i, serial[i], want[i])
+		}
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel run emitted %d progress lines, serial %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if parallel[i] != serial[i] {
+			t.Errorf("progress line %d: parallel %q, serial %q — emission left grid order", i, parallel[i], serial[i])
+		}
+	}
+}
+
+// traceGrid runs a traced 4-cell grid and concatenates every Chrome trace
+// export in TraceSink arrival order.
+func traceGrid(t *testing.T, parallel int) []byte {
+	t.Helper()
+	opt := goldenOpt(parallel)
+	opt.Trace = mediaworm.TraceConfig{Enabled: true, EventCap: 1 << 14}
+	var out bytes.Buffer
+	opt.TraceSink = func(point string, capture *obs.Capture) {
+		out.WriteString(point)
+		out.WriteByte('\n')
+		if err := obs.WriteChromeTrace(&out, capture); err != nil {
+			t.Fatalf("%s: %v", point, err)
+		}
+	}
+	var cfgs []mediaworm.Config
+	for _, policy := range []mediaworm.Policy{mediaworm.VirtualClock, mediaworm.FIFO} {
+		for _, load := range []float64{0.5, 0.9} {
+			cfg := baseConfig(opt.normalized())
+			cfg.Policy = policy
+			cfg.Load = load
+			cfg.RTShare = 0.8
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	if _, err := runGrid(opt, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestParallelTraceMatchesSerial extends the Chrome-trace golden check across
+// the worker pool: per-point captures must arrive at the sink whole and in
+// grid order, so the concatenated export stream is byte-identical to serial.
+func TestParallelTraceMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	serial := traceGrid(t, 1)
+	parallel := traceGrid(t, 8)
+	if len(serial) == 0 {
+		t.Fatal("tracing produced no output; TraceSink never fired")
+	}
+	if !bytes.Equal(serial, parallel) {
+		n := len(serial)
+		if len(parallel) < n {
+			n = len(parallel)
+		}
+		i := 0
+		for i < n && serial[i] == parallel[i] {
+			i++
+		}
+		t.Fatalf("trace streams differ at byte %d (lens %d vs %d)", i, len(serial), len(parallel))
+	}
+}
+
+// TestReplicaPoolingMatchesManual pins the replica semantics: Replicas = R
+// runs each cell once per replica with the seed of replica r derived from
+// (Seed, cell, r) — replica 0 keeping the base seed — and pools the
+// measurements with exact Welford means and Student-t 95% half-widths.
+func TestReplicaPoolingMatchesManual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opt := goldenOpt(4)
+	opt.Replicas = 3
+	cfg := baseConfig(opt.normalized())
+	cfg.Load = 0.9
+	cfg.RTShare = 0.8
+	pts, err := runGrid(opt, []mediaworm.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pts[0]
+
+	// Reference: the same three replicas run serially by hand, pooled in the
+	// same order.
+	var d, sd, be stats.Welford
+	var samples uint64
+	manual := make([]Point, 3)
+	for r := 0; r < 3; r++ {
+		rcfg := cfg
+		if r > 0 {
+			rcfg.Seed = rng.DeriveSeed(rcfg.Seed, 0, uint64(r))
+		}
+		res, err := mediaworm.Run(rcfg)
+		if err != nil {
+			t.Fatalf("replica %d: %v", r, err)
+		}
+		manual[r] = pointFrom(rcfg, res)
+		d.Add(manual[r].DMs)
+		sd.Add(manual[r].SDMs)
+		be.Add(manual[r].BELatencyUs)
+		samples += manual[r].Samples
+	}
+	if manual[0].DMs == manual[1].DMs && manual[0].SDMs == manual[1].SDMs {
+		t.Error("replicas 0 and 1 measured identically; derived seeds are not reaching the simulation")
+	}
+	if got.Replicas != 3 {
+		t.Errorf("Replicas = %d, want 3", got.Replicas)
+	}
+	if got.Samples != samples {
+		t.Errorf("Samples = %d, want the replica sum %d", got.Samples, samples)
+	}
+	// Exact equality, not tolerance: the pool must add measurements in
+	// replica order through the identical accumulator.
+	if got.DMs != d.Mean() || got.SDMs != sd.Mean() || got.BELatencyUs != be.Mean() {
+		t.Errorf("pooled means (%v, %v, %v) != manual (%v, %v, %v)",
+			got.DMs, got.SDMs, got.BELatencyUs, d.Mean(), sd.Mean(), be.Mean())
+	}
+	if got.DMsCI95 != d.CI95() || got.SDMsCI95 != sd.CI95() || got.BECI95 != be.CI95() {
+		t.Errorf("pooled CIs (%v, %v, %v) != manual (%v, %v, %v)",
+			got.DMsCI95, got.SDMsCI95, got.BECI95, d.CI95(), sd.CI95(), be.CI95())
+	}
+	if got.DMsCI95 <= 0 {
+		t.Errorf("DMsCI95 = %v, want > 0 with 3 differing replicas", got.DMsCI95)
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mediaworm"
+	"mediaworm/internal/obs"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/runner"
+	"mediaworm/internal/stats"
+)
+
+// This file is the bridge between the figure definitions and the parallel
+// executor in internal/runner. Every sweep flows through runGrid (wormhole
+// points) or runPCSGrid (the PCS baseline): cells run across a bounded
+// worker pool, results are reassembled positionally, and the per-cell seed
+// of each replica derives from (Options.Seed, cell index, replica index) —
+// so output is byte-identical at any Options.Parallel setting.
+//
+// Progress and TraceSink are emitted from the collector (the calling
+// goroutine) in grid order as the completed prefix advances, never from
+// workers: progress lines stay monotone in grid order and per-point trace
+// captures never interleave.
+
+// emission is the ordered side-channel of one grid job, written by the
+// worker that ran it and consumed by the collector's OnDone (the runner's
+// completion channel orders the hand-off).
+type emission struct {
+	label      string // Progress point label
+	traceLabel string // TraceSink label (includes the policy)
+	trace      *obs.Capture
+	elapsed    time.Duration
+}
+
+// emitter returns the runner OnDone hook delivering trace captures and
+// progress lines in grid order.
+func emitter(opt Options, aux []emission) func(int) {
+	if opt.TraceSink == nil && opt.Progress == nil {
+		return nil
+	}
+	return func(i int) {
+		e := &aux[i]
+		if e.trace != nil && opt.TraceSink != nil {
+			opt.TraceSink(e.traceLabel, e.trace)
+			e.trace = nil // release the capture once sunk
+		}
+		if opt.Progress != nil {
+			opt.Progress("", e.label, e.elapsed)
+		}
+	}
+}
+
+// replicaSuffix distinguishes replica emissions; replica 0 keeps the bare
+// label so single-replica sweeps read exactly as before.
+func replicaSuffix(rep int) string {
+	if rep == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" rep=%d", rep)
+}
+
+// runGrid executes one wormhole simulation per grid cell (in the given
+// order), expanding each cell into opt.Replicas independent-seed replicas,
+// and reduces the replicas of each cell into a single Point carrying the
+// replica mean and 95% confidence half-widths.
+func runGrid(opt Options, cfgs []mediaworm.Config) ([]Point, error) {
+	opt = opt.normalized()
+	reps := opt.Replicas
+	jobs := len(cfgs) * reps
+	aux := make([]emission, jobs)
+	results, err := runner.Map(context.Background(), jobs,
+		runner.Options{Workers: opt.Parallel, OnDone: emitter(opt, aux)},
+		func(_ context.Context, i int) (Point, error) {
+			cell, rep := i/reps, i%reps
+			cfg := cfgs[cell]
+			if rep > 0 {
+				cfg.Seed = rng.DeriveSeed(cfg.Seed, uint64(cell), uint64(rep))
+			}
+			start := opt.Clock()
+			res, err := mediaworm.Run(cfg)
+			if err != nil {
+				return Point{}, err
+			}
+			aux[i] = emission{
+				label: fmt.Sprintf("load=%.2f mix=%.0f:%.0f",
+					cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100) + replicaSuffix(rep),
+				elapsed: opt.Clock().Sub(start),
+			}
+			if res.Trace != nil {
+				aux[i].trace = res.Trace
+				aux[i].traceLabel = fmt.Sprintf("load=%.2f mix=%.0f:%.0f policy=%s",
+					cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100, cfg.Policy) + replicaSuffix(rep)
+			}
+			return pointFrom(cfg, res), nil
+		})
+	if err != nil {
+		return nil, gridError(err, reps, func(cell int) string {
+			cfg := cfgs[cell]
+			return fmt.Sprintf("load=%.2f mix=%.0f:%.0f", cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100)
+		})
+	}
+	return poolGrid(results, len(cfgs), reps), nil
+}
+
+// runPCSGrid mirrors runGrid for the PCS baseline (no tracing: the PCS model
+// predates the observability subsystem).
+func runPCSGrid(opt Options, cfgs []mediaworm.PCSConfig) ([]Point, error) {
+	opt = opt.normalized()
+	reps := opt.Replicas
+	jobs := len(cfgs) * reps
+	results, err := runner.Map(context.Background(), jobs,
+		runner.Options{Workers: opt.Parallel},
+		func(_ context.Context, i int) (Point, error) {
+			cell, rep := i/reps, i%reps
+			cfg := cfgs[cell]
+			if rep > 0 {
+				cfg.Seed = rng.DeriveSeed(cfg.Seed, uint64(cell), uint64(rep))
+			}
+			res, err := mediaworm.RunPCS(cfg)
+			if err != nil {
+				return Point{}, err
+			}
+			norm := paperIntervalMs / (cfg.FrameInterval.Seconds() * 1000)
+			return Point{
+				Load:    cfg.Load,
+				RTShare: 1.0,
+				DMs:     res.MeanDeliveryIntervalMs * norm,
+				SDMs:    res.StdDevDeliveryIntervalMs * norm,
+				Samples: res.FrameIntervals,
+			}, nil
+		})
+	if err != nil {
+		return nil, gridError(err, reps, func(cell int) string {
+			return fmt.Sprintf("load=%.2f", cfgs[cell].Load)
+		})
+	}
+	return poolGrid(results, len(cfgs), reps), nil
+}
+
+// gridError rewrites a runner failure in sweep vocabulary: which cell (by
+// its human label) and which replica failed.
+func gridError(err error, reps int, label func(cell int) string) error {
+	var re *runner.Error
+	if !errors.As(err, &re) {
+		return err
+	}
+	cell, rep := re.Index/reps, re.Index%reps
+	return fmt.Errorf("point %s%s: %w", label(cell), replicaSuffix(rep), re.Err)
+}
+
+// pointFrom normalizes one simulation result to paper-scale milliseconds.
+func pointFrom(cfg mediaworm.Config, res mediaworm.Result) Point {
+	norm := paperIntervalMs / (cfg.FrameInterval.Seconds() * 1000)
+	p := Point{
+		Load:        cfg.Load,
+		RTShare:     cfg.RTShare,
+		DMs:         res.MeanDeliveryIntervalMs * norm,
+		SDMs:        res.StdDevDeliveryIntervalMs * norm,
+		BELatencyUs: res.BestEffort.MeanLatencyUs,
+		BESaturated: res.BestEffort.Saturated,
+		Samples:     res.FrameIntervals,
+	}
+	if res.BestEffort.Injected == 0 {
+		p.BELatencyUs = 0
+	}
+	return p
+}
+
+// poolGrid reduces a cells×reps result grid to one Point per cell.
+func poolGrid(results []Point, cells, reps int) []Point {
+	if reps == 1 {
+		return results
+	}
+	pts := make([]Point, cells)
+	for c := 0; c < cells; c++ {
+		pts[c] = poolReplicas(results[c*reps : (c+1)*reps])
+	}
+	return pts
+}
+
+// poolReplicas folds replica measurements of one cell into a single Point:
+// metric means with Student-t 95% confidence half-widths, summed sample
+// counts, and a majority vote on saturation.
+func poolReplicas(reps []Point) Point {
+	p := reps[0]
+	var d, sd, be stats.Welford
+	saturated := 0
+	var samples uint64
+	for _, r := range reps {
+		d.Add(r.DMs)
+		sd.Add(r.SDMs)
+		be.Add(r.BELatencyUs)
+		if r.BESaturated {
+			saturated++
+		}
+		samples += r.Samples
+	}
+	p.DMs, p.SDMs, p.BELatencyUs = d.Mean(), sd.Mean(), be.Mean()
+	p.DMsCI95, p.SDMsCI95, p.BECI95 = d.CI95(), sd.CI95(), be.CI95()
+	p.BESaturated = 2*saturated >= len(reps)
+	p.Samples = samples
+	p.Replicas = len(reps)
+	return p
+}

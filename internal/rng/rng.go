@@ -65,6 +65,22 @@ func NewStream(seed uint64, label string) *Source {
 	return New(seed ^ hashString(label))
 }
 
+// DeriveSeed deterministically derives an independent seed from a master
+// seed and a coordinate vector — typically (sweep point index, replica
+// index). Each coordinate is folded through SplitMix64, so derived seeds are
+// decorrelated from the master and from each other, and the result depends
+// only on the inputs: a parallel sweep derives the identical seed for a
+// point no matter which worker goroutine runs it.
+func DeriveSeed(seed uint64, coords ...uint64) uint64 {
+	s := seed
+	out := splitmix64(&s)
+	for _, c := range coords {
+		s = out ^ (c + 0x9e3779b97f4a7c15)
+		out = splitmix64(&s)
+	}
+	return out
+}
+
 // Split derives a child stream from this stream's identity without consuming
 // draws from the parent. The child is indexed so siblings are independent.
 func (r *Source) Split(index uint64) *Source {

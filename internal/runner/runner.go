@@ -1,0 +1,175 @@
+// Package runner executes independent sweep points across a bounded worker
+// pool while preserving the exact observable behaviour of a serial loop.
+//
+// Every reproduced figure is a grid of simulation points, and each point is
+// a pure function of its seeded Config — so the only way concurrency could
+// change a sweep's output is through ordering. The runner closes every such
+// channel:
+//
+//   - Results are reassembled positionally: worker i writes slot i, so the
+//     returned slice is independent of completion order.
+//   - Work items carry their grid index; any per-point randomness must be
+//     derived from (seed, index) before dispatch (see rng.DeriveSeed), never
+//     from goroutine identity or scheduling.
+//   - Completion callbacks (Options.OnDone) fire on the calling goroutine in
+//     strictly increasing index order, so progress lines and trace sinks
+//     observe the serial order no matter which worker finished first.
+//   - On failure the lowest-indexed genuine error wins, pending points are
+//     cancelled via context, and in-flight points that honour ctx abort.
+//
+// Map returns only after every worker goroutine has exited: it never leaks
+// goroutines, even on error or external cancellation.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes one Map call.
+type Options struct {
+	// Workers bounds concurrency: 1 runs serially on the calling goroutine,
+	// <= 0 uses runtime.GOMAXPROCS(0). More workers than points is clamped.
+	Workers int
+	// OnDone, if non-nil, is invoked once per successfully completed index,
+	// from the calling goroutine, in strictly increasing index order (each
+	// index fires only after all lower indices completed). It stops at the
+	// first failed index. Use it for progress reporting and other ordered
+	// side effects that must match a serial sweep.
+	OnDone func(index int)
+}
+
+// Error reports which grid index failed; Unwrap yields the point's error.
+type Error struct {
+	Index int
+	Err   error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("point %d: %v", e.Index, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Map evaluates fn for every index in [0, n) with at most opt.Workers
+// concurrent calls and returns the results in index order. fn must be safe
+// for concurrent invocation and deterministic in its index (it receives ctx
+// so long-running points can abort once a sibling fails).
+//
+// The first error cancels ctx and aborts all pending points; the returned
+// *Error names the lowest-indexed point that genuinely failed (cancellation
+// fallout from sibling failures is reported only if no genuine failure is
+// observed). On error the result slice is nil.
+func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative point count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return mapSerial(ctx, out, opt, fn)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		index int
+		err   error
+	}
+	// Buffered to n so workers never block on a collector that has already
+	// seen an error and is only draining.
+	done := make(chan outcome, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					done <- outcome{i, err}
+					continue
+				}
+				v, err := fn(ctx, i)
+				if err == nil {
+					out[i] = v
+				}
+				done <- outcome{i, err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Collect on the calling goroutine. completed marks successful indices;
+	// frontier is the next index whose OnDone has not fired. A failed index
+	// never completes, so the frontier freezes there and ordered side
+	// effects stop exactly where a serial sweep would have stopped.
+	completed := make([]bool, n)
+	frontier := 0
+	firstIdx, cancelledIdx := -1, -1
+	var firstErr, cancelledErr error
+	for o := range done {
+		if o.err != nil {
+			cancel()
+			if errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) {
+				if cancelledIdx == -1 || o.index < cancelledIdx {
+					cancelledIdx, cancelledErr = o.index, o.err
+				}
+			} else if firstIdx == -1 || o.index < firstIdx {
+				firstIdx, firstErr = o.index, o.err
+			}
+			continue
+		}
+		completed[o.index] = true
+		for frontier < n && completed[frontier] {
+			if opt.OnDone != nil {
+				opt.OnDone(frontier)
+			}
+			frontier++
+		}
+	}
+	if firstErr != nil {
+		return nil, &Error{Index: firstIdx, Err: firstErr}
+	}
+	if cancelledErr != nil {
+		return nil, &Error{Index: cancelledIdx, Err: cancelledErr}
+	}
+	return out, nil
+}
+
+// mapSerial is the Workers <= 1 path: a plain loop, byte-for-byte the
+// behaviour the parallel path must reproduce.
+func mapSerial[T any](ctx context.Context, out []T, opt Options, fn func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	for i := range out {
+		if err := ctx.Err(); err != nil {
+			return nil, &Error{Index: i, Err: err}
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return nil, &Error{Index: i, Err: err}
+		}
+		out[i] = v
+		if opt.OnDone != nil {
+			opt.OnDone(i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// square is the reference pure point function.
+func square(_ context.Context, i int) (int, error) { return i * i, nil }
+
+// scrambled delays completion by an index-dependent amount so completion
+// order differs from dispatch order, stressing positional reassembly and the
+// ordered-OnDone frontier.
+func scrambled(_ context.Context, i int) (int, error) {
+	time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+	return i * i, nil
+}
+
+func TestMapMatchesSerialAcrossWorkerCounts(t *testing.T) {
+	const n = 40
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 4, 8, 64} {
+		var order []int
+		got, err := Map(context.Background(), n, Options{
+			Workers: workers,
+			OnDone:  func(i int) { order = append(order, i) },
+		}, scrambled)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+		if len(order) != n {
+			t.Fatalf("workers=%d: OnDone fired %d times, want %d", workers, len(order), n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("workers=%d: OnDone order %v not monotone at %d", workers, order, i)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegativePoints(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{Workers: 4}, square)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+	if _, err := Map(context.Background(), -1, Options{}, square); err == nil {
+		t.Fatal("n=-1: expected error")
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		const n, fail = 20, 11
+		var order []int
+		got, err := Map(context.Background(), n, Options{
+			Workers: workers,
+			OnDone:  func(i int) { order = append(order, i) },
+		}, func(_ context.Context, i int) (int, error) {
+			if i == fail {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if got != nil {
+			t.Fatalf("workers=%d: non-nil results on error", workers)
+		}
+		var re *Error
+		if !errors.As(err, &re) || re.Index != fail || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v, want *Error{Index: %d} wrapping boom", workers, err, fail)
+		}
+		// OnDone must be a contiguous prefix strictly below the failing index.
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("workers=%d: OnDone order %v not a contiguous prefix", workers, order)
+			}
+		}
+		if len(order) > fail {
+			t.Fatalf("workers=%d: OnDone reached %d, past failing index %d", workers, len(order)-1, fail)
+		}
+	}
+}
+
+// TestMapLowestGenuineErrorWins induces two genuine failures; the reported
+// index must be the lower one regardless of which worker finishes first.
+func TestMapLowestGenuineErrorWins(t *testing.T) {
+	for run := 0; run < 10; run++ {
+		_, err := Map(context.Background(), 16, Options{Workers: 8}, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 5:
+				time.Sleep(2 * time.Millisecond) // let the higher index land first
+				return 0, fmt.Errorf("low failure")
+			case 12:
+				return 0, fmt.Errorf("high failure")
+			}
+			return i, nil
+		})
+		var re *Error
+		if !errors.As(err, &re) {
+			t.Fatalf("error %v, want *Error", err)
+		}
+		if re.Index != 5 {
+			t.Fatalf("reported index %d, want lowest genuine failure 5", re.Index)
+		}
+	}
+}
+
+// TestMapCancelAbortsInFlight arms long-running points that block on ctx:
+// the failing point must cancel them, and Map must return promptly rather
+// than wait out the stall.
+func TestMapCancelAbortsInFlight(t *testing.T) {
+	start := time.Now()
+	_, err := Map(context.Background(), 8, Options{Workers: 8}, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			time.Sleep(time.Millisecond) // let siblings start and block
+			return 0, errors.New("fail fast")
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return 0, errors.New("cancellation never arrived")
+		}
+	})
+	var re *Error
+	if !errors.As(err, &re) || re.Index != 0 {
+		t.Fatalf("error %v, want *Error{Index: 0}", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Map took %v; in-flight points were not cancelled", elapsed)
+	}
+}
+
+func TestMapExternalContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := Map(ctx, 32, Options{Workers: 4}, func(ctx context.Context, i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("%d points ran under a pre-cancelled context", n)
+	}
+}
+
+// TestMapNoGoroutineLeak runs the pool through success, failure, and
+// cancellation cycles and checks the goroutine count returns to its
+// baseline: Map must be fully synchronous — workers drained before return.
+func TestMapNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	for round := 0; round < 25; round++ {
+		if _, err := Map(context.Background(), 12, Options{Workers: 6}, scrambled); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Map(context.Background(), 12, Options{Workers: 6}, func(_ context.Context, i int) (int, error) {
+			if i == round%12 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := Map(ctx, 12, Options{Workers: 6}, square); !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// FuzzMap drives the pool over arbitrary (workers, points, failing index)
+// triples: results must always be positional, OnDone monotone, and the
+// failing index (when in range) must be the reported error.
+func FuzzMap(f *testing.F) {
+	f.Add(1, 1, 0)
+	f.Add(4, 16, 7)
+	f.Add(8, 3, -1)
+	f.Add(2, 64, 63)
+	f.Add(16, 5, 5) // failing index out of range: clean run
+	f.Fuzz(func(t *testing.T, workers, points, failIdx int) {
+		workers %= 17
+		if workers < 0 {
+			workers = -workers
+		}
+		points %= 65
+		if points < 0 {
+			points = -points
+		}
+		boom := errors.New("boom")
+		var order []int
+		got, err := Map(context.Background(), points, Options{
+			Workers: workers,
+			OnDone:  func(i int) { order = append(order, i) },
+		}, func(_ context.Context, i int) (int, error) {
+			if i == failIdx {
+				return 0, boom
+			}
+			return 3*i + 1, nil
+		})
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("OnDone order %v not a contiguous monotone prefix", order)
+			}
+		}
+		if failIdx >= 0 && failIdx < points {
+			var re *Error
+			if !errors.As(err, &re) || re.Index != failIdx || !errors.Is(err, boom) {
+				t.Fatalf("workers=%d points=%d fail=%d: error %v, want *Error{Index: %d}",
+					workers, points, failIdx, err, failIdx)
+			}
+			if len(order) > failIdx {
+				t.Fatalf("OnDone reached %d, past failing index %d", len(order)-1, failIdx)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("clean grid errored: %v", err)
+		}
+		if len(got) != points || len(order) != points {
+			t.Fatalf("got %d results, %d OnDone calls, want %d", len(got), len(order), points)
+		}
+		for i := range got {
+			if got[i] != 3*i+1 {
+				t.Fatalf("got[%d] = %d, want %d", i, got[i], 3*i+1)
+			}
+		}
+	})
+}

@@ -83,6 +83,39 @@ func (w *Welford) Max() float64 {
 	return w.max
 }
 
+// SampleVariance returns the unbiased (n−1 denominator) variance, NaN with
+// fewer than two observations. Use it when the observations are a sample —
+// e.g. replica measurements of one sweep point — rather than the population.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// tCrit975 holds two-sided Student-t 95% critical values (0.975 quantile)
+// for 1–30 degrees of freedom; beyond 30 the normal 1.96 is close enough.
+var tCrit975 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (Student's t), or 0 with fewer than two observations — a single replica
+// carries no spread information, and sweeps render the 0 as an exact point.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	df := w.n - 1
+	t := 1.960
+	if df <= uint64(len(tCrit975)) {
+		t = tCrit975[df-1]
+	}
+	return t * math.Sqrt(w.SampleVariance()/float64(w.n))
+}
+
 // Merge folds other into w, as if all of other's observations had been added
 // to w directly (Chan et al. parallel variance combination).
 func (w *Welford) Merge(other *Welford) {

@@ -270,3 +270,47 @@ func TestBestEffortEmptyNotSaturated(t *testing.T) {
 		t.Fatal("no traffic must not read as saturated")
 	}
 }
+
+func TestWelfordSampleVarianceAndCI95(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.SampleVariance()) || w.CI95() != 0 {
+		t.Fatalf("empty: sample variance %v, CI %v", w.SampleVariance(), w.CI95())
+	}
+	w.Add(5)
+	if !math.IsNaN(w.SampleVariance()) || w.CI95() != 0 {
+		t.Fatalf("single: sample variance %v, CI %v; one replica has no spread", w.SampleVariance(), w.CI95())
+	}
+	// {2, 4, 6}: mean 4, sample variance 4, sd 2, sem 2/√3, t(df=2) = 4.303.
+	w = Welford{}
+	for _, x := range []float64{2, 4, 6} {
+		w.Add(x)
+	}
+	if !almostEq(w.SampleVariance(), 4, 1e-12) {
+		t.Fatalf("sample variance %v, want 4", w.SampleVariance())
+	}
+	want := 4.303 * 2 / math.Sqrt(3)
+	if !almostEq(w.CI95(), want, 1e-9) {
+		t.Fatalf("CI95 %v, want %v", w.CI95(), want)
+	}
+	// Large n falls back to the normal critical value.
+	w = Welford{}
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 2))
+	}
+	sem := math.Sqrt(w.SampleVariance() / 100)
+	if !almostEq(w.CI95(), 1.960*sem, 1e-12) {
+		t.Fatalf("large-n CI95 %v, want %v", w.CI95(), 1.960*sem)
+	}
+	// The interval shrinks as replicas accumulate (fixed spread).
+	narrow, wide := w.CI95(), 0.0
+	{
+		var w3 Welford
+		for _, x := range []float64{0, 1, 0} {
+			w3.Add(x)
+		}
+		wide = w3.CI95()
+	}
+	if narrow >= wide {
+		t.Fatalf("CI did not shrink with replicas: %v vs %v", narrow, wide)
+	}
+}
