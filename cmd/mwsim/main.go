@@ -22,6 +22,7 @@ import (
 	"mediaworm"
 	"mediaworm/internal/experiments"
 	"mediaworm/internal/obs"
+	"mediaworm/internal/prof"
 )
 
 func main() {
@@ -56,8 +57,16 @@ func main() {
 		metricsPath   = flag.String("metrics", "", "write a per-port/per-VC metrics CSV file (enables tracing)")
 		traceEvents   = flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
 		traceInterval = flag.Duration("trace-interval", 0, "metrics snapshot interval in simulated time (0 = final snapshot only)")
+
+		profFlags = prof.Register()
 	)
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *faultSweep {
 		opt := experiments.DefaultOptions()

@@ -28,6 +28,7 @@ import (
 
 	"mediaworm"
 	"mediaworm/internal/obs"
+	"mediaworm/internal/prof"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/runner"
 	"mediaworm/internal/stats"
@@ -51,7 +52,14 @@ func main() {
 	tracePrefix := flag.String("trace-prefix", "", "write <prefix><point>.trace.json per point (enables tracing)")
 	metricsPrefix := flag.String("metrics-prefix", "", "write <prefix><point>.metrics.csv per point (enables tracing)")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
+	profFlags := prof.Register()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *steps < 1 {
 		fatal(fmt.Errorf("steps must be ≥ 1"))
@@ -111,7 +119,7 @@ func main() {
 	jobs := *steps * reps
 	runs := make([]run, jobs)
 	var sinkErr error
-	_, err := runner.Map(context.Background(), jobs, runner.Options{
+	_, err = runner.Map(context.Background(), jobs, runner.Options{
 		Workers: *parallel,
 		// Artifact files are written from the collector in sweep order, so
 		// a failing write aborts deterministically at the same point a

@@ -31,6 +31,14 @@ func TestDetLintRunnerPackage(t *testing.T) {
 	analysistest.Run(t, analysis.DetLint, "detlint/runner", "mediaworm/internal/runner")
 }
 
+// The arena fixture pins detlint on arena/free-list pool code — the
+// zero-allocation engine idiom: slot recycling and generation stamps are
+// deterministic and pass clean, while wall-clock slot stamps and
+// randomized reuse order are flagged under the engine's real package path.
+func TestDetLintArenaPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/arena", "mediaworm/internal/sim")
+}
+
 // The cmd fixture pins the scope rule: command-line front-ends may read the
 // wall clock and environment freely.
 func TestDetLintCmdExempt(t *testing.T) {

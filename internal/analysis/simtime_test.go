@@ -15,6 +15,14 @@ func TestSimTimeMixFixture(t *testing.T) {
 	analysistest.Run(t, analysis.SimTime, "simtime/mix", "mediaworm/internal/timefix")
 }
 
+// The resched fixture type-checks against the real engine and pins the
+// Reschedule(Event, Time) deadline boundary: a Duration cast straight into
+// the deadline argument is flagged, tick-domain arithmetic and explicit
+// .Nanoseconds() conversions are not.
+func TestSimTimeRescheduleFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SimTime, "simtime/resched", "mediaworm/internal/reschedfix")
+}
+
 // The obs fixture pins the Duration→tick boundary the observability
 // subsystem actually has (TraceConfig.MetricsInterval → Tracer.interval):
 // a silent conversion there must be flagged under the real package path.

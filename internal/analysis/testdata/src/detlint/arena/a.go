@@ -1,0 +1,61 @@
+// Package arenafix exercises detlint on arena/free-list pool code — the
+// zero-allocation engine idiom of slot recycling with generation stamps.
+// The recycling machinery itself is deterministic by construction; the
+// ambient-state temptations around it (stamping slots from the wall clock,
+// randomizing free-list order to "avoid pathological reuse") are exactly
+// what detlint must flag inside a simulation package.
+package arenafix
+
+import (
+	"math/rand"
+	"time"
+)
+
+type slot struct {
+	fn   func()
+	at   int64
+	gen  uint32
+	next int32
+}
+
+type pool struct {
+	arena    []slot
+	freeHead int32
+	seq      uint64
+}
+
+func (p *pool) alloc() int32 {
+	if i := p.freeHead; i >= 0 {
+		p.freeHead = p.arena[i].next
+		return i
+	}
+	p.arena = append(p.arena, slot{gen: 1})
+	return int32(len(p.arena) - 1)
+}
+
+// release recycles a slot; the generation bump is the deterministic handle
+// invalidation — no ambient input involved.
+func (p *pool) release(i int32) {
+	s := &p.arena[i]
+	s.fn = nil
+	s.gen++
+	s.next = p.freeHead
+	p.freeHead = i
+}
+
+func (p *pool) flaggedWallClockStamp(i int32) {
+	p.arena[i].at = time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func (p *pool) flaggedRandomizedReuse() int32 {
+	if rand.Intn(2) == 0 { // want "math/rand.Intn draws from the process-global generator"
+		return p.freeHead
+	}
+	return p.alloc()
+}
+
+func (p *pool) allowedSeqStamp(i int32) {
+	// The engine's own monotonic counter is the deterministic stamp.
+	p.arena[i].at = int64(p.seq)
+	p.seq++
+}

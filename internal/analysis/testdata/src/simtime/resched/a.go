@@ -1,0 +1,28 @@
+// Package reschedfix exercises simtime at the Reschedule call boundary:
+// the deadline argument is a sim.Time, so a caller holding a time.Duration
+// is one cast away from a silent unit collapse. The fixture type-checks
+// against the real engine, pinning the Reschedule(Event, Time) signature.
+package reschedfix
+
+import (
+	"time"
+
+	"mediaworm/internal/sim"
+)
+
+func flaggedRescheduleDeadline(e *sim.Engine, ev sim.Event, d time.Duration) sim.Event {
+	return e.Reschedule(ev, sim.Time(d)) // want "converts a time.Duration straight into the tick domain"
+}
+
+func allowedRescheduleExplicit(e *sim.Engine, ev sim.Event, d time.Duration) sim.Event {
+	return e.Reschedule(ev, e.Now()+sim.Time(d.Nanoseconds()))
+}
+
+func allowedRescheduleTickArithmetic(e *sim.Engine, ev sim.Event, period sim.Time) sim.Event {
+	// Pure tick-domain arithmetic — the self-rescheduling tick idiom.
+	return e.Reschedule(ev, e.Now()+period)
+}
+
+func flaggedTimeoutCollapse(deadline sim.Time) time.Duration {
+	return time.Duration(deadline) // want "converts a sim.Time tick count straight into wall-clock units"
+}

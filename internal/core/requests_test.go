@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+)
+
+// reqConfig returns a router where every output VC must be held exclusively,
+// so concurrent headers to one endpoint VC pile up in the stage-3 request
+// queue — the surface the lazy-retirement compaction manages.
+func reqConfig() Config {
+	cfg := testConfig(sched.VirtualClock)
+	cfg.VCs = 4
+	cfg.RTVCs = 4
+	cfg.ExclusiveEndpointVCs = true
+	return cfg
+}
+
+// TestRemoveRequestCompactsAndZeroes pins the stage-3 queue hygiene: killing
+// messages with queued crossbar requests retires the entries in O(1), the
+// next cycle's allocation pass compacts them out preserving FCFS order, and
+// the vacated backing-array slots are zeroed so dropped requests release
+// their references (the same leak class the ring buffer's pop zeroing
+// addresses).
+func TestRemoveRequestCompactsAndZeroes(t *testing.T) {
+	r, caps := build(t, reqConfig())
+	msgs := make([]*flit.Message, 4)
+	for v := 0; v < 4; v++ {
+		msgs[v] = msg(uint64(v+1), 1, 0, 2, 100)
+		deliver(r, 0, v, msgs[v], period)
+	}
+	// All four headers are visible: stage 2 submits four requests for
+	// (port 1, VC 0); stage 3 grants the first and keeps three.
+	r.Step(3 * period)
+	backing := r.out[1].reqs
+	if len(backing) != 3 {
+		t.Fatalf("queued requests = %d, want 3", len(backing))
+	}
+
+	msgs[1].Kill()
+	msgs[2].Kill()
+	r.Step(4 * period)
+
+	if got := len(r.out[1].reqs); got != 1 {
+		t.Fatalf("requests after reaping two dead heads = %d, want 1", got)
+	}
+	if in := r.out[1].reqs[0].in; in != &r.in[0].vcs[3] {
+		t.Fatalf("surviving request is not the FCFS-next live header")
+	}
+	if r.out[1].stale != 0 {
+		t.Fatalf("stale counter = %d after compaction, want 0", r.out[1].stale)
+	}
+	// The compaction must zero every vacated slot of the backing array.
+	for i := 1; i < len(backing); i++ {
+		if backing[i] != (request{}) {
+			t.Fatalf("vacated request slot %d still holds %+v", i, backing[i])
+		}
+	}
+
+	// Drain: the two live messages are delivered, the dead ones reaped.
+	final := run(r, 5*period, 40)
+	_ = final
+	if !r.Quiesced() {
+		t.Fatal("router did not quiesce after draining")
+	}
+	if got := r.stats.FlitsDropped; got != 4 {
+		t.Fatalf("FlitsDropped = %d, want 4 (two 2-flit dead messages)", got)
+	}
+	delivered := map[uint64]int{}
+	for _, f := range caps[1].flits {
+		delivered[f.Msg.ID]++
+	}
+	if delivered[1] != 2 || delivered[4] != 2 || len(delivered) != 2 {
+		t.Fatalf("delivered flits per message = %v, want {1:2 4:2}", delivered)
+	}
+}
+
+// TestRetiredRequestCoexistsWithResubmission covers the same-cycle hazard:
+// a VC whose dead head is reaped resubmits a request for the next buffered
+// header in the same stage-2 pass, so the retired entry and the new live
+// entry briefly share the queue. The seq match must grant only the live one.
+func TestRetiredRequestCoexistsWithResubmission(t *testing.T) {
+	r, caps := build(t, reqConfig())
+	blocker := msg(1, 1, 0, 2, 100)
+	dead := msg(2, 1, 0, 2, 100)
+	next := msg(3, 1, 0, 2, 100)
+	deliver(r, 0, 0, blocker, period)
+	t1 := deliver(r, 0, 1, dead, period)
+	deliver(r, 0, 1, next, t1) // queued behind dead on the same VC
+	r.Step(4 * period)         // blocker granted; dead's request queued
+	if len(r.out[1].reqs) != 1 {
+		t.Fatalf("queued requests = %d, want 1", len(r.out[1].reqs))
+	}
+
+	dead.Kill()
+	r.Step(5 * period) // reap retires dead's entry, next's header resubmits
+	reqs := r.out[1].reqs
+	if len(reqs) != 1 || reqs[0].in != &r.in[0].vcs[1] || reqs[0].in.headMsg != next {
+		t.Fatalf("live request not preserved across retirement: %+v", reqs)
+	}
+
+	run(r, 6*period, 40)
+	if !r.Quiesced() {
+		t.Fatal("router did not quiesce")
+	}
+	delivered := map[uint64]int{}
+	for _, f := range caps[1].flits {
+		delivered[f.Msg.ID]++
+	}
+	if delivered[1] != 2 || delivered[3] != 2 || len(delivered) != 2 {
+		t.Fatalf("delivered flits per message = %v, want {1:2 3:2}", delivered)
+	}
+}
+
+// TestSetLinkUpZeroesClearedRequests pins the interaction between lazy
+// retirement and link failure: taking a link down resets the live waiters
+// for rerouting and zeroes the cleared queue so no request slot keeps its
+// references past the clear.
+func TestSetLinkUpZeroesClearedRequests(t *testing.T) {
+	r, _ := build(t, reqConfig())
+	blocker := msg(1, 1, 0, 4, 100)
+	waiter := msg(2, 1, 0, 2, 100)
+	deliver(r, 0, 0, blocker, period)
+	deliver(r, 0, 1, waiter, period)
+	r.Step(3 * period) // blocker granted on port 1, waiter queued
+	backing := r.out[1].reqs
+	if len(backing) != 1 {
+		t.Fatalf("queued requests = %d, want 1", len(backing))
+	}
+
+	r.SetLinkUp(1, false)
+	if got := len(r.out[1].reqs); got != 0 {
+		t.Fatalf("request queue not cleared on link down: %d", got)
+	}
+	if backing[:1][0] != (request{}) {
+		t.Fatal("cleared request slot not zeroed")
+	}
+	if ph := r.in[0].vcs[1].phase; ph != vcIdle {
+		t.Fatalf("waiter phase = %v after link down, want vcIdle for rerouting", ph)
+	}
+
+	// With the only route dead, the next cycles kill and reap both worms;
+	// the router must come back to a clean quiescent state.
+	run(r, 4*period, 40)
+	if !r.Quiesced() {
+		t.Fatal("router did not quiesce after link failure")
+	}
+	if !blocker.Dead || !waiter.Dead {
+		t.Fatal("messages straddling or routed to the dead link not killed")
+	}
+}

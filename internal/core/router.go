@@ -139,6 +139,10 @@ type inVC struct {
 	outPort   int
 	outVC     int
 	grantedAt sim.Time
+	// reqSeq is the sequence number of this VC's live crossbar request; a
+	// queued request entry whose seq no longer matches has been retired and
+	// is skipped (and compacted away) by the next stage-3 pass.
+	reqSeq uint64
 
 	// port/vcIdx locate this VC for trace events; blkCause is the cause of
 	// the currently open blocking span (CauseNone = no open span).
@@ -152,6 +156,13 @@ type request struct {
 	vc  int // input VC index, for bookkeeping
 	at  sim.Time
 	seq uint64
+}
+
+// live reports whether the entry is still the queue's current request for
+// its input VC: retired entries keep their slot but stop matching the VC's
+// phase and reqSeq (the VC may meanwhile carry a newer request elsewhere).
+func (req *request) live() bool {
+	return req.in.phase == vcRequested && req.in.reqSeq == req.seq
 }
 
 // outVC is one output virtual channel: its stage-5 staging buffer and
@@ -176,8 +187,14 @@ type outPort struct {
 	// held at message granularity (wormhole semantics); the crossbar output
 	// itself is matched per cycle in switch traversal.
 	reqs []request
-	vcs  []outVC
-	arb  sched.Arbiter // link VC multiplexer (point C)
+	// stale counts entries in reqs retired by removeRequest but not yet
+	// compacted: retirement is O(1) lazy (the entry's seq stops matching its
+	// VC's reqSeq) instead of an ordered mid-slice delete, and the stage-3
+	// pass that already walks the queue compacts them away. portLoad
+	// subtracts stale so intra-cycle load estimates are unchanged.
+	stale int
+	vcs   []outVC
+	arb   sched.Arbiter // link VC multiplexer (point C)
 }
 
 // inPort is one input physical channel.
@@ -364,11 +381,18 @@ func (r *Router) SetLinkUp(p int, up bool) {
 	op := &r.out[p]
 	// Pending requests: return the headers to routing (stage 2 will pick a
 	// healthy candidate next cycle, or kill the message if none is left).
-	for _, req := range op.reqs {
-		req.in.phase = vcIdle
-		req.in.headMsg = nil
+	// Retired entries are skipped — their VC may already carry a live
+	// request to another port — and vacated slots are zeroed so dropped
+	// requests release their references.
+	for i := range op.reqs {
+		if req := &op.reqs[i]; req.live() {
+			req.in.phase = vcIdle
+			req.in.headMsg = nil
+		}
+		op.reqs[i] = request{}
 	}
 	op.reqs = op.reqs[:0]
+	op.stale = 0
 	// Staged flits and output-VC holders are beyond rerouting: kill them.
 	for v := range op.vcs {
 		ov := &op.vcs[v]
@@ -565,6 +589,7 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 			in.headMsg = msg
 			in.outPort = out
 			in.phase = vcRequested
+			in.reqSeq = r.seq
 			r.out[out].reqs = append(r.out[out].reqs, request{in: in, vc: v, at: now, seq: r.seq})
 			r.seq++
 			r.stats.RequestsQueued++
@@ -582,6 +607,9 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 		}
 		kept := op.reqs[:0]
 		for _, req := range op.reqs {
+			if !req.live() {
+				continue // retired by removeRequest; compacted here
+			}
 			vc, ok := r.allocOutVC(op, req.in.headMsg)
 			if !ok {
 				kept = append(kept, req)
@@ -603,7 +631,15 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 					Arg: int64(now - req.at)})
 			}
 		}
+		// Zero the vacated tail so granted and retired requests release
+		// their *inVC (and through it *Message) references, the same leak
+		// class the ring buffer's pop zeroing addresses.
+		tail := op.reqs[len(kept):]
+		for i := range tail {
+			tail[i] = request{}
+		}
 		op.reqs = kept
+		op.stale = 0
 	}
 }
 
@@ -681,16 +717,14 @@ func (r *Router) reapInVC(p int, in *inVC) {
 	}
 }
 
-// removeRequest drops in's pending crossbar request from its output port's
-// FCFS queue.
+// removeRequest retires in's pending crossbar request in O(1): the entry
+// stays in its output port's FCFS queue but stops matching in.reqSeq once
+// the caller resets in's phase, and the next stage-3 pass — which walks the
+// queue anyway — compacts it out and zeroes the vacated slot. The old
+// ordered mid-slice delete re-copied the queue tail on every removal, and
+// left dangling references in the backing array.
 func (r *Router) removeRequest(in *inVC) {
-	op := &r.out[in.outPort]
-	for i := range op.reqs {
-		if op.reqs[i].in == in {
-			op.reqs = append(op.reqs[:i], op.reqs[i+1:]...)
-			return
-		}
-	}
+	r.out[in.outPort].stale++
 }
 
 // classRange returns the VC partition [lo, hi) for a traffic class.
@@ -718,7 +752,7 @@ func (r *Router) SetRTVCs(n int) {
 // portLoad estimates congestion on output port p for fat-link selection.
 func (r *Router) portLoad(p int) int {
 	op := &r.out[p]
-	load := len(op.reqs)
+	load := len(op.reqs) - op.stale // retired entries carry no load
 	for v := range op.vcs {
 		if op.vcs[v].busy != nil {
 			load++

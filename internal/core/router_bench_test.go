@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+// devNull accepts every flit with unlimited credit and drops it, so router
+// benchmarks measure the pipeline, not a capture slice growing.
+type devNull struct{}
+
+func (devNull) HasCredit(int) bool    { return true }
+func (devNull) Accept(int, flit.Flit) {}
+
+func benchRouter(b *testing.B, cfg Config) *Router {
+	b.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		r.Connect(p, devNull{}, true)
+	}
+	return r
+}
+
+// BenchmarkRouterStepStream measures the per-cycle cost of a router carrying
+// a saturated wormhole stream: one flit in (credit permitting) and one flit
+// out per Step. Injection backs off when the input VC buffer is full, like
+// a link honouring credits, so per-message header latency cannot overflow
+// the ring over a long run.
+func BenchmarkRouterStepStream(b *testing.B) {
+	r := benchRouter(b, testConfig(sched.VirtualClock))
+	t := sim.Time(0)
+	var (
+		m   *flit.Message
+		seq int
+		id  uint64
+	)
+	buf := &r.in[0].vcs[0].q
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m == nil || seq == m.Flits {
+			id++
+			m = msg(id, 1, 0, 64, 100)
+			seq = 0
+		}
+		if buf.space() > 0 {
+			r.Deliver(0, 0, flit.Flit{Msg: m, Seq: seq, Enq: t})
+			seq++
+		}
+		r.Step(t)
+		t += period
+	}
+}
+
+// BenchmarkRouterStepIdle measures Step on a quiesced router — the cost the
+// fabric pays per router on cycles where a neighbour still has work.
+func BenchmarkRouterStepIdle(b *testing.B) {
+	r := benchRouter(b, testConfig(sched.VirtualClock))
+	t := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(t)
+		t += period
+	}
+}
+
+// BenchmarkRouterRequestChurn measures the stage-3 request queue under
+// contention with mid-queue retirement: four headers compete for one
+// exclusive endpoint VC, two die while queued, and the survivors drain. This
+// is the path the lazy-retirement compaction optimizes.
+func BenchmarkRouterRequestChurn(b *testing.B) {
+	cfg := testConfig(sched.VirtualClock)
+	cfg.VCs = 4
+	cfg.RTVCs = 4
+	cfg.ExclusiveEndpointVCs = true
+	r := benchRouter(b, cfg)
+	t := sim.Time(0)
+	var id uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var msgs [4]*flit.Message
+		for v := 0; v < 4; v++ {
+			id++
+			msgs[v] = msg(id, 1, 0, 2, 100)
+			for s := 0; s < 2; s++ {
+				r.Deliver(0, v, flit.Flit{Msg: msgs[v], Seq: s, Enq: t})
+			}
+		}
+		msgs[1].Kill()
+		msgs[2].Kill()
+		for c := 0; c < 24; c++ {
+			r.Step(t)
+			t += period
+		}
+		if !r.Quiesced() {
+			b.Fatal("router did not drain between iterations")
+		}
+	}
+}

@@ -27,6 +27,9 @@ type DynamicPartition struct {
 	vcs     int
 	current int // current RT partition size
 
+	tickFn func()    // cached method value so rescheduling does not allocate
+	tickEv sim.Event // live tick event, rearmed in place via Reschedule
+
 	lastRT, lastBE uint64
 	rateRT, rateBE float64
 
@@ -58,7 +61,8 @@ func NewDynamicPartition(f *Fabric, interval, stop sim.Time, initialRT int) *Dyn
 		current:     initialRT,
 	}
 	dp.apply(initialRT)
-	f.Engine.After(interval, dp.tick)
+	dp.tickFn = dp.tick
+	dp.tickEv = f.Engine.After(interval, dp.tickFn)
 	return dp
 }
 
@@ -102,6 +106,6 @@ func (dp *DynamicPartition) tick() {
 		}
 	}
 	if dp.fab.Engine.Now()+dp.interval < dp.stop {
-		dp.fab.Engine.After(dp.interval, dp.tick)
+		dp.tickEv = dp.fab.Engine.Reschedule(dp.tickEv, dp.fab.Engine.Now()+dp.interval)
 	}
 }

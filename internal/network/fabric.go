@@ -26,7 +26,8 @@ type Fabric struct {
 	work     int64 // flits currently inside the fabric (NI queues included)
 	tickerOn bool
 	lastTick sim.Time
-	tickFn   func() // cached method value so rescheduling does not allocate
+	tickFn   func()    // cached method value so rescheduling does not allocate
+	tickEv   sim.Event // live tick event, rearmed in place via Reschedule
 
 	// links records router-to-router wiring: output (router, port) → input
 	// (router, port). The watchdog follows it to chain blocked worms across
@@ -138,7 +139,7 @@ func (f *Fabric) wake() {
 	if next < now || f.lastTick == next {
 		next += f.Period
 	}
-	f.Engine.At(next, f.tickFn)
+	f.tickEv = f.Engine.At(next, f.tickFn)
 }
 
 // Wake restarts the cycle driver if it is dormant — the fault injector calls
@@ -169,7 +170,9 @@ func (f *Fabric) tick() {
 		return
 	}
 	if f.work > 0 {
-		f.Engine.At(now+f.Period, f.tickFn)
+		// Rearm the firing tick in place: same slot, same callback, no
+		// allocation. A dormant fabric drops the event; wake arms a new one.
+		f.tickEv = f.Engine.Reschedule(f.tickEv, now+f.Period)
 	} else {
 		f.tickerOn = false
 	}

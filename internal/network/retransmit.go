@@ -41,7 +41,7 @@ type retxState struct {
 	ni    *NI
 	vc    int
 	msg   *flit.Message
-	timer *sim.Event
+	timer sim.Event
 }
 
 // NewRetransmitter creates a retransmitter and attaches it to every NI and
@@ -94,11 +94,16 @@ func (rt *Retransmitter) track(ni *NI, vc int, msg *flit.Message) {
 	if st == nil {
 		st = &retxState{}
 		rt.pending[msg.ID] = st
-	} else if st.timer != nil {
-		rt.engine.Cancel(st.timer)
 	}
 	st.ni, st.vc, st.msg = ni, vc, msg
-	st.timer = rt.engine.After(rt.timeoutFor(msg.Attempt), func() { rt.expire(msg.ID) })
+	if st.timer.Scheduled() {
+		// Rearm in place: the pending timer's callback already captures this
+		// message ID, so the resend path costs no new closure.
+		st.timer = rt.engine.Reschedule(st.timer, rt.engine.Now()+rt.timeoutFor(msg.Attempt))
+		return
+	}
+	id := msg.ID
+	st.timer = rt.engine.After(rt.timeoutFor(msg.Attempt), func() { rt.expire(id) })
 }
 
 // ack records a tail delivery: the message is done, its timer cancelled.
@@ -123,7 +128,7 @@ func (rt *Retransmitter) expire(id uint64) {
 	if !ok {
 		return
 	}
-	st.timer = nil
+	st.timer = sim.Event{}
 	st.msg.Kill()
 	trc := st.ni.trc
 	if trc != nil {

@@ -133,6 +133,7 @@ type Switch struct {
 	tickerOn bool
 	lastTick sim.Time
 	tickFn   func()
+	tickEv   sim.Event // live tick event, rearmed in place via Reschedule
 
 	// Attempts / Established / Dropped count connection setup outcomes.
 	Attempts, Established, Dropped int
@@ -236,7 +237,7 @@ func (s *Switch) wake() {
 	if next < now || s.lastTick == next {
 		next += s.cfg.Period
 	}
-	s.eng.At(next, s.tickFn)
+	s.tickEv = s.eng.At(next, s.tickFn)
 }
 
 // tick advances one cycle: each input link forwards one flit into the
@@ -299,7 +300,7 @@ func (s *Switch) tick() {
 		}
 	}
 	if s.work > 0 {
-		s.eng.At(now+s.cfg.Period, s.tickFn)
+		s.tickEv = s.eng.Reschedule(s.tickEv, now+s.cfg.Period)
 	} else {
 		s.tickerOn = false
 	}

@@ -1,0 +1,73 @@
+// Package prof wires runtime/pprof CPU and heap profiling to command-line
+// flags, so the simulators can be profiled without recompiling:
+//
+//	mwsim -cpuprofile cpu.pb.gz -memprofile mem.pb.gz -load 0.9
+//	go tool pprof cpu.pb.gz
+//
+// Usage in a main: register the flags before flag.Parse, then
+//
+//	stop, err := profFlags.Start()
+//	if err != nil { fatal(err) }
+//	defer stop()
+//
+// Profiling only observes the run; it never changes simulation results.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from the command line.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register adds -cpuprofile and -memprofile to the default flag set. Call
+// before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a pprof heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if requested. The returned stop function ends
+// the CPU profile and writes the heap profile; it must run before the
+// process exits (defer it in main — note it is skipped on os.Exit paths,
+// which only lose the profile, never simulation output).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *f.mem != "" {
+			mf, err := os.Create(*f.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			mf.Close()
+		}
+	}, nil
+}

@@ -23,7 +23,7 @@ func FuzzEngineInterleavings(f *testing.F) {
 		type rec struct {
 			id        int // scheduling order: matches engine seq order
 			at        Time
-			ev        *Event
+			ev        Event
 			cancelled bool
 			fired     bool
 		}

@@ -8,12 +8,18 @@
 // internal/core advances cycle-by-cycle on top of this engine: it keeps a
 // single self-rescheduling "tick" event alive only while the fabric has work,
 // so long idle gaps between video frames cost nothing.
+//
+// The hot path is allocation-free in steady state: events live by value in a
+// slot arena recycled through a free list, the calendar is a concrete 4-ary
+// min-heap of (time, sequence) keys (no interface dispatch, shallower than a
+// binary heap on deep calendars), and Event handles are generation-stamped
+// indices so Cancel and Scheduled stay safe after a slot is recycled.
+// Self-rescheduling ticks should use Reschedule, which reuses the event's
+// slot and callback instead of allocating a closure per cycle. See DESIGN.md
+// §13 for the layout and the ordering bit-compatibility argument.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation instant in nanoseconds since the start of the run.
 type Time int64
@@ -38,45 +44,55 @@ func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) 
 // Seconds reports t as a float64 number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. The zero Event is inert.
+// Event is a handle to a scheduled callback: a generation-stamped index into
+// the engine's event arena. It is a small value, copied freely; the zero
+// Event is inert (never Scheduled, Cancel on it is a no-op). A handle goes
+// stale once its event fires without being rescheduled, or is cancelled —
+// the generation stamp then stops matching the recycled slot, so operations
+// through a stale handle can never touch an unrelated event.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 when not queued
-	dead bool
+	e   *Engine
+	idx int32
+	gen uint32
 }
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 && !e.dead }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (ev Event) Scheduled() bool {
+	if ev.e == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	s := &ev.e.arena[ev.idx]
+	return s.gen == ev.gen && s.heapIdx >= 0
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+
+// slot states, stored in heapIdx when the event is not queued.
+const (
+	slotFree   int32 = -1 // on the free list
+	slotFiring int32 = -2 // callback executing; revivable via Reschedule
+)
+
+// eventSlot is one arena cell. Slots are recycled through a free list; gen
+// increments on every release so stale Event handles never match.
+type eventSlot struct {
+	fn      func()
+	at      Time
+	seq     uint64
+	gen     uint32
+	heapIdx int32 // position in Engine.heap, or slotFree / slotFiring
+	next    int32 // free-list link, meaningful only when heapIdx == slotFree
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
+
+// heapEntry is one calendar key. Keys are stored by value so sift compares
+// touch one contiguous array instead of chasing per-event pointers; the slot
+// index is only dereferenced to maintain heapIdx and at pop time.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+
+func entryLess(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Probe observes engine execution for instrumentation: it is called after
@@ -90,10 +106,12 @@ type Probe interface {
 // Engine is a discrete-event simulation kernel. It is not safe for concurrent
 // use; a simulation run is a single-goroutine computation.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	stopped bool
+	now      Time
+	heap     []heapEntry
+	arena    []eventSlot
+	freeHead int32
+	seq      uint64
+	stopped  bool
 	// processed counts executed events, for instrumentation and tests.
 	processed uint64
 	probe     Probe
@@ -104,7 +122,7 @@ func (e *Engine) SetProbe(p Probe) { e.probe = p }
 
 // NewEngine returns an engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{freeHead: slotFree}
 }
 
 // Now returns the current simulation time.
@@ -114,38 +132,116 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc takes a slot off the free list, growing the arena only when the
+// list is empty — so a warmed-up engine schedules without allocating.
+func (e *Engine) alloc() int32 {
+	if i := e.freeHead; i >= 0 {
+		e.freeHead = e.arena[i].next
+		return i
+	}
+	e.arena = append(e.arena, eventSlot{gen: 1})
+	return int32(len(e.arena) - 1)
+}
+
+// release recycles a slot: the generation bump invalidates every outstanding
+// handle, and dropping fn releases the callback (and whatever it captures)
+// for the garbage collector.
+func (e *Engine) release(i int32) {
+	s := &e.arena[i]
+	s.fn = nil
+	s.gen++
+	s.heapIdx = slotFree
+	s.next = e.freeHead
+	e.freeHead = i
+}
 
 // At schedules fn to run at the absolute time at. Events scheduled for the
 // same instant run in scheduling order. Scheduling in the past panics: it is
 // always a model bug and silently reordering time would corrupt results.
-func (e *Engine) At(at Time, fn func()) *Event {
+func (e *Engine) At(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	i := e.alloc()
+	s := &e.arena[i]
+	s.at, s.seq, s.fn = at, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heapPush(heapEntry{at: at, seq: s.seq, slot: i})
+	return Event{e: e, idx: i, gen: s.gen}
 }
 
 // After schedules fn to run delay nanoseconds from now.
-func (e *Engine) After(delay Time, fn func()) *Event {
+func (e *Engine) After(delay Time, fn func()) Event {
 	return e.At(e.now+delay, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.dead || ev.idx < 0 {
+// Cancel removes a pending event. Cancelling a fired, already-cancelled or
+// zero event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if ev.e != e || ev.e == nil {
 		return
 	}
-	ev.dead = true
-	heap.Remove(&e.queue, ev.idx)
+	s := &e.arena[ev.idx]
+	if s.gen != ev.gen || s.heapIdx < 0 {
+		return
+	}
+	e.heapRemove(int(s.heapIdx))
+	e.release(ev.idx)
+}
+
+// Reschedule moves ev to the absolute time at, reusing its slot and callback.
+// It is exactly Cancel + At with the same fn — the event takes a fresh
+// sequence number, so among events sharing an instant it runs in reschedule
+// order — but performs no allocation. The primary caller is a
+// self-rescheduling tick: from inside the callback the handle is still
+// valid, and rescheduling there re-arms the same event for the next cycle.
+// Rescheduling a completed, cancelled or zero event panics: the slot may
+// already belong to someone else, and silently scheduling a stale callback
+// would corrupt the model. Use At to arm a fresh event after a gap.
+func (e *Engine) Reschedule(ev Event, at Time) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: rescheduling at %d before now %d", at, e.now))
+	}
+	if ev.e != e || ev.e == nil {
+		panic("sim: Reschedule of a zero or foreign event")
+	}
+	s := &e.arena[ev.idx]
+	if s.gen != ev.gen {
+		panic("sim: Reschedule of a stale event handle")
+	}
+	switch {
+	case s.heapIdx >= 0: // pending: move within the calendar
+		s.at, s.seq = at, e.seq
+		e.seq++
+		e.heapFix(int(s.heapIdx), at, s.seq)
+	case s.heapIdx == slotFiring: // self-reschedule from inside fn
+		s.at, s.seq = at, e.seq
+		e.seq++
+		e.heapPush(heapEntry{at: at, seq: s.seq, slot: ev.idx})
+	default:
+		panic("sim: Reschedule of a cancelled or completed event")
+	}
+	return ev
 }
 
 // Stop makes the current Run call return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire executes the event at heap root (already bounds-checked by the
+// caller) and recycles its slot unless the callback rescheduled it.
+func (e *Engine) fire(root heapEntry) {
+	e.heapPopRoot()
+	i := root.slot
+	e.arena[i].heapIdx = slotFiring
+	e.processed++
+	e.arena[i].fn()
+	// Re-index: the callback may have scheduled events and grown the arena.
+	if e.arena[i].heapIdx == slotFiring {
+		e.release(i)
+	}
+}
 
 // Run executes events until the queue empties, until an event's time would
 // exceed horizon, or until Stop is called. It returns the time of the last
@@ -153,25 +249,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // min(next event time, horizon) ≤ horizon.
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > horizon {
+	for len(e.heap) > 0 && !e.stopped {
+		root := e.heap[0]
+		if root.at > horizon {
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		if next.dead {
-			continue
-		}
-		next.dead = true
-		e.processed++
-		next.fn()
+		e.now = root.at
+		e.fire(root)
 		if e.probe != nil {
-			e.probe.OnEvent(e.now, len(e.queue))
+			e.probe.OnEvent(e.now, len(e.heap))
 		}
 	}
-	if e.now < horizon && horizon != Forever && len(e.queue) == 0 {
+	if e.now < horizon && horizon != Forever && len(e.heap) == 0 {
 		e.now = horizon
 	}
 	return e.now
@@ -196,20 +286,16 @@ func (e *Engine) RunUntilIdle(horizon Time, idleLimit uint64) (Time, error) {
 	e.stopped = false
 	var sameInstant uint64
 	last := e.now
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > horizon {
+	for len(e.heap) > 0 && !e.stopped {
+		root := e.heap[0]
+		if root.at > horizon {
 			e.now = horizon
 			return e.now, nil
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		if next.dead {
-			continue
-		}
+		e.now = root.at
 		if e.now == last {
 			if sameInstant++; sameInstant > idleLimit {
-				heap.Push(&e.queue, next) // leave the offender queued for inspection
+				// The offender stays queued for inspection.
 				return e.now, fmt.Errorf(
 					"sim: no clock progress after %d events at t=%d (zero-delay scheduling loop?)",
 					sameInstant, e.now)
@@ -218,15 +304,106 @@ func (e *Engine) RunUntilIdle(horizon Time, idleLimit uint64) (Time, error) {
 			sameInstant = 0
 			last = e.now
 		}
-		next.dead = true
-		e.processed++
-		next.fn()
+		e.fire(root)
 		if e.probe != nil {
-			e.probe.OnEvent(e.now, len(e.queue))
+			e.probe.OnEvent(e.now, len(e.heap))
 		}
 	}
-	if e.now < horizon && horizon != Forever && len(e.queue) == 0 {
+	if e.now < horizon && horizon != Forever && len(e.heap) == 0 {
 		e.now = horizon
 	}
 	return e.now, nil
+}
+
+// Calendar: a 4-ary min-heap on (at, seq). Compared with the binary heap it
+// replaces, a 4-ary layout halves the tree depth — fewer cache lines touched
+// per sift on deep calendars — at the cost of up to three extra comparisons
+// per level, which stay within the same two cache lines. The pop order is
+// the unique (at, seq) total order, so heap arity cannot affect execution
+// order; see DESIGN.md §13.
+
+// heapPush appends an entry and sifts it up.
+func (e *Engine) heapPush(ent heapEntry) {
+	e.heap = append(e.heap, ent)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPopRoot removes the minimum entry (the caller has already copied it).
+func (e *Engine) heapPopRoot() {
+	h := e.heap
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.arena[last.slot].heapIdx = 0
+		e.siftDown(0)
+	}
+}
+
+// heapRemove deletes the entry at index i.
+func (e *Engine) heapRemove(i int) {
+	h := e.heap
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if i < n {
+		e.heap[i] = last
+		e.arena[last.slot].heapIdx = int32(i)
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+// heapFix rekeys the entry at index i and restores heap order.
+func (e *Engine) heapFix(i int, at Time, seq uint64) {
+	e.heap[i].at, e.heap[i].seq = at, seq
+	e.siftDown(i)
+	e.siftUp(i)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ent := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(ent, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.arena[h[i].slot].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = ent
+	e.arena[ent.slot].heapIdx = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ent := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !entryLess(h[best], ent) {
+			break
+		}
+		h[i] = h[best]
+		e.arena[h[i].slot].heapIdx = int32(i)
+		i = best
+	}
+	h[i] = ent
+	e.arena[ent.slot].heapIdx = int32(i)
 }

@@ -88,15 +88,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// double-cancel and nil-cancel are no-ops
+	// double-cancel and zero-cancel are no-ops
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.At(Time(i), func() { fired = append(fired, i) })
@@ -299,7 +299,7 @@ func TestPropertyScheduleCancelStress(t *testing.T) {
 		rnd := seedRand(seed)
 		e := NewEngine()
 		type rec struct {
-			ev        *Event
+			ev        Event
 			at        Time
 			cancelled bool
 		}
@@ -341,8 +341,8 @@ func TestEventScheduledLifecycle(t *testing.T) {
 	if ev.Scheduled() {
 		t.Fatal("fired event still Scheduled")
 	}
-	var nilEv *Event
-	if nilEv.Scheduled() {
-		t.Fatal("nil event Scheduled")
+	var zero Event
+	if zero.Scheduled() {
+		t.Fatal("zero event Scheduled")
 	}
 }

@@ -77,6 +77,9 @@ type Stream struct {
 	// Resume must restart it.
 	revoked bool
 	parked  bool
+
+	emitFn func()    // cached method value so rescheduling does not allocate
+	emitEv sim.Event // live emit event, rearmed in place via Reschedule
 }
 
 // ID returns the stream's identifier.
@@ -99,7 +102,7 @@ func (s *Stream) Resume() {
 	s.revoked = false
 	if s.parked {
 		s.parked = false
-		s.eng.At(s.eng.Now()+s.cfg.Interval, s.emitFrame)
+		s.emitEv = s.eng.At(s.eng.Now()+s.cfg.Interval, s.emitFn)
 	}
 }
 
@@ -116,7 +119,8 @@ func StartStream(eng *sim.Engine, ni *network.NI, cfg StreamConfig, rnd *rng.Sou
 	if s.cfg.Sizer == nil {
 		s.cfg.Sizer = &NormalSizer{Mean: cfg.FrameBytes, SD: cfg.FrameBytesSD, Rand: rnd}
 	}
-	eng.At(cfg.Start, s.emitFrame)
+	s.emitFn = s.emitFrame
+	s.emitEv = eng.At(cfg.Start, s.emitFn)
 	return s, nil
 }
 
@@ -187,7 +191,7 @@ func (s *Stream) emitFrame() {
 		s.OnEmit(s.cfg.ID, frame)
 	}
 	s.frame++
-	s.eng.At(now+s.cfg.Interval, s.emitFrame)
+	s.emitEv = s.eng.Reschedule(s.emitEv, now+s.cfg.Interval)
 }
 
 // Partition exposes a live virtual-channel split for dynamically
@@ -221,6 +225,9 @@ type BestEffortSource struct {
 	rnd *rng.Source
 	ids *uint64
 
+	emitFn func()    // cached method value so rescheduling does not allocate
+	emitEv sim.Event // live emit event, rearmed in place via Reschedule
+
 	// OnInject, if set, observes each injection (for load accounting).
 	OnInject func(m *flit.Message)
 	// Injected counts messages emitted.
@@ -234,7 +241,8 @@ func StartBestEffort(eng *sim.Engine, ni *network.NI, cfg BestEffortConfig, rnd 
 		return nil, fmt.Errorf("traffic: invalid best-effort config %+v", cfg)
 	}
 	b := &BestEffortSource{cfg: cfg, ni: ni, eng: eng, rnd: rnd, ids: ids}
-	eng.At(cfg.Start, b.emit)
+	b.emitFn = b.emit
+	b.emitEv = eng.At(cfg.Start, b.emitFn)
 	return b, nil
 }
 
@@ -275,7 +283,7 @@ func (b *BestEffortSource) emit() {
 		b.OnInject(m)
 	}
 	b.ni.Inject(inVC, m)
-	b.eng.At(now+b.cfg.Interval, b.emit)
+	b.emitEv = b.eng.Reschedule(b.emitEv, now+b.cfg.Interval)
 }
 
 // MixConfig describes a full §4.2.3 workload over a topology: total input
