@@ -1,0 +1,297 @@
+package mediaworm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"mediaworm/internal/snapshot"
+)
+
+// ckptCfg returns a small, fast config exercising the checkpointed state.
+func ckptCfg() Config {
+	cfg := DefaultConfig().Scale(0.1)
+	cfg.Measure = 8 * cfg.FrameInterval
+	cfg.Warmup = 2 * cfg.FrameInterval
+	cfg.Load = 0.7
+	cfg.RTShare = 0.8 // mixed traffic: streams + best-effort
+	return cfg
+}
+
+// resultString renders a Result for equality comparison. String formatting
+// sidesteps reflect.DeepEqual's NaN ≠ NaN (jitter fields are NaN when a run
+// observes fewer than two intervals).
+func resultString(r Result) string { return fmt.Sprintf("%#v", r) }
+
+// runDirect runs cfg in one shot; runInterrupted runs it to checkpointAt,
+// checkpoints, restores into a fresh Sim, and finishes there. The golden
+// property is that both produce identical Results.
+func runInterrupted(t *testing.T, cfg Config, checkpointAt time.Duration) (Result, []byte) {
+	t.Helper()
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	s.RunTo(checkpointAt)
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("WriteCheckpoint at %v: %v", checkpointAt, err)
+	}
+	restored, err := RestoreSim(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("RestoreSim: %v", err)
+	}
+	res, err := restored.Finish()
+	if err != nil {
+		t.Fatalf("Finish after restore: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestCheckpointRoundTripGolden is the tentpole proof: run to T/2,
+// checkpoint, restore in a fresh Sim, run to T — and get exactly the result
+// of the uninterrupted run, across policies, traffic classes, topologies,
+// and VBR models.
+func TestCheckpointRoundTripGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"virtual-clock-mixed", func(c *Config) {}},
+		{"fifo-baseline", func(c *Config) { c.Policy = FIFO }},
+		{"round-robin", func(c *Config) { c.Policy = RoundRobin }},
+		{"cbr", func(c *Config) { c.Class = CBR; c.FrameBytesSD = 0 }},
+		{"gop-vbr", func(c *Config) { c.VBRModel = VBRGoP }},
+		{"pure-realtime", func(c *Config) { c.RTShare = 1.0 }},
+		{"no-playout", func(c *Config) { c.PlayoutBufferFrames = 0 }},
+		{"fat-mesh", func(c *Config) { c.Topology = FatMesh2x2; c.Load = 0.5 }},
+		{"tetrahedral", func(c *Config) { c.Topology = Tetrahedral; c.Load = 0.5 }},
+		{"source-policy-override", func(c *Config) { c.SourcePolicy = FIFO }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ckptCfg()
+			tc.mut(&cfg)
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got, _ := runInterrupted(t, cfg, cfg.Warmup+cfg.Measure/2)
+			if resultString(got) != resultString(want) {
+				t.Errorf("restored run diverged\n got: %s\nwant: %s",
+					resultString(got), resultString(want))
+			}
+		})
+	}
+}
+
+// TestCheckpointAtManyInstants checkpoints at several points through the
+// run, including t=0 (nothing executed) and the exact end of the window.
+func TestCheckpointAtManyInstants(t *testing.T) {
+	cfg := ckptCfg()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	total := cfg.Warmup + cfg.Measure
+	for _, frac := range []float64{0, 0.1, 0.33, 0.5, 0.9, 1.0} {
+		at := time.Duration(float64(total) * frac)
+		got, _ := runInterrupted(t, cfg, at)
+		if resultString(got) != resultString(want) {
+			t.Errorf("checkpoint at %v (%.0f%%): diverged\n got: %s\nwant: %s",
+				at, frac*100, resultString(got), resultString(want))
+		}
+	}
+}
+
+// TestCheckpointDeterministicBytes requires the serialized state itself to
+// be deterministic: same config, same instant → byte-identical checkpoint,
+// and a restore followed by an immediate re-checkpoint reproduces the same
+// bytes again.
+func TestCheckpointDeterministicBytes(t *testing.T) {
+	cfg := ckptCfg()
+	at := cfg.Warmup + cfg.Measure/2
+	snap := func() []byte {
+		s, err := NewSim(cfg)
+		if err != nil {
+			t.Fatalf("NewSim: %v", err)
+		}
+		s.RunTo(at)
+		var buf bytes.Buffer
+		if err := s.WriteCheckpoint(&buf); err != nil {
+			t.Fatalf("WriteCheckpoint: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := snap(), snap()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two checkpoints of the same state differ (%d vs %d bytes)", len(a), len(b))
+	}
+	restored, err := RestoreSim(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("RestoreSim: %v", err)
+	}
+	var again bytes.Buffer
+	if err := restored.WriteCheckpoint(&again); err != nil {
+		t.Fatalf("re-checkpoint after restore: %v", err)
+	}
+	if !bytes.Equal(a, again.Bytes()) {
+		t.Fatalf("checkpoint not idempotent across restore (%d vs %d bytes)", len(a), len(again.Bytes()))
+	}
+}
+
+// TestCheckpointCorruptionRejected flips, truncates, and re-versions a real
+// checkpoint and requires each mutation to be rejected with the matching
+// structured error — never a panic, never a silent partial restore.
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	cfg := ckptCfg()
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	s.RunTo(cfg.Warmup + cfg.Measure/2)
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	good := buf.Bytes()
+
+	t.Run("flipped-bytes", func(t *testing.T) {
+		for _, off := range []int{0, 9, 40, len(good) / 2, len(good) - 5, len(good) - 1} {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 0x40
+			_, err := RestoreSim(bytes.NewReader(bad))
+			var ce *snapshot.CorruptError
+			if !errors.As(err, &ce) {
+				t.Errorf("flip at %d: got %v, want CorruptError", off, err)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, n := range []int{0, 5, 13, len(good) / 3, len(good) - 1} {
+			_, err := RestoreSim(bytes.NewReader(good[:n]))
+			var ce *snapshot.CorruptError
+			if !errors.As(err, &ce) {
+				t.Errorf("truncated to %d: got %v, want CorruptError", n, err)
+			}
+		}
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		// Patch the container version and re-seal the checksum, simulating a
+		// checkpoint from a future encoder.
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint16(bad[8:], snapshot.Version+1)
+		sum := crc32.Checksum(bad[:len(bad)-4], crc32.MakeTable(crc32.Castagnoli))
+		binary.LittleEndian.PutUint32(bad[len(bad)-4:], sum)
+		_, err := RestoreSim(bytes.NewReader(bad))
+		var ve *snapshot.VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("got %v, want VersionError", err)
+		}
+		if ve.Got != snapshot.Version+1 || ve.Want != snapshot.Version {
+			t.Fatalf("VersionError %+v", ve)
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		_, err := RestoreSim(bytes.NewReader([]byte("definitely not a checkpoint file")))
+		var ce *snapshot.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("got %v, want CorruptError", err)
+		}
+	})
+}
+
+// TestCheckpointRefusesUncoveredFeatures pins the v1 scope gate: runs with
+// fault injection or tracing enabled execute normally but refuse to
+// checkpoint with NotSnapshottableError.
+func TestCheckpointRefusesUncoveredFeatures(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"faults", func(c *Config) { c.Faults.FlitCorruptionProb = 1e-6 }},
+		{"retransmit", func(c *Config) { c.Faults.Retransmit = true }},
+		{"trace", func(c *Config) { c.Trace.Enabled = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ckptCfg()
+			tc.mut(&cfg)
+			s, err := NewSim(cfg)
+			if err != nil {
+				t.Fatalf("NewSim: %v", err)
+			}
+			s.RunTo(cfg.Warmup)
+			var buf bytes.Buffer
+			err = s.WriteCheckpoint(&buf)
+			var nse *snapshot.NotSnapshottableError
+			if !errors.As(err, &nse) {
+				t.Fatalf("got %v, want NotSnapshottableError", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointAfterFinishRefused pins that a drained simulation cannot be
+// checkpointed (its generators are gone; resuming it would be meaningless).
+func TestCheckpointAfterFinishRefused(t *testing.T) {
+	s, err := NewSim(ckptCfg())
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := s.WriteCheckpoint(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteCheckpoint after Finish succeeded, want error")
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("second Finish succeeded, want error")
+	}
+}
+
+// FuzzCheckpointRoundTrip drives random configs and random checkpoint
+// instants through the golden property: interrupting never changes the
+// result.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(70), uint8(80), uint8(0), uint16(50))
+	f.Add(uint64(7), uint8(40), uint8(100), uint8(1), uint16(0))
+	f.Add(uint64(42), uint8(90), uint8(50), uint8(2), uint16(100))
+	f.Fuzz(func(t *testing.T, seed uint64, loadPct, rtPct, knobs uint8, atPermille uint16) {
+		cfg := DefaultConfig().Scale(0.1)
+		cfg.Measure = 4 * cfg.FrameInterval
+		cfg.Warmup = cfg.FrameInterval
+		cfg.Seed = seed
+		cfg.Load = float64(loadPct%101)/100 + 0.05
+		cfg.RTShare = float64(rtPct%101) / 100
+		switch knobs % 3 {
+		case 1:
+			cfg.Policy = FIFO
+		case 2:
+			cfg.Policy = RoundRobin
+			cfg.VBRModel = VBRGoP
+		}
+		if knobs&4 != 0 {
+			cfg.Class = CBR
+			cfg.FrameBytesSD = 0
+		}
+		if cfg.Validate() != nil {
+			t.Skip()
+		}
+		want, err := Run(cfg)
+		if err != nil {
+			t.Skip() // saturated configs may legitimately fail to drain
+		}
+		total := cfg.Warmup + cfg.Measure
+		at := time.Duration(float64(total) * float64(atPermille%1001) / 1000)
+		got, _ := runInterrupted(t, cfg, at)
+		if resultString(got) != resultString(want) {
+			t.Errorf("seed=%d load=%.2f rt=%.2f at=%v: diverged\n got: %s\nwant: %s",
+				seed, cfg.Load, cfg.RTShare, at, resultString(got), resultString(want))
+		}
+	})
+}

@@ -8,18 +8,24 @@
 //	mwsim -pcs -load 0.7
 //	mwsim -topology fat-mesh-2x2 -fault-mtbf 30ms -fault-mttr 2ms -retransmit
 //	mwsim -fault-sweep -seed 1
+//	mwsim -load 0.9 -checkpoint run.ckpt -checkpoint-every 50ms
+//	mwsim -restore run.ckpt -json
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 )
 
 import (
 	"mediaworm"
+	"mediaworm/internal/artifact"
 	"mediaworm/internal/experiments"
 	"mediaworm/internal/obs"
 	"mediaworm/internal/prof"
@@ -58,6 +64,11 @@ func main() {
 		traceEvents   = flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
 		traceInterval = flag.Duration("trace-interval", 0, "metrics snapshot interval in simulated time (0 = final snapshot only)")
 
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file path (written atomically)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "write a checkpoint every D of simulated time (requires -checkpoint)")
+		runTo     = flag.Duration("run-to", 0, "stop at this simulated time, write a checkpoint, and exit without a result (requires -checkpoint)")
+		restore   = flag.String("restore", "", "restore from a checkpoint file and run to completion (ignores config flags)")
+
 		profFlags = prof.Register()
 	)
 	flag.Parse()
@@ -67,6 +78,24 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := mediaworm.RestoreSim(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err := s.Finish()
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, s.Config(), *asJSON)
+		return
+	}
 
 	if *faultSweep {
 		opt := experiments.DefaultOptions()
@@ -131,31 +160,75 @@ func main() {
 			MetricsInterval: *traceInterval,
 		}
 	}
+	if *ckptEvery > 0 || *runTo > 0 {
+		if *ckptPath == "" {
+			fatal(errors.New("-checkpoint-every and -run-to require -checkpoint <path>"))
+		}
+		s, err := mediaworm.NewSim(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		stop := s.End()
+		if *runTo > 0 && *runTo < stop {
+			stop = *runTo
+		}
+		if *ckptEvery > 0 {
+			for t := *ckptEvery; t < stop; t += *ckptEvery {
+				s.RunTo(t)
+				if err := saveCheckpoint(s, *ckptPath); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		s.RunTo(stop)
+		if *runTo > 0 {
+			if err := saveCheckpoint(s, *ckptPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "mwsim: checkpoint at %v written to %s\n", s.Now(), *ckptPath)
+			return
+		}
+		res, err := s.Finish()
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, cfg, *asJSON)
+		return
+	}
+
 	res, err := mediaworm.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	if res.Trace != nil {
 		if *tracePath != "" {
-			if err := writeFile(*tracePath, func(f *os.File) error {
-				return obs.WriteChromeTrace(f, res.Trace)
+			if err := artifact.WriteFunc(*tracePath, 0o644, func(w io.Writer) error {
+				return obs.WriteChromeTrace(w, res.Trace)
 			}); err != nil {
 				fatal(err)
 			}
 		}
 		if *metricsPath != "" {
-			if err := writeFile(*metricsPath, func(f *os.File) error {
-				return obs.WriteMetricsCSV(f, res.Trace)
+			if err := artifact.WriteFunc(*metricsPath, 0o644, func(w io.Writer) error {
+				return obs.WriteMetricsCSV(w, res.Trace)
 			}); err != nil {
 				fatal(err)
 			}
 		}
 		res.Trace = nil // keep the JSON/text result output compact
 	}
-	emit(res, *asJSON, func() {
+	printResult(res, cfg, *asJSON)
+}
+
+func saveCheckpoint(s *mediaworm.Sim, path string) error {
+	return artifact.WriteFunc(path, 0o644, s.WriteCheckpoint)
+}
+
+func printResult(res mediaworm.Result, cfg mediaworm.Config, asJSON bool) {
+	emit(res, asJSON, func() {
 		norm := 33.0 / (cfg.FrameInterval.Seconds() * 1000)
 		fmt.Printf("load=%.2f mix=%.0f:%.0f policy=%s vcs=%d\n",
-			*load, *mix*100, (1-*mix)*100, *policy, *vcs)
+			cfg.Load, cfg.RTShare*100, (1-cfg.RTShare)*100, cfg.Policy, cfg.VCs)
 		fmt.Printf("  d = %.3f ms, σd = %.4f ms (paper scale: %.2f / %.3f), %d samples, %d streams\n",
 			res.MeanDeliveryIntervalMs, res.StdDevDeliveryIntervalMs,
 			res.MeanDeliveryIntervalMs*norm, res.StdDevDeliveryIntervalMs*norm,
@@ -191,18 +264,6 @@ func emit(v any, asJSON bool, plain func()) {
 		return
 	}
 	plain()
-}
-
-func writeFile(path string, fn func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fatal(err error) {

@@ -13,20 +13,25 @@
 //	mwsweep -param load -from 0.5 -to 0.96 -steps 8 -mix 0.8
 //	mwsweep -param mix -from 0.1 -to 1.0 -steps 10 -load 0.9
 //	mwsweep -param vcs -from 4 -to 24 -steps 6 -load 0.9 -policy fifo -parallel 4 -replicas 5
+//	mwsweep -param load -steps 8 -manifest sweep.manifest   # journal completed cells
+//	mwsweep -param load -steps 8 -manifest sweep.manifest -resume   # redo only missing cells
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
 	"time"
 
 	"mediaworm"
+	"mediaworm/internal/artifact"
 	"mediaworm/internal/obs"
 	"mediaworm/internal/prof"
 	"mediaworm/internal/rng"
@@ -52,6 +57,11 @@ func main() {
 	tracePrefix := flag.String("trace-prefix", "", "write <prefix><point>.trace.json per point (enables tracing)")
 	metricsPrefix := flag.String("metrics-prefix", "", "write <prefix><point>.metrics.csv per point (enables tracing)")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
+	manifestPath := flag.String("manifest", "", "journal completed cells to this file (fsynced per cell)")
+	resume := flag.Bool("resume", false, "reuse an existing manifest: skip journaled cells, recompute only the missing ones")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock limit (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts per failed cell before the sweep aborts")
+	crashAfter := flag.Int("crash-after", 0, "testing hook: exit(3) after this many cells are journaled")
 	profFlags := prof.Register()
 	flag.Parse()
 
@@ -117,31 +127,100 @@ func main() {
 		point string // file-name stem for trace/metrics artifacts
 	}
 	jobs := *steps * reps
+
+	// The manifest journals each finished cell's figures; it is keyed by a
+	// fingerprint of every grid-shaping flag so a stale or foreign journal is
+	// refused instead of silently poisoning the sweep. JSON round-trips
+	// float64 exactly, so a resumed sweep's CSV is byte-identical to an
+	// uninterrupted one.
+	var man *runner.Manifest
+	if *resume && *manifestPath == "" {
+		fatal(errors.New("-resume requires -manifest"))
+	}
+	if *manifestPath != "" {
+		key := fmt.Sprintf("param=%s from=%g to=%g steps=%d load=%g mix=%g vcs=%d policy=%s topo=%s scale=%g intervals=%d seed=%d replicas=%d",
+			*param, *from, *to, *steps, *load, *mix, *vcs, *policy, *topo, *scale, *intervals, *seed, reps)
+		if !*resume {
+			if err := os.Remove(*manifestPath); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		man, err = runner.OpenManifest(*manifestPath, key)
+		if err != nil {
+			fatal(err)
+		}
+		defer man.Close()
+		if *resume && man.CountDone() > 0 {
+			fmt.Fprintf(os.Stderr, "mwsweep: resuming, %d/%d cells already journaled\n", man.CountDone(), jobs)
+		}
+	}
+	type cellRecord struct {
+		Point string           `json:"point"`
+		Norm  float64          `json:"norm"`
+		Res   mediaworm.Result `json:"result"`
+	}
+
 	runs := make([]run, jobs)
 	var sinkErr error
+	recorded := 0
 	_, err = runner.Map(context.Background(), jobs, runner.Options{
-		Workers: *parallel,
+		Workers:     *parallel,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
 		// Artifact files are written from the collector in sweep order, so
 		// a failing write aborts deterministically at the same point a
-		// serial sweep would have.
+		// serial sweep would have. Each cell is journaled only after its
+		// artifacts are safely renamed into place — a crash between the two
+		// reruns the cell, never trusts torn output.
 		OnDone: func(i int) {
-			r := &runs[i]
-			if r.trace == nil || sinkErr != nil {
+			if sinkErr != nil {
 				return
 			}
-			if *tracePrefix != "" {
-				sinkErr = writeFile(*tracePrefix+r.point+".trace.json", func(f *os.File) error {
-					return obs.WriteChromeTrace(f, r.trace)
-				})
+			r := &runs[i]
+			if r.trace != nil {
+				if *tracePrefix != "" {
+					sinkErr = artifact.WriteFunc(*tracePrefix+r.point+".trace.json", 0o644, func(w io.Writer) error {
+						return obs.WriteChromeTrace(w, r.trace)
+					})
+				}
+				if *metricsPrefix != "" && sinkErr == nil {
+					sinkErr = artifact.WriteFunc(*metricsPrefix+r.point+".metrics.csv", 0o644, func(w io.Writer) error {
+						return obs.WriteMetricsCSV(w, r.trace)
+					})
+				}
+				r.trace = nil
+				if sinkErr != nil {
+					return
+				}
 			}
-			if *metricsPrefix != "" && sinkErr == nil {
-				sinkErr = writeFile(*metricsPrefix+r.point+".metrics.csv", func(f *os.File) error {
-					return obs.WriteMetricsCSV(f, r.trace)
-				})
+			if man == nil {
+				return
 			}
-			r.trace = nil
+			if _, ok := man.Done(i); ok {
+				return
+			}
+			res := r.res
+			res.Trace = nil
+			if sinkErr = man.Record(i, cellRecord{Point: r.point, Norm: r.norm, Res: res}); sinkErr != nil {
+				return
+			}
+			recorded++
+			if *crashAfter > 0 && recorded >= *crashAfter {
+				fmt.Fprintf(os.Stderr, "mwsweep: -crash-after %d reached, simulating crash\n", *crashAfter)
+				os.Exit(3)
+			}
 		},
 	}, func(_ context.Context, i int) (struct{}, error) {
+		if man != nil {
+			if raw, ok := man.Done(i); ok {
+				var rec cellRecord
+				if err := json.Unmarshal(raw, &rec); err != nil {
+					return struct{}{}, fmt.Errorf("manifest cell %d: %w", i, err)
+				}
+				runs[i] = run{res: rec.Res, norm: rec.Norm, point: rec.Point}
+				return struct{}{}, nil
+			}
+		}
 		cell, rep := i/reps, i%reps
 		cfg := cfgs[cell]
 		if rep > 0 {
@@ -217,18 +296,6 @@ func main() {
 			fatal(err)
 		}
 	}
-}
-
-func writeFile(path string, fn func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fatal(err error) {

@@ -39,6 +39,14 @@ func TestDetLintArenaPackage(t *testing.T) {
 	analysistest.Run(t, analysis.DetLint, "detlint/arena", "mediaworm/internal/sim")
 }
 
+// The snapshot fixture pins the checkpoint encoder: a checkpoint header
+// stamped from the wall clock would make two checkpoints of identical
+// simulator state differ byte for byte, and must be flagged under the real
+// package path.
+func TestDetLintSnapshotPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/snapshot", "mediaworm/internal/snapshot")
+}
+
 // The cmd fixture pins the scope rule: command-line front-ends may read the
 // wall clock and environment freely.
 func TestDetLintCmdExempt(t *testing.T) {

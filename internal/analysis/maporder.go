@@ -37,6 +37,8 @@ var mapOrderScope = []string{
 	ModulePath + "/internal/network",
 	ModulePath + "/internal/sched",
 	ModulePath + "/internal/stats",
+	ModulePath + "/internal/snapshot",
+	ModulePath + "/internal/traffic",
 }
 
 func mapOrderScoped(path string) bool {
@@ -214,6 +216,12 @@ func orderSensitiveCall(pass *Pass, call *ast.CallExpr) string {
 			obj := named.Obj()
 			if obj.Pkg() != nil && obj.Pkg().Path() == ModulePath+"/internal/sim" && obj.Name() == "Engine" {
 				return "schedules sim events (" + obj.Name() + "." + fn.Name() + ")"
+			}
+			// The snapshot encoder appends to the checkpoint byte stream;
+			// map-ordered appends make checkpoints nondeterministic, which
+			// breaks byte-identity and restore→re-checkpoint idempotence.
+			if obj.Pkg() != nil && obj.Pkg().Path() == ModulePath+"/internal/snapshot" && obj.Name() == "Writer" {
+				return "serializes checkpoint bytes (" + obj.Name() + "." + fn.Name() + ")"
 			}
 		}
 		// Writers serialize in iteration order.

@@ -19,3 +19,11 @@ func TestMapOrderSimPackage(t *testing.T) {
 func TestMapOrderOutsideScope(t *testing.T) {
 	analysistest.Run(t, analysis.MapOrder, "maporder/outside", "mediaworm/internal/report/mapfix")
 }
+
+// The snapshot fixture pins the checkpoint encoder: feeding a
+// snapshot.Writer from a range-over-map serializes map iteration order into
+// the checkpoint bytes and is flagged; the sorted-keys idiom and pure
+// counting pass clean.
+func TestMapOrderSnapshotEncoder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder/snapshot", "mediaworm/internal/snapshot/mapfix")
+}

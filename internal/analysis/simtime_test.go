@@ -29,3 +29,11 @@ func TestSimTimeRescheduleFixture(t *testing.T) {
 func TestSimTimeObsFixture(t *testing.T) {
 	analysistest.Run(t, analysis.SimTime, "simtime/obs", "mediaworm/internal/obs")
 }
+
+// The snapshot fixture pins the checkpoint encode/restore boundary:
+// routing the engine clock through time.Duration on its way to or from the
+// byte stream is flagged; the Writer.Time/Reader.Time tick-domain helpers
+// pass clean.
+func TestSimTimeSnapshotFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SimTime, "simtime/snapshot", "mediaworm/internal/snapshot/timefix")
+}

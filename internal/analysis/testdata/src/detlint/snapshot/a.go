@@ -1,0 +1,32 @@
+// Package snapshot (fixture) pins detlint's coverage of the checkpoint
+// encoder: stamping a checkpoint header from the wall clock is the
+// tempting "when was this written" feature that would make two checkpoints
+// of identical simulator state differ byte for byte. Checkpoint content
+// must be a pure function of simulator state.
+package snapshot
+
+import "time"
+
+// header mirrors the real container's shape closely enough to make the
+// tempting bug writable: a versioned header with room for a timestamp.
+type header struct {
+	Version   uint16
+	WrittenAt int64
+}
+
+func flaggedStampedHeader() header {
+	return header{
+		Version:   1,
+		WrittenAt: time.Now().UnixNano(), // want "time.Now reads the wall clock"
+	}
+}
+
+func flaggedCheckpointAge(written time.Time) time.Duration {
+	return time.Since(written) // want "time.Since reads the wall clock"
+}
+
+func allowedSimStamp(now int64) header {
+	// The correct idiom: checkpoints carry the simulated clock, which the
+	// restore path re-validates; wall-clock metadata stays out of the bytes.
+	return header{Version: 1, WrittenAt: now}
+}

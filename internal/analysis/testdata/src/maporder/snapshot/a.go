@@ -1,0 +1,41 @@
+// Package snapfix pins maporder's coverage of the checkpoint encoder: a
+// range-over-map that feeds a snapshot.Writer serializes map iteration
+// order into the checkpoint bytes, so two checkpoints of the same state
+// would differ — breaking byte-identity and restore→re-checkpoint
+// idempotence. The sorted-keys idiom keeps the byte stream canonical.
+package snapfix
+
+import (
+	"sort"
+
+	"mediaworm/internal/snapshot"
+)
+
+func flaggedEncodeMap(w *snapshot.Writer, m map[uint64]uint64) {
+	w.Int(len(m))
+	for k, v := range m { // want "range over map m serializes checkpoint bytes \\(Writer.U64\\)"
+		w.U64(k)
+		w.U64(v)
+	}
+}
+
+func allowedSortedEncode(w *snapshot.Writer, m map[uint64]uint64) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m { // collecting keys is order-insensitive once sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.U64(k)
+		w.U64(m[k])
+	}
+}
+
+func allowedCountOnly(w *snapshot.Writer, m map[uint64]uint64) {
+	n := 0
+	for range m {
+		n++
+	}
+	w.Int(n)
+}

@@ -1,0 +1,36 @@
+// Package snapfix pins simtime's coverage of checkpoint encode/restore
+// helpers: serializing the engine clock must stay in the sim.Time tick
+// domain end to end. Collapsing ticks through time.Duration on the way to
+// (or from) the byte stream silently re-types the value as wall-clock
+// nanoseconds; the Writer.Time/Reader.Time helpers keep the domain.
+package snapfix
+
+import (
+	"time"
+
+	"mediaworm/internal/sim"
+	"mediaworm/internal/snapshot"
+)
+
+func flaggedEncodeViaDuration(w *snapshot.Writer, now sim.Time) {
+	d := time.Duration(now) // want "converts a sim.Time tick count straight into wall-clock units"
+	w.I64(d.Nanoseconds())
+}
+
+func flaggedCollapsedDuration(w *snapshot.Writer, every time.Duration) {
+	w.U64(uint64(every)) // want "collapses a time.Duration into a unitless integer"
+}
+
+func flaggedRestoreViaDuration(r *snapshot.Reader) sim.Time {
+	d := time.Duration(r.I64())
+	return sim.Time(d) // want "converts a time.Duration straight into the tick domain"
+}
+
+func allowedEncodeTicks(w *snapshot.Writer, now sim.Time) {
+	// The correct idiom: the dedicated tick-domain helper.
+	w.Time(now)
+}
+
+func allowedRestoreTicks(r *snapshot.Reader) sim.Time {
+	return r.Time()
+}

@@ -1,0 +1,62 @@
+// Package artifact writes output files atomically. Every figure, CSV, and
+// checkpoint the tools produce is written to a temporary file in the target
+// directory, synced, and renamed into place — so a crash (or a kill signal
+// from the sweep harness) can never leave a half-written artifact under the
+// final name. Readers either see the old complete file or the new complete
+// file, never a torn one.
+package artifact
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically with the given permissions.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteFunc(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFunc streams an artifact through write into path atomically: write
+// receives a temporary file in path's directory, and only after it returns
+// successfully — and the bytes are synced — is the file renamed over path.
+// On any failure the temporary file is removed and path is untouched.
+func WriteFunc(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Clean up the temporary on every failure path below.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	return nil
+}

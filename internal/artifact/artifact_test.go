@@ -1,0 +1,78 @@
+package artifact
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "a,b\n1,2\n" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite must replace the whole file.
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "x" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+// A failing writer must leave no file under the final name and no stray
+// temporary behind.
+func TestWriteFuncFailureLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.svg")
+	boom := errors.New("renderer exploded")
+	err := WriteFunc(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped renderer error", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write left %s behind", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("stray files after failed write: %v", entries)
+	}
+}
+
+// A failure must leave a pre-existing artifact untouched — the old complete
+// file, not a torn one.
+func TestWriteFuncFailurePreservesOldArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, []byte("old complete"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	WriteFunc(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "half new")
+		return errors.New("crash")
+	})
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "old complete" {
+		t.Fatalf("old artifact damaged: %q, %v", got, err)
+	}
+}
+
+func TestWriteFileMissingDirectory(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "nope", "out.txt"), []byte("x"), 0o644)
+	if err == nil || !strings.Contains(err.Error(), "artifact:") {
+		t.Fatalf("err = %v, want artifact error", err)
+	}
+}

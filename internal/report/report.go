@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mediaworm/internal/artifact"
 	"mediaworm/internal/experiments"
 )
 
@@ -127,16 +128,8 @@ func writeFile(dir, id string, render func(io.Writer) error) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(dir, id+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return "", err
-	}
-	if err := render(f); err != nil {
-		f.Close()
+	if err := artifact.WriteFunc(path, 0o644, render); err != nil {
 		return "", fmt.Errorf("report: rendering %s: %w", id, err)
-	}
-	if err := f.Close(); err != nil {
-		return "", err
 	}
 	return path, nil
 }

@@ -1,0 +1,28 @@
+package rng
+
+// State is a Source's complete serializable state: the xoshiro256** words
+// plus the cached Box–Muller variate. The cache matters for determinism —
+// dropping it would shift every subsequent Normal draw by one variate.
+type State struct {
+	S        [4]uint64
+	Gauss    float64
+	HasGauss bool
+}
+
+// State captures the stream's current state for a checkpoint.
+func (r *Source) State() State {
+	return State{S: r.s, Gauss: r.gauss, HasGauss: r.hasGauss}
+}
+
+// SetState overwrites the stream's state from a checkpoint. The all-zero
+// xoshiro state is unreachable from New, so a snapshot carrying one is
+// corrupt; SetState leaves the source untouched and reports false.
+func (r *Source) SetState(st State) bool {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return false
+	}
+	r.s = st.S
+	r.gauss = st.Gauss
+	r.hasGauss = st.HasGauss
+	return true
+}

@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// A Manifest is the crash-resilient journal of a sweep: one JSONL file with
+// a header line identifying the sweep and one line per completed grid cell,
+// fsynced as it is appended. A rerun opens the same manifest, skips the
+// recorded cells, and recomputes only what is missing — so a sweep killed
+// mid-grid resumes instead of restarting, and the reassembled output is
+// byte-identical to an uninterrupted run.
+//
+// The file tolerates exactly one kind of damage: a truncated final line,
+// which is what a crash mid-append leaves behind. That fragment is
+// discarded (its cell reruns). Any other malformed line means the file is
+// not a manifest, or not this sweep's manifest, and opening fails rather
+// than silently recomputing — or worse, silently trusting — the wrong grid.
+type Manifest struct {
+	path string
+	key  string
+	done map[int]json.RawMessage
+	f    *os.File
+}
+
+// manifestHeader is the first line of a manifest file.
+type manifestHeader struct {
+	Manifest string `json:"manifest"`
+	Version  int    `json:"version"`
+	Key      string `json:"key"`
+}
+
+// manifestEntry is one completed-cell line.
+type manifestEntry struct {
+	Index   int             `json:"index"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+const (
+	manifestName    = "mwsweep"
+	manifestVersion = 1
+)
+
+// OpenManifest opens path for the sweep identified by key (a fingerprint of
+// the full sweep configuration), creating it with a fresh header if absent.
+// An existing file must carry the same key: a manifest from a different
+// sweep is an error, not a cache.
+func OpenManifest(path, key string) (*Manifest, error) {
+	m := &Manifest{path: path, key: key, done: make(map[int]json.RawMessage)}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return m, m.create()
+	case err != nil:
+		return nil, fmt.Errorf("runner: manifest %s: %w", path, err)
+	}
+	valid, err := m.load(data)
+	if err != nil {
+		return nil, err
+	}
+	if valid < len(data) {
+		// Cut the crash-truncated tail off the file itself, so the next
+		// Record starts a clean line instead of gluing onto the fragment.
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("runner: manifest %s: %w", path, err)
+		}
+	}
+	m.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+func (m *Manifest) create() error {
+	f, err := os.OpenFile(m.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("runner: manifest %s: %w", m.path, err)
+	}
+	line, err := json.Marshal(manifestHeader{Manifest: manifestName, Version: manifestVersion, Key: m.key})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("runner: manifest %s: %w", m.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("runner: manifest %s: %w", m.path, err)
+	}
+	m.f = f
+	return nil
+}
+
+// load parses the manifest, returning the byte length of its valid prefix —
+// everything through the last fully-parsed line. A shorter-than-data prefix
+// means the tail is crash debris the caller should truncate away.
+func (m *Manifest) load(data []byte) (valid int, err error) {
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed file ends with '\n', leaving an empty final split; a
+	// non-empty final fragment is a crash-truncated append. Neither is an
+	// entry, so the last split is always dropped.
+	if n := len(lines); n > 0 {
+		lines = lines[:n-1]
+	}
+	if len(lines) == 0 {
+		return 0, fmt.Errorf("runner: manifest %s: empty file", m.path)
+	}
+	var hdr manifestHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Manifest != manifestName {
+		return 0, fmt.Errorf("runner: manifest %s: not a sweep manifest", m.path)
+	}
+	if hdr.Version != manifestVersion {
+		return 0, fmt.Errorf("runner: manifest %s: version %d, this build writes %d", m.path, hdr.Version, manifestVersion)
+	}
+	if hdr.Key != m.key {
+		return 0, fmt.Errorf("runner: manifest %s belongs to a different sweep (key %q, want %q)", m.path, hdr.Key, m.key)
+	}
+	valid = len(lines[0]) + 1
+	for i, line := range lines[1:] {
+		var e manifestEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(lines[1:])-1 {
+				// Final complete-looking line that still fails to parse:
+				// also crash debris (the '\n' made it to disk, the payload
+				// bytes did not all survive). Rerun that cell.
+				return valid, nil
+			}
+			return 0, fmt.Errorf("runner: manifest %s: line %d corrupt: %v", m.path, i+2, err)
+		}
+		if e.Index < 0 {
+			return 0, fmt.Errorf("runner: manifest %s: line %d: negative index %d", m.path, i+2, e.Index)
+		}
+		m.done[e.Index] = e.Payload
+		valid += len(line) + 1
+	}
+	return valid, nil
+}
+
+// Done returns the recorded payload for a grid index, if that cell already
+// completed in a previous run.
+func (m *Manifest) Done(index int) (json.RawMessage, bool) {
+	p, ok := m.done[index]
+	return p, ok
+}
+
+// CountDone reports how many cells the manifest already records.
+func (m *Manifest) CountDone() int { return len(m.done) }
+
+// Record journals one completed cell and fsyncs, so a crash immediately
+// after a cell finishes cannot lose it.
+func (m *Manifest) Record(index int, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("runner: manifest %s: cell %d: %w", m.path, index, err)
+	}
+	line, err := json.Marshal(manifestEntry{Index: index, Payload: raw})
+	if err != nil {
+		return err
+	}
+	if _, err := m.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("runner: manifest %s: %w", m.path, err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("runner: manifest %s: %w", m.path, err)
+	}
+	m.done[index] = raw
+	return nil
+}
+
+// Close closes the journal file. Recorded state stays on disk for resume.
+func (m *Manifest) Close() error {
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}

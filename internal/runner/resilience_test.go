@@ -1,0 +1,297 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Panic confinement: a panicking cell must become a *PanicError for that
+// index, with the stack preserved, on both the serial and parallel paths —
+// and the lowest genuinely-failing index must still win.
+func TestMapConfinesPanics(t *testing.T) {
+	boom := func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("cell exploded")
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), 8, Options{Workers: workers}, boom)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want PanicError", workers, err)
+		}
+		if pe.Value != "cell exploded" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError value=%v stack=%d bytes", workers, pe.Value, len(pe.Stack))
+		}
+		var re *Error
+		if !errors.As(err, &re) || re.Index != 3 {
+			t.Fatalf("workers=%d: error index = %v, want 3", workers, err)
+		}
+		if !strings.Contains(err.Error(), "cell exploded") {
+			t.Fatalf("workers=%d: error text %q lacks panic value", workers, err)
+		}
+	}
+}
+
+// Two panicking cells: the lower index must be reported even if the higher
+// one finishes first.
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	boom := func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 2:
+			time.Sleep(20 * time.Millisecond)
+			panic("slow low panic")
+		case 6:
+			panic("fast high panic")
+		}
+		return i, nil
+	}
+	_, err := Map(context.Background(), 8, Options{Workers: 8}, boom)
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want *Error", err)
+	}
+	if re.Index != 2 {
+		t.Fatalf("reported index %d, want 2 (lowest genuine failure)", re.Index)
+	}
+}
+
+// CellTimeout: a hung cell must fail with *TimeoutError — a genuine failure
+// that wins over sibling cancellation fallout — while fast cells complete.
+func TestMapCellTimeout(t *testing.T) {
+	hang := func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), 4, Options{
+			Workers:     workers,
+			CellTimeout: 30 * time.Millisecond,
+		}, hang)
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: got %v, want TimeoutError", workers, err)
+		}
+		var re *Error
+		if !errors.As(err, &re) || re.Index != 1 {
+			t.Fatalf("workers=%d: error index = %v, want 1", workers, err)
+		}
+		// The classification contract: a cell timeout must NOT look like
+		// context cancellation, or the collector would demote it.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: TimeoutError unwraps to a context error", workers)
+		}
+	}
+}
+
+// Retries: a cell that fails transiently must succeed within its retry
+// budget; a deterministic failure must fail after exactly Retries+1
+// attempts.
+func TestMapRetries(t *testing.T) {
+	var attempts atomic.Int64
+	flaky := func(_ context.Context, i int) (int, error) {
+		if i == 2 && attempts.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return i, nil
+	}
+	got, err := Map(context.Background(), 4, Options{Workers: 1, Retries: 2}, flaky)
+	if err != nil {
+		t.Fatalf("flaky cell not recovered: %v", err)
+	}
+	if got[2] != 2 {
+		t.Fatalf("got[2] = %d, want 2", got[2])
+	}
+
+	var calls atomic.Int64
+	always := func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		return 0, errors.New("deterministic")
+	}
+	_, err = Map(context.Background(), 1, Options{Workers: 1, Retries: 3}, always)
+	if err == nil {
+		t.Fatal("deterministic failure succeeded")
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("deterministic cell attempted %d times, want 4 (1 + 3 retries)", n)
+	}
+}
+
+// Retrying must stop once the sweep context is cancelled.
+func TestMapRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	failing := func(_ context.Context, i int) (int, error) {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+		return 0, errors.New("boom")
+	}
+	_, err := Map(ctx, 1, Options{Workers: 1, Retries: 100}, failing)
+	if err == nil {
+		t.Fatal("cancelled sweep succeeded")
+	}
+	if n := calls.Load(); n > 2 {
+		t.Fatalf("retried %d times into a cancelled sweep", n)
+	}
+}
+
+type cellPayload struct {
+	Index int    `json:"index"`
+	Note  string `json:"note"`
+}
+
+// Manifest round-trip: record some cells, reopen, and find exactly those
+// cells marked done with their payloads intact.
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.manifest")
+	m, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("OpenManifest: %v", err)
+	}
+	for _, i := range []int{0, 2, 5} {
+		if err := m.Record(i, cellPayload{Index: i, Note: "done"}); err != nil {
+			t.Fatalf("Record(%d): %v", i, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m2, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	if m2.CountDone() != 3 {
+		t.Fatalf("CountDone = %d, want 3", m2.CountDone())
+	}
+	for _, i := range []int{0, 2, 5} {
+		raw, ok := m2.Done(i)
+		if !ok {
+			t.Fatalf("cell %d not recorded", i)
+		}
+		if !strings.Contains(string(raw), `"note":"done"`) {
+			t.Fatalf("cell %d payload %s", i, raw)
+		}
+	}
+	if _, ok := m2.Done(1); ok {
+		t.Fatal("cell 1 spuriously recorded")
+	}
+	// Appending after reopen must extend, not clobber.
+	if err := m2.Record(7, cellPayload{Index: 7}); err != nil {
+		t.Fatalf("Record after reopen: %v", err)
+	}
+	m3, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer m3.Close()
+	if m3.CountDone() != 4 {
+		t.Fatalf("CountDone after append = %d, want 4", m3.CountDone())
+	}
+}
+
+// A crash mid-append leaves a truncated final line; reopening must drop
+// exactly that cell and keep everything before it.
+func TestManifestTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.manifest")
+	m, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("OpenManifest: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Record(i, cellPayload{Index: i}); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	m.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("reopen truncated: %v", err)
+	}
+	defer m2.Close()
+	if m2.CountDone() != 2 {
+		t.Fatalf("CountDone = %d, want 2 (cell 2's line was truncated)", m2.CountDone())
+	}
+	if _, ok := m2.Done(2); ok {
+		t.Fatal("truncated cell 2 reported done")
+	}
+	// The next Record must produce a parseable file again.
+	if err := m2.Record(2, cellPayload{Index: 2}); err != nil {
+		t.Fatalf("Record over truncation: %v", err)
+	}
+	m2.Close()
+	m3, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("open after repair: %v", err)
+	}
+	defer m3.Close()
+	if m3.CountDone() != 3 {
+		t.Fatalf("CountDone after repair = %d, want 3", m3.CountDone())
+	}
+}
+
+// A manifest from a different sweep (different key) must be refused.
+func TestManifestKeyMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.manifest")
+	m, err := OpenManifest(path, "key-a")
+	if err != nil {
+		t.Fatalf("OpenManifest: %v", err)
+	}
+	m.Record(0, cellPayload{})
+	m.Close()
+	if _, err := OpenManifest(path, "key-b"); err == nil {
+		t.Fatal("foreign manifest accepted")
+	}
+	if _, err := OpenManifest(filepath.Join(t.TempDir(), "x"), "key"); err != nil {
+		t.Fatalf("fresh manifest in new dir: %v", err)
+	}
+}
+
+// A file that is not a manifest at all must be refused, as must one with
+// corruption before the final line.
+func TestManifestCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	notManifest := filepath.Join(dir, "not.manifest")
+	if err := os.WriteFile(notManifest, []byte("hello\nworld\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenManifest(notManifest, "k"); err == nil {
+		t.Fatal("non-manifest file accepted")
+	}
+
+	path := filepath.Join(dir, "sweep.manifest")
+	m, err := OpenManifest(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(0, cellPayload{})
+	m.Record(1, cellPayload{})
+	m.Close()
+	data, _ := os.ReadFile(path)
+	mid := strings.Replace(string(data), `{"index":0`, `{"index!!0`, 1)
+	if err := os.WriteFile(path, []byte(mid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenManifest(path, "k"); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}

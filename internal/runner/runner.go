@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options tunes one Map call.
@@ -41,6 +43,16 @@ type Options struct {
 	// first failed index. Use it for progress reporting and other ordered
 	// side effects that must match a serial sweep.
 	OnDone func(index int)
+	// CellTimeout bounds each point's wall-clock run time; a point that
+	// exceeds it has its context cancelled and fails with *TimeoutError.
+	// The timeout is per attempt, not amortized over retries. 0 disables.
+	CellTimeout time.Duration
+	// Retries re-runs a failed point up to this many extra times before its
+	// error counts. Points are pure functions of their index, so a retry is
+	// aimed at environmental failures (timeouts, resource exhaustion), not
+	// at nondeterminism — a deterministic failure just fails Retries+1
+	// times. Retrying stops immediately once the sweep is cancelled.
+	Retries int
 }
 
 // Error reports which grid index failed; Unwrap yields the point's error.
@@ -51,6 +63,77 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("point %d: %v", e.Index, e.Err) }
 func (e *Error) Unwrap() error { return e.Err }
+
+// PanicError is a panic captured inside one point's evaluation. The panic is
+// confined to its grid cell — sibling points keep running until the normal
+// first-error-wins shutdown — and the stack is preserved for the report.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// TimeoutError reports a point that exceeded Options.CellTimeout. It
+// deliberately does not unwrap to context.DeadlineExceeded: a timed-out
+// cell is a genuine per-point failure, not cancellation fallout from a
+// sibling, and must win error selection the way any other failure does.
+type TimeoutError struct {
+	Limit time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("timed out after %v", e.Limit)
+}
+
+// invoke runs fn(ctx, index) with panic confinement.
+func invoke[T any](ctx context.Context, index int, fn func(ctx context.Context, index int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, err = zero, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, index)
+}
+
+// callCell evaluates one grid point under the per-cell policy: panic
+// confinement, optional per-attempt timeout, bounded retries. Cancellation
+// of the sweep context stops retrying and surfaces the cancellation so the
+// collector classifies it as fallout, not as the point's own failure.
+func callCell[T any](ctx context.Context, index int, opt Options, fn func(ctx context.Context, index int) (T, error)) (T, error) {
+	var zero T
+	var err error
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return zero, cerr
+		}
+		cellCtx, cancel := ctx, func() {}
+		if opt.CellTimeout > 0 {
+			cellCtx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+		}
+		var v T
+		v, err = invoke(cellCtx, index, fn)
+		timedOut := cellCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil
+		cancel()
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			// The sweep is shutting down: stop retrying, but return the
+			// cell's own error untouched. A genuine failure that races a
+			// sibling's cancellation is still a genuine failure, and the
+			// collector must see it to keep lowest-genuine-index reporting.
+			return zero, err
+		}
+		if timedOut {
+			err = &TimeoutError{Limit: opt.CellTimeout}
+		}
+	}
+	return zero, err
+}
 
 // Map evaluates fn for every index in [0, n) with at most opt.Workers
 // concurrent calls and returns the results in index order. fn must be safe
@@ -105,7 +188,7 @@ func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Con
 					done <- outcome{i, err}
 					continue
 				}
-				v, err := fn(ctx, i)
+				v, err := callCell(ctx, i, opt, fn)
 				if err == nil {
 					out[i] = v
 				}
@@ -162,7 +245,7 @@ func mapSerial[T any](ctx context.Context, out []T, opt Options, fn func(ctx con
 		if err := ctx.Err(); err != nil {
 			return nil, &Error{Index: i, Err: err}
 		}
-		v, err := fn(ctx, i)
+		v, err := callCell(ctx, i, opt, fn)
 		if err != nil {
 			return nil, &Error{Index: i, Err: err}
 		}

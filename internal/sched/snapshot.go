@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+
+	"mediaworm/internal/snapshot"
+)
+
+// Arbiter state encoding. FIFO and Virtual Clock arbiters are stateless;
+// round-robin carries its last-granted VC. Each encoded arbiter is tagged
+// with its Kind so a restore into a differently-configured contention point
+// fails loudly instead of silently mixing disciplines.
+
+// EncodeArbiter writes a's serializable state. Observed wrappers are
+// refused: they exist only under tracing, which is not snapshottable.
+func EncodeArbiter(w *snapshot.Writer, a Arbiter) error {
+	switch ar := a.(type) {
+	case *fifoArbiter:
+		w.U8(uint8(FIFO))
+	case *vcArbiter:
+		w.U8(uint8(VirtualClock))
+	case *rrArbiter:
+		w.U8(uint8(RoundRobin))
+		w.Int(ar.last)
+	default:
+		return &snapshot.NotSnapshottableError{Feature: fmt.Sprintf("arbiter %T", a)}
+	}
+	return nil
+}
+
+// RestoreArbiter overwrites a's state from r, verifying the recorded kind
+// matches the live arbiter.
+func RestoreArbiter(r *snapshot.Reader, a Arbiter) error {
+	kind := Kind(r.U8())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if kind != a.Kind() {
+		return &snapshot.InvariantError{
+			Invariant: "arbiter-kind",
+			Detail:    fmt.Sprintf("snapshot has %v, contention point runs %v", kind, a.Kind()),
+		}
+	}
+	switch ar := a.(type) {
+	case *fifoArbiter, *vcArbiter:
+		// stateless
+	case *rrArbiter:
+		last := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		ar.last = last
+	default:
+		return &snapshot.NotSnapshottableError{Feature: fmt.Sprintf("arbiter %T", a)}
+	}
+	return nil
+}
+
+// EncodeVClock writes the virtual-clock register.
+func EncodeVClock(w *snapshot.Writer, v *VClock) { w.Time(v.aux) }
+
+// RestoreVClock overwrites the virtual-clock register.
+func RestoreVClock(r *snapshot.Reader, v *VClock) { v.aux = r.Time() }

@@ -1,0 +1,91 @@
+package sim
+
+import "fmt"
+
+// Checkpoint support. Callbacks are closures and cannot be serialized, so a
+// snapshot stores only each pending event's calendar key (at, seq); on
+// restore, every component re-arms its own callbacks at those keys via
+// ScheduleRestored, and RestoreClock then moves the clock and sequence
+// counter into place. Because the execution order is the unique (at, seq)
+// total order, the order in which components re-arm is irrelevant — the
+// restored run replays byte-identically.
+
+// SeqCounter returns the next sequence number the engine will assign — the
+// counter a checkpoint must record so RestoreClock can re-establish it.
+func (e *Engine) SeqCounter() uint64 { return e.seq }
+
+// EventKey reports the calendar key of a pending event. ok is false for
+// zero, fired, or cancelled handles.
+func (e *Engine) EventKey(ev Event) (at Time, seq uint64, ok bool) {
+	if ev.e != e || ev.e == nil {
+		return 0, 0, false
+	}
+	s := &e.arena[ev.idx]
+	if s.gen != ev.gen || s.heapIdx < 0 {
+		return 0, 0, false
+	}
+	return s.at, s.seq, true
+}
+
+// ScheduleRestored arms fn at an explicit calendar key, for re-creating a
+// checkpointed event. Unlike At it does not draw a fresh sequence number:
+// the caller supplies the key recorded at checkpoint time. The engine's
+// own counter is bumped past seq so keys can never collide, but restore
+// code must still finish with RestoreClock, which validates the rebuilt
+// calendar as a whole.
+func (e *Engine) ScheduleRestored(at Time, seq uint64, fn func()) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: restoring event at %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: restoring event with nil callback")
+	}
+	i := e.alloc()
+	s := &e.arena[i]
+	s.at, s.seq, s.fn = at, seq, fn
+	if seq >= e.seq {
+		e.seq = seq + 1
+	}
+	e.heapPush(heapEntry{at: at, seq: seq, slot: i})
+	return Event{e: e, idx: i, gen: s.gen}
+}
+
+// RestoreClock completes a restore: it sets the clock, the sequence
+// counter, and the processed-event count, after auditing the rebuilt
+// calendar. Every pending event must be scheduled at or after now, carry a
+// sequence number below the restored counter, and sequence numbers must be
+// unique; the heap-order invariant is re-verified entry by entry. Any
+// violation means the snapshot (or the restore code) is corrupt, and the
+// engine is left untouched.
+func (e *Engine) RestoreClock(now Time, seq, processed uint64) error {
+	if now < 0 {
+		return fmt.Errorf("sim: restored clock %d is negative", now)
+	}
+	seen := make(map[uint64]int, len(e.heap))
+	for i, ent := range e.heap {
+		if ent.at < now {
+			return fmt.Errorf("sim: pending event (at=%d, seq=%d) is before restored clock %d", ent.at, ent.seq, now)
+		}
+		if ent.seq >= seq {
+			return fmt.Errorf("sim: pending event seq %d not below restored counter %d", ent.seq, seq)
+		}
+		if j, dup := seen[ent.seq]; dup {
+			return fmt.Errorf("sim: duplicate event seq %d (heap entries %d and %d)", ent.seq, j, i)
+		}
+		seen[ent.seq] = i
+		s := &e.arena[ent.slot]
+		if s.at != ent.at || s.seq != ent.seq || s.heapIdx != int32(i) {
+			return fmt.Errorf("sim: heap entry %d disagrees with its arena slot", i)
+		}
+		if i > 0 {
+			p := (i - 1) >> 2
+			if entryLess(ent, e.heap[p]) {
+				return fmt.Errorf("sim: heap order violated at entry %d", i)
+			}
+		}
+	}
+	e.now = now
+	e.seq = seq
+	e.processed = processed
+	return nil
+}

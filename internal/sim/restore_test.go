@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Rebuilding a calendar from recorded (at, seq) keys must replay in the
+// same order as the original, regardless of re-arm order.
+func TestScheduleRestoredReplaysOriginalOrder(t *testing.T) {
+	src := NewEngine()
+	var order []int
+	keys := make([][2]int64, 0, 5)
+	for i, at := range []Time{30, 10, 10, 20, 30} {
+		i := i
+		ev := src.At(at, func() { order = append(order, i) })
+		at, seq, ok := src.EventKey(ev)
+		if !ok {
+			t.Fatalf("EventKey not ok for event %d", i)
+		}
+		keys = append(keys, [2]int64{int64(at), int64(seq)})
+	}
+	src.Drain()
+	want := append([]int(nil), order...)
+
+	// Re-arm in a scrambled order on a fresh engine.
+	dst := NewEngine()
+	var got []int
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		i := i
+		k := keys[i]
+		dst.ScheduleRestored(Time(k[0]), uint64(k[1]), func() { got = append(got, i) })
+	}
+	if err := dst.RestoreClock(5, uint64(len(keys)), 7); err != nil {
+		t.Fatalf("RestoreClock: %v", err)
+	}
+	if dst.Now() != 5 || dst.Processed() != 7 {
+		t.Fatalf("clock not restored: now=%d processed=%d", dst.Now(), dst.Processed())
+	}
+	dst.Drain()
+	if len(got) != len(want) {
+		t.Fatalf("replay length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay order %v, want %v", got, want)
+		}
+	}
+}
+
+// New events scheduled after a restore must sort after every restored one
+// at the same instant.
+func TestRestoredSequenceCounterAdvances(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.ScheduleRestored(10, 41, func() { order = append(order, "restored") })
+	if err := e.RestoreClock(10, 42, 42); err != nil {
+		t.Fatalf("RestoreClock: %v", err)
+	}
+	e.At(10, func() { order = append(order, "fresh") })
+	e.Drain()
+	if len(order) != 2 || order[0] != "restored" || order[1] != "fresh" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventKeyStaleHandles(t *testing.T) {
+	e := NewEngine()
+	if _, _, ok := e.EventKey(Event{}); ok {
+		t.Fatal("zero event has a key")
+	}
+	ev := e.At(5, func() {})
+	e.Cancel(ev)
+	if _, _, ok := e.EventKey(ev); ok {
+		t.Fatal("cancelled event has a key")
+	}
+}
+
+func TestRestoreClockAudits(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(e *Engine)
+		now  Time
+		seq  uint64
+		want string
+	}{
+		{
+			name: "event before clock",
+			prep: func(e *Engine) { e.ScheduleRestored(3, 0, func() {}) },
+			now:  10, seq: 1,
+			want: "before restored clock",
+		},
+		{
+			name: "seq not below counter",
+			prep: func(e *Engine) { e.ScheduleRestored(10, 9, func() {}) },
+			now:  5, seq: 9,
+			want: "not below restored counter",
+		},
+		{
+			name: "duplicate seq",
+			prep: func(e *Engine) {
+				e.ScheduleRestored(10, 4, func() {})
+				e.ScheduleRestored(12, 4, func() {})
+			},
+			now: 5, seq: 9,
+			want: "duplicate event seq",
+		},
+		{
+			name: "negative clock",
+			prep: func(e *Engine) {},
+			now:  -1, seq: 0,
+			want: "negative",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine()
+			tc.prep(e)
+			err := e.RestoreClock(tc.now, tc.seq, 0)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"mediaworm/internal/sim"
+)
+
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter()
+	w.Begin(1)
+	w.U8(7)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Int(1234)
+	w.F64(math.Pi)
+	w.F64(math.NaN())
+	w.Bool(true)
+	w.Bool(false)
+	w.Time(5 * sim.Millisecond)
+	w.String("hello")
+	w.Bytes([]byte{1, 2, 3})
+	w.Begin(2)
+	w.Int(2)
+	w.End()
+	w.End()
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildSample(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Begin(1)
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 1234 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsNaN(got) {
+		t.Errorf("F64 NaN = %v", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool true lost")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool false lost")
+	}
+	if got := r.Time(); got != 5*sim.Millisecond {
+		t.Errorf("Time = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	r.Begin(2)
+	if got := r.Int(); got != 2 {
+		t.Errorf("nested Int = %d", got)
+	}
+	r.End()
+	r.End()
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err after round trip: %v", err)
+	}
+}
+
+// Byte-identical output for identical input is the package's core promise.
+func TestDeterministicBytes(t *testing.T) {
+	a, b := buildSample(t), buildSample(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical snapshots differ byte-wise")
+	}
+}
+
+func TestFlippedByteRejected(t *testing.T) {
+	data := buildSample(t)
+	for _, pos := range []int{0, len(magic) + 3, len(data) / 2, len(data) - 1} {
+		mut := bytes.Clone(data)
+		mut[pos] ^= 0x40
+		_, err := NewReader(bytes.NewReader(mut))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("flip at %d: got %v, want CorruptError", pos, err)
+		}
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	data := buildSample(t)
+	for _, n := range []int{0, 4, len(magic) + 1, len(data) - 1} {
+		_, err := NewReader(bytes.NewReader(data[:n]))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("truncate to %d: got %v, want CorruptError", n, err)
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	data := bytes.Clone(buildSample(t))
+	// Patch the version field and re-seal the checksum so only the version
+	// check can fire.
+	binary.LittleEndian.PutUint16(data[len(magic):], Version+1)
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(body, castagnoli))
+	_, err := NewReader(bytes.NewReader(data))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("got %v, want VersionError", err)
+	}
+	if ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+}
+
+func TestSectionMismatchSticky(t *testing.T) {
+	data := buildSample(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Begin(9) // wrong id
+	if r.Err() == nil {
+		t.Fatal("wrong section id accepted")
+	}
+	// Sticky: subsequent reads are inert zero values, first error wins.
+	first := r.Err()
+	_ = r.U64()
+	_ = r.String()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestOverReadWithinSectionFails(t *testing.T) {
+	w := NewWriter()
+	w.Begin(3)
+	w.U8(1)
+	w.End()
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Begin(3)
+	_ = r.U64() // 8 bytes from a 1-byte section
+	if r.Err() == nil {
+		t.Fatal("read past section end accepted")
+	}
+	if !strings.Contains(r.Err().Error(), "truncated") {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestUnderReadSectionFails(t *testing.T) {
+	data := buildSample(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Begin(1)
+	_ = r.U8()
+	r.End() // most of section 1 unread
+	if r.Err() == nil {
+		t.Fatal("End with unread payload accepted")
+	}
+}
+
+func TestUnbalancedFlushFails(t *testing.T) {
+	w := NewWriter()
+	w.Begin(1)
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err == nil {
+		t.Fatal("Flush with open section accepted")
+	}
+}
+
+func TestImplausibleLengthRejected(t *testing.T) {
+	w := NewWriter()
+	w.Begin(1)
+	w.I64(1 << 40) // claims a collection far larger than the file
+	w.End()
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Begin(1)
+	if n := r.Len(); n != 0 || r.Err() == nil {
+		t.Fatalf("Len accepted implausible count: n=%d err=%v", n, r.Err())
+	}
+}

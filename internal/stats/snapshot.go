@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"mediaworm/internal/sim"
+	"mediaworm/internal/snapshot"
+)
+
+// Checkpoint support. Accumulators are tiny, so every field is serialized
+// directly; map-keyed trackers emit entries in key order so the byte stream
+// is deterministic.
+
+// EncodeState writes the accumulator's fields.
+func (w *Welford) EncodeState(sw *snapshot.Writer) {
+	sw.U64(w.n)
+	sw.F64(w.mean)
+	sw.F64(w.m2)
+	sw.F64(w.min)
+	sw.F64(w.max)
+}
+
+// RestoreState overwrites the accumulator's fields.
+func (w *Welford) RestoreState(r *snapshot.Reader) {
+	w.n = r.U64()
+	w.mean = r.F64()
+	w.m2 = r.F64()
+	w.min = r.F64()
+	w.max = r.F64()
+}
+
+// EncodeState writes the tracker's per-stream clocks (in stream order) and
+// the pooled interval accumulator. The warmup bound is configuration, not
+// state, and is rebuilt by the restore path.
+func (it *IntervalTracker) EncodeState(w *snapshot.Writer) {
+	streams := make([]int, 0, len(it.last))
+	for s := range it.last {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	w.Int(len(streams))
+	for _, s := range streams {
+		w.Int(s)
+		w.Time(it.last[s])
+	}
+	it.samples.EncodeState(w)
+}
+
+// RestoreState overwrites the tracker's state.
+func (it *IntervalTracker) RestoreState(r *snapshot.Reader) error {
+	n := r.Len()
+	it.last = make(map[int]sim.Time, n)
+	for i := 0; i < n; i++ {
+		s := r.Int()
+		t := r.Time()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if _, dup := it.last[s]; dup {
+			return &snapshot.InvariantError{
+				Invariant: "interval-tracker",
+				Detail:    fmt.Sprintf("duplicate stream %d", s),
+			}
+		}
+		it.last[s] = t
+	}
+	it.samples.RestoreState(r)
+	return r.Err()
+}
+
+// EncodeState writes the best-effort latency/saturation accumulators.
+func (b *BestEffort) EncodeState(w *snapshot.Writer) {
+	b.latency.EncodeState(w)
+	w.U64(b.injected)
+	w.U64(b.delivered)
+}
+
+// RestoreState overwrites the best-effort accumulators.
+func (b *BestEffort) RestoreState(r *snapshot.Reader) error {
+	b.latency.RestoreState(r)
+	b.injected = r.U64()
+	b.delivered = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if b.delivered > b.injected {
+		return &snapshot.InvariantError{
+			Invariant: "best-effort-counts",
+			Detail:    fmt.Sprintf("delivered %d exceeds injected %d", b.delivered, b.injected),
+		}
+	}
+	return nil
+}
+
+// EncodeState writes the playout tracker's per-stream anchors (in stream
+// order) and miss accumulators.
+func (p *PlayoutTracker) EncodeState(w *snapshot.Writer) {
+	streams := make([]int, 0, len(p.streams))
+	for s := range p.streams {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	w.Int(len(streams))
+	for _, s := range streams {
+		st := p.streams[s]
+		w.Int(s)
+		w.Time(st.anchor)
+		w.Int(st.firstFrame)
+	}
+	w.U64(p.frames)
+	w.U64(p.misses)
+	p.lateness.EncodeState(w)
+}
+
+// RestoreState overwrites the playout tracker's state.
+func (p *PlayoutTracker) RestoreState(r *snapshot.Reader) error {
+	n := r.Len()
+	p.streams = make(map[int]*playoutStream, n)
+	for i := 0; i < n; i++ {
+		s := r.Int()
+		st := &playoutStream{anchor: r.Time(), firstFrame: r.Int()}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if _, dup := p.streams[s]; dup {
+			return &snapshot.InvariantError{
+				Invariant: "playout-tracker",
+				Detail:    fmt.Sprintf("duplicate stream %d", s),
+			}
+		}
+		p.streams[s] = st
+	}
+	p.frames = r.U64()
+	p.misses = r.U64()
+	p.lateness.RestoreState(r)
+	return r.Err()
+}

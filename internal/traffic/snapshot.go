@@ -1,0 +1,348 @@
+package traffic
+
+import (
+	"fmt"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/snapshot"
+)
+
+// Checkpoint support. Generator structure (stream configs, GoP size tables,
+// cadences) is rebuilt from the run configuration; a snapshot carries the
+// mutable state: rng substreams, sizer positions, frame counters, the emit
+// events' calendar keys, and the per-stream pending-injection queues. A
+// restored generator is first disarmed (its setup-time emit events
+// cancelled) and then re-armed at the checkpointed calendar keys.
+
+// Sizer kind tags on the wire.
+const (
+	sizerNormal = iota
+	sizerGoP
+	sizerTrace
+)
+
+func encodeRng(w *snapshot.Writer, src *rng.Source) {
+	st := src.State()
+	for _, v := range st.S {
+		w.U64(v)
+	}
+	w.F64(st.Gauss)
+	w.Bool(st.HasGauss)
+}
+
+func restoreRng(r *snapshot.Reader, src *rng.Source, what string) error {
+	var st rng.State
+	for i := range st.S {
+		st.S[i] = r.U64()
+	}
+	st.Gauss = r.F64()
+	st.HasGauss = r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !src.SetState(st) {
+		return &snapshot.InvariantError{
+			Invariant: "rng-state",
+			Detail:    fmt.Sprintf("%s: all-zero xoshiro state", what),
+		}
+	}
+	return nil
+}
+
+// encodeEvent writes an event handle as (scheduled, at, seq). Stopped or
+// parked generators have no live emit event, so "unscheduled" is a valid
+// state, not an error.
+func encodeEvent(w *snapshot.Writer, eng *sim.Engine, ev sim.Event) {
+	at, seq, ok := eng.EventKey(ev)
+	w.Bool(ok)
+	if ok {
+		w.Time(at)
+		w.U64(seq)
+	}
+}
+
+func (s *Stream) encodeSizer(w *snapshot.Writer) error {
+	switch sz := s.cfg.Sizer.(type) {
+	case *NormalSizer:
+		w.U8(sizerNormal)
+		encodeRng(w, sz.Rand)
+	case *GoPSizer:
+		w.U8(sizerGoP)
+		w.Int(sz.pos)
+		encodeRng(w, sz.rnd)
+	case *TraceSizer:
+		w.U8(sizerTrace)
+		w.Int(sz.pos)
+	default:
+		return &snapshot.NotSnapshottableError{Feature: fmt.Sprintf("frame sizer %T", s.cfg.Sizer)}
+	}
+	return nil
+}
+
+func (s *Stream) restoreSizer(r *snapshot.Reader) error {
+	kind := r.U8()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	mismatch := func(want string) error {
+		return &snapshot.InvariantError{
+			Invariant: "sizer-kind",
+			Detail:    fmt.Sprintf("stream %d: snapshot has %s sizer, rebuilt %T", s.cfg.ID, want, s.cfg.Sizer),
+		}
+	}
+	switch kind {
+	case sizerNormal:
+		sz, ok := s.cfg.Sizer.(*NormalSizer)
+		if !ok {
+			return mismatch("normal")
+		}
+		return restoreRng(r, sz.Rand, fmt.Sprintf("stream %d sizer", s.cfg.ID))
+	case sizerGoP:
+		sz, ok := s.cfg.Sizer.(*GoPSizer)
+		if !ok {
+			return mismatch("GoP")
+		}
+		pos := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if pos < 0 || pos >= len(sz.sizes) {
+			return &snapshot.InvariantError{
+				Invariant: "sizer-phase",
+				Detail:    fmt.Sprintf("stream %d: GoP position %d of %d", s.cfg.ID, pos, len(sz.sizes)),
+			}
+		}
+		sz.pos = pos
+		return restoreRng(r, sz.rnd, fmt.Sprintf("stream %d sizer", s.cfg.ID))
+	case sizerTrace:
+		sz, ok := s.cfg.Sizer.(*TraceSizer)
+		if !ok {
+			return mismatch("trace")
+		}
+		pos := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if pos < 0 || pos >= len(sz.sizes) {
+			return &snapshot.InvariantError{
+				Invariant: "sizer-phase",
+				Detail:    fmt.Sprintf("stream %d: trace position %d of %d", s.cfg.ID, pos, len(sz.sizes)),
+			}
+		}
+		sz.pos = pos
+		return nil
+	default:
+		return &snapshot.InvariantError{
+			Invariant: "sizer-kind",
+			Detail:    fmt.Sprintf("stream %d: unknown sizer tag %d", s.cfg.ID, kind),
+		}
+	}
+}
+
+// Disarm cancels the setup-time emit event so the calendar is empty before a
+// restore re-arms events at their checkpointed keys.
+func (s *Stream) Disarm() {
+	s.eng.Cancel(s.emitEv)
+	s.emitEv = sim.Event{}
+}
+
+// CollectMessages registers the stream's segmented-but-uninjected messages.
+func (s *Stream) CollectMessages(tbl *flit.MsgTable) {
+	for i := range s.pending {
+		tbl.Add(s.pending[i].msg)
+	}
+}
+
+// EncodeState writes the stream's mutable state. Messages must already be
+// collected into tbl.
+func (s *Stream) EncodeState(w *snapshot.Writer, tbl *flit.MsgTable) error {
+	encodeRng(w, s.rnd)
+	if err := s.encodeSizer(w); err != nil {
+		return err
+	}
+	w.Int(s.frame)
+	w.Int(s.FramesInjected)
+	w.Bool(s.revoked)
+	w.Bool(s.parked)
+	encodeEvent(w, s.eng, s.emitEv)
+	w.Int(len(s.pending))
+	for i := range s.pending {
+		p := &s.pending[i]
+		at, seq, ok := s.eng.EventKey(p.ev)
+		if !ok {
+			return &snapshot.InvariantError{
+				Invariant: "pending-injection",
+				Detail:    fmt.Sprintf("stream %d: pending message %d without a live event", s.cfg.ID, p.msg.ID),
+			}
+		}
+		w.U64(tbl.Ref(p.msg))
+		w.Time(at)
+		w.U64(seq)
+	}
+	return tbl.Err()
+}
+
+// RestoreState overwrites the stream's mutable state, re-arming the emit
+// event and the pending injections at their checkpointed calendar keys.
+// Disarm must have been called first.
+func (s *Stream) RestoreState(r *snapshot.Reader, tbl *flit.MsgTable) error {
+	if err := restoreRng(r, s.rnd, fmt.Sprintf("stream %d", s.cfg.ID)); err != nil {
+		return err
+	}
+	if err := s.restoreSizer(r); err != nil {
+		return err
+	}
+	s.frame = r.Int()
+	s.FramesInjected = r.Int()
+	s.revoked = r.Bool()
+	s.parked = r.Bool()
+	if scheduled := r.Bool(); scheduled {
+		at := r.Time()
+		seq := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		s.emitEv = s.eng.ScheduleRestored(at, seq, s.emitFn)
+	}
+	n := r.Len()
+	s.pending = s.pending[:0]
+	var prevAt sim.Time
+	var prevSeq uint64
+	for i := 0; i < n; i++ {
+		m, err := tbl.Get(r.U64())
+		if err != nil {
+			return err
+		}
+		at := r.Time()
+		seq := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if m == nil {
+			return &snapshot.InvariantError{
+				Invariant: "pending-injection",
+				Detail:    fmt.Sprintf("stream %d: nil pending message", s.cfg.ID),
+			}
+		}
+		// The queue pops front-first when its events fire, so the keys must
+		// be strictly increasing in (time, sequence) order.
+		if i > 0 && (at < prevAt || (at == prevAt && seq <= prevSeq)) {
+			return &snapshot.InvariantError{
+				Invariant: "pending-injection",
+				Detail:    fmt.Sprintf("stream %d: pending entry %d out of calendar order", s.cfg.ID, i),
+			}
+		}
+		prevAt, prevSeq = at, seq
+		s.pending = append(s.pending, pendingInject{msg: m, ev: s.eng.ScheduleRestored(at, seq, s.injectFn)})
+	}
+	return r.Err()
+}
+
+// Disarm cancels the setup-time emit event so the calendar is empty before a
+// restore re-arms events at their checkpointed keys.
+func (b *BestEffortSource) Disarm() {
+	b.eng.Cancel(b.emitEv)
+	b.emitEv = sim.Event{}
+}
+
+// EncodeState writes the source's mutable state.
+func (b *BestEffortSource) EncodeState(w *snapshot.Writer) {
+	encodeRng(w, b.rnd)
+	w.U64(b.Injected)
+	encodeEvent(w, b.eng, b.emitEv)
+}
+
+// RestoreState overwrites the source's mutable state, re-arming the emit
+// event at its checkpointed calendar key. Disarm must have been called first.
+func (b *BestEffortSource) RestoreState(r *snapshot.Reader) error {
+	if err := restoreRng(r, b.rnd, fmt.Sprintf("best-effort node %d", b.cfg.Node)); err != nil {
+		return err
+	}
+	b.Injected = r.U64()
+	if scheduled := r.Bool(); scheduled {
+		at := r.Time()
+		seq := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		b.emitEv = b.eng.ScheduleRestored(at, seq, b.emitFn)
+	}
+	return r.Err()
+}
+
+// Disarm cancels every generator's setup-time emit event.
+func (w *Workload) Disarm() {
+	for _, s := range w.Streams {
+		s.Disarm()
+	}
+	for _, b := range w.BESources {
+		b.Disarm()
+	}
+}
+
+// CollectMessages registers every pending (segmented-but-uninjected) message.
+func (w *Workload) CollectMessages(tbl *flit.MsgTable) {
+	for _, s := range w.Streams {
+		s.CollectMessages(tbl)
+	}
+}
+
+// EncodeState writes the workload's mutable state: the shared message-id
+// counter and every generator's state.
+func (w *Workload) EncodeState(sw *snapshot.Writer, tbl *flit.MsgTable) error {
+	sw.U64(w.msgIDs)
+	sw.Int(w.nextStreamID)
+	sw.Int(len(w.Streams))
+	for _, s := range w.Streams {
+		if err := s.EncodeState(sw, tbl); err != nil {
+			return err
+		}
+	}
+	sw.Int(len(w.BESources))
+	for _, b := range w.BESources {
+		b.EncodeState(sw)
+	}
+	return nil
+}
+
+// RestoreState overwrites the workload's mutable state. The workload must
+// have been rebuilt from the same configuration (same generator counts) and
+// disarmed.
+func (w *Workload) RestoreState(r *snapshot.Reader, tbl *flit.MsgTable) error {
+	w.msgIDs = r.U64()
+	nextStreamID := r.Int()
+	nStreams := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nextStreamID != w.nextStreamID || nStreams != len(w.Streams) {
+		return &snapshot.InvariantError{
+			Invariant: "workload-shape",
+			Detail: fmt.Sprintf("snapshot has %d streams (next id %d), rebuilt %d (next id %d)",
+				nStreams, nextStreamID, len(w.Streams), w.nextStreamID),
+		}
+	}
+	for _, s := range w.Streams {
+		if err := s.RestoreState(r, tbl); err != nil {
+			return err
+		}
+	}
+	nBE := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nBE != len(w.BESources) {
+		return &snapshot.InvariantError{
+			Invariant: "workload-shape",
+			Detail:    fmt.Sprintf("snapshot has %d best-effort sources, rebuilt %d", nBE, len(w.BESources)),
+		}
+	}
+	for _, b := range w.BESources {
+		if err := b.RestoreState(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}

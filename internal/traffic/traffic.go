@@ -78,8 +78,21 @@ type Stream struct {
 	revoked bool
 	parked  bool
 
-	emitFn func()    // cached method value so rescheduling does not allocate
-	emitEv sim.Event // live emit event, rearmed in place via Reschedule
+	emitFn   func()    // cached method value so rescheduling does not allocate
+	emitEv   sim.Event // live emit event, rearmed in place via Reschedule
+	injectFn func()    // cached method value shared by every pending injection
+	// pending holds segmented messages whose injection events have not fired
+	// yet, oldest first. Injection events are scheduled in increasing
+	// (time, sequence) order, so they pop front-first; keeping them listed
+	// (instead of captured in per-message closures) is what lets a
+	// checkpoint serialize in-flight frames.
+	pending []pendingInject
+}
+
+// pendingInject is one scheduled-but-not-yet-fired message injection.
+type pendingInject struct {
+	msg *flit.Message
+	ev  sim.Event
 }
 
 // ID returns the stream's identifier.
@@ -120,8 +133,21 @@ func StartStream(eng *sim.Engine, ni *network.NI, cfg StreamConfig, rnd *rng.Sou
 		s.cfg.Sizer = &NormalSizer{Mean: cfg.FrameBytes, SD: cfg.FrameBytesSD, Rand: rnd}
 	}
 	s.emitFn = s.emitFrame
+	s.injectFn = s.injectHead
 	s.emitEv = eng.At(cfg.Start, s.emitFn)
 	return s, nil
+}
+
+// injectHead injects the oldest pending message. Injection events fire in
+// the order they were scheduled, so the front of the queue is always the
+// message whose event is firing.
+func (s *Stream) injectHead() {
+	p := s.pending[0]
+	n := copy(s.pending, s.pending[1:])
+	s.pending[n] = pendingInject{}
+	s.pending = s.pending[:n]
+	p.msg.Injected = s.eng.Now()
+	s.ni.Inject(s.cfg.InVC, p.msg)
 }
 
 // emitFrame draws the frame size, segments it into messages, and schedules
@@ -181,10 +207,7 @@ func (s *Stream) emitFrame() {
 			DstVC:       s.cfg.DstVC,
 		}
 		at := now + sim.Time(k)*spacing
-		s.eng.At(at, func() {
-			m.Injected = s.eng.Now()
-			s.ni.Inject(s.cfg.InVC, m)
-		})
+		s.pending = append(s.pending, pendingInject{msg: m, ev: s.eng.At(at, s.injectFn)})
 	}
 	s.FramesInjected++
 	if s.OnEmit != nil {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"mediaworm/internal/artifact"
 	"mediaworm/internal/experiments"
 )
 
@@ -218,16 +219,12 @@ func WriteChartFiles(dir string, fig *experiments.Figure) ([]string, error) {
 	}
 	var paths []string
 	for _, c := range charts {
+		c := c
 		path := filepath.Join(dir, fig.ID+"-"+c.suffix+".svg")
-		f, err := os.Create(path)
+		err := artifact.WriteFunc(path, 0o644, func(w io.Writer) error {
+			return Chart(fig, c.metric, w)
+		})
 		if err != nil {
-			return nil, err
-		}
-		if err := Chart(fig, c.metric, f); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
 			return nil, err
 		}
 		paths = append(paths, path)

@@ -22,18 +22,12 @@ import (
 	"fmt"
 	"time"
 
-	"mediaworm/internal/core"
-	"mediaworm/internal/fault"
 	"mediaworm/internal/flit"
-	"mediaworm/internal/network"
-	"mediaworm/internal/obs"
 	"mediaworm/internal/pcs"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/sched"
 	"mediaworm/internal/sim"
 	"mediaworm/internal/stats"
-	"mediaworm/internal/topology"
-	"mediaworm/internal/traffic"
 )
 
 func schedKind(p Policy) (sched.Kind, error) {
@@ -60,239 +54,14 @@ func flitClass(c TrafficClass) (flit.Class, error) {
 
 // Run executes one wormhole (MediaWorm or FIFO-baseline) simulation and
 // returns its measurements. Identical configs produce identical results.
+// Run is NewSim followed by Finish; use the Sim API directly for stepwise
+// execution and checkpoint/restore.
 func Run(cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	kind, err := schedKind(cfg.Policy)
+	s, err := NewSim(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	class, err := flitClass(cfg.Class)
-	if err != nil {
-		return Result{}, err
-	}
-
-	eng := sim.NewEngine()
-	// trc is nil unless tracing is enabled; every layer below takes the
-	// nil tracer as "observability off".
-	trc := obs.New(obs.Options{
-		Enabled:         cfg.Trace.Enabled,
-		EventCap:        cfg.Trace.EventCap,
-		MetricsInterval: cfg.Trace.MetricsInterval,
-	})
-	trc.RegisterEngine(eng)
-	rtVCs := traffic.PartitionVCs(cfg.VCs, cfg.RTShare)
-	rcfg := core.Config{
-		Ports:                cfg.Ports,
-		VCs:                  cfg.VCs,
-		RTVCs:                rtVCs,
-		BufferDepth:          cfg.BufferDepth,
-		StageDepth:           cfg.StageDepth,
-		FullCrossbar:         cfg.FullCrossbar,
-		Policy:               kind,
-		Period:               sim.Time(cfg.CyclePeriod().Nanoseconds()),
-		AllocatorIterations:  cfg.AllocatorIterations,
-		ExclusiveEndpointVCs: cfg.ExclusiveEndpointVCs,
-		Tracer:               trc,
-	}
-	var net *topology.Net
-	switch cfg.Topology {
-	case SingleSwitch:
-		net, err = topology.SingleSwitch(eng, rcfg)
-	case FatMesh2x2:
-		net, err = topology.FatMesh2x2(eng, rcfg)
-	case Tetrahedral:
-		net, err = topology.Tetrahedral(eng, rcfg)
-	default:
-		err = fmt.Errorf("mediaworm: unknown topology %q", cfg.Topology)
-	}
-	if err != nil {
-		return Result{}, err
-	}
-	net.Fabric.SetTracer(trc)
-	if cfg.SourcePolicy != "" && cfg.SourcePolicy != cfg.Policy {
-		srcKind, err := schedKind(cfg.SourcePolicy)
-		if err != nil {
-			return Result{}, err
-		}
-		for _, ni := range net.NIs {
-			ni.SetPolicy(srcKind)
-		}
-	}
-
-	warmup := sim.Time(cfg.Warmup.Nanoseconds())
-	stop := warmup + sim.Time(cfg.Measure.Nanoseconds())
-
-	// Fault-injection and resilience wiring (absent when Faults is zero).
-	var (
-		ledger   *stats.FrameLedger
-		retx     *network.Retransmitter
-		injector *fault.Injector
-	)
-	if cfg.Faults.enabled() {
-		fc := cfg.Faults
-		wd := fc.WatchdogCycles
-		if wd == 0 {
-			wd = 50000
-		}
-		if wd > 0 {
-			net.Fabric.SetWatchdog(wd, fc.WatchdogRecover)
-		}
-		if fc.Retransmit {
-			timeout := fc.RetransmitTimeout
-			if timeout == 0 {
-				timeout = 2 * cfg.FrameInterval
-			}
-			attempts := fc.MaxRetransmits
-			if attempts == 0 {
-				attempts = 4
-			}
-			retx = network.NewRetransmitter(net.Fabric,
-				sim.Time(timeout.Nanoseconds()), attempts)
-		}
-		injector = fault.NewInjector(eng, net.Fabric, rng.NewStream(cfg.Seed, "fault"))
-		injector.Tracer = trc
-		if fc.LinkMTBF > 0 {
-			for _, l := range net.TransitLinks() {
-				injector.Churn(fault.Link{
-					A: net.Routers[l.A], APort: l.APort,
-					B: net.Routers[l.B], BPort: l.BPort,
-				}, sim.Time(fc.LinkMTBF.Nanoseconds()), sim.Time(fc.LinkMTTR.Nanoseconds()), stop)
-			}
-		}
-		if fc.FlitCorruptionProb > 0 {
-			injector.CorruptFlits(fc.FlitCorruptionProb)
-		}
-		ledger = stats.NewFrameLedger()
-	}
-
-	intervals := stats.NewIntervalTracker(warmup)
-	be := stats.NewBestEffort(warmup)
-	var playout *stats.PlayoutTracker
-	if cfg.PlayoutBufferFrames > 0 {
-		playout = stats.NewPlayoutTracker(
-			sim.Time(cfg.FrameInterval.Nanoseconds()), cfg.PlayoutBufferFrames, warmup)
-	}
-	for _, s := range net.Sinks {
-		s.OnFrame = func(stream, frame int, at sim.Time) {
-			intervals.Observe(stream, at)
-			if playout != nil {
-				playout.Observe(stream, frame, at)
-			}
-			if ledger != nil {
-				ledger.Delivered(stream)
-			}
-		}
-		s.OnMessage = func(m *flit.Message, at sim.Time) {
-			if m.Class == flit.BestEffort {
-				be.Delivered(m.Injected, at)
-			}
-		}
-	}
-	mix := traffic.MixConfig{
-		Load:           cfg.Load,
-		RTShare:        cfg.RTShare,
-		Class:          class,
-		LinkBitsPerSec: cfg.LinkBandwidthBps,
-		FlitBits:       cfg.FlitBits,
-		MsgFlits:       cfg.MsgFlits,
-		FrameBytes:     cfg.FrameBytes,
-		FrameBytesSD:   cfg.FrameBytesSD,
-		Interval:       sim.Time(cfg.FrameInterval.Nanoseconds()),
-		VCs:            cfg.VCs,
-		RTVCs:          rtVCs,
-		Stop:           stop,
-		Seed:           cfg.Seed,
-		GoP:            cfg.VBRModel == VBRGoP,
-	}
-	w, err := traffic.Apply(eng, net, mix)
-	if err != nil {
-		return Result{}, err
-	}
-	for _, src := range w.BESources {
-		src.OnInject = func(m *flit.Message) { be.Injected(m.Injected) }
-	}
-	if ledger != nil {
-		for _, st := range w.Streams {
-			st.OnEmit = func(stream, frame int) { ledger.Emitted(stream) }
-		}
-	}
-
-	// Run through the measurement window, snapshot the best-effort backlog
-	// (the saturation signal), then let in-flight traffic drain (bounded:
-	// generation stops at stop).
-	eng.Run(stop)
-	injAtStop, delAtStop := be.Counts()
-	eng.Drain()
-	// A watchdog trip without recovery leaves the deadlocked worms' flits
-	// in the fabric by design — the report stands in for the drain check.
-	deadlockStopped := net.Fabric.Deadlock != nil && !cfg.Faults.WatchdogRecover
-	if !deadlockStopped {
-		if err := net.Fabric.CheckDrained(); err != nil {
-			return Result{}, fmt.Errorf("mediaworm: %w", err)
-		}
-	}
-
-	var sunk uint64
-	for _, s := range net.Sinks {
-		sunk += s.FlitsReceived
-	}
-	inj, del := be.Counts()
-	res := Result{
-		MeanDeliveryIntervalMs:   intervals.MeanMs(),
-		StdDevDeliveryIntervalMs: intervals.StdDevMs(),
-		FrameIntervals:           intervals.Intervals().Count(),
-		Streams:                  len(w.Streams),
-		FlitsDelivered:           sunk,
-	}
-	if playout != nil {
-		res.Playout = PlayoutResult{
-			JudgedFrames: playout.Frames(),
-			Misses:       playout.Misses(),
-			MissRate:     playout.MissRate(),
-		}
-		if playout.Misses() > 0 {
-			res.Playout.MeanLatenessMs = playout.MeanLatenessMs()
-		}
-	}
-	if inj > 0 {
-		res.BestEffort = BestEffortResult{
-			MeanLatencyUs: be.MeanLatencyUs(),
-			MaxLatencyUs:  be.Latency().Max(),
-			Injected:      inj,
-			Delivered:     del,
-			Saturated:     saturatedBE(injAtStop, delAtStop),
-		}
-	}
-	if cfg.Faults.enabled() {
-		rr := ResilienceResult{Enabled: true}
-		for _, r := range net.Routers {
-			rr.MessagesKilled += r.Stats().MessagesKilled
-		}
-		rr.FlitsDropped = net.Fabric.DroppedFlits()
-		rr.LinkDowns, rr.LinkUps = injector.LinkDowns, injector.LinkUps
-		if retx != nil {
-			rr.Retransmissions = retx.Retransmissions
-			rr.Recovered = retx.Recovered
-			rr.Abandoned = retx.Abandoned
-		}
-		if ledger != nil {
-			rr.FramesEmitted, rr.FramesDelivered = ledger.Counts()
-			rr.DeliveredFrameRatio = ledger.Ratio()
-		}
-		rr.Deadlocks = net.Fabric.Deadlocks
-		rr.DeadlocksBroken = net.Fabric.DeadlocksBroken
-		if net.Fabric.Deadlock != nil {
-			rr.DeadlockReport = net.Fabric.Deadlock.String()
-		}
-		res.Resilience = rr
-	}
-	if trc.Enabled() {
-		trc.Snapshot(eng.Now())
-		res.Trace = trc.Capture()
-	}
-	return res, nil
+	return s.Finish()
 }
 
 // saturatedBE decides Table 2's "Sat." condition from the backlog at the
