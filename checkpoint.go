@@ -29,22 +29,22 @@ import (
 // to the uninterrupted one. See DESIGN.md §14.
 type Sim struct {
 	cfg Config
-	eng *sim.Engine
-	net *topology.Net
+	eng *sim.Engine   //mw:snapcover — clock serialized scalar-wise in secClock; the calendar re-arms via ScheduleRestored
+	net *topology.Net //mw:snapcover — immutable wiring rebuilt by NewSim; its routers/NIs/sinks serialize in their own sections
 	wl  *traffic.Workload
 
 	intervals *stats.IntervalTracker
 	be        *stats.BestEffort
 	playout   *stats.PlayoutTracker
-	warmup    sim.Time
-	stop      sim.Time
+	warmup    sim.Time //mw:snapcover — derived from cfg by NewSim
+	stop      sim.Time //mw:snapcover — derived from cfg by NewSim
 
 	// Fault/resilience/trace wiring (absent when disabled). Runs using any
 	// of these execute normally but refuse to checkpoint.
-	trc      *obs.Tracer
-	ledger   *stats.FrameLedger
-	retx     *network.Retransmitter
-	injector *fault.Injector
+	trc      *obs.Tracer            //mw:snapcover — checkpointable() refuses traced runs
+	ledger   *stats.FrameLedger     //mw:snapcover — nil when checkpointing: checkpointable() refuses fault-enabled runs
+	retx     *network.Retransmitter //mw:snapcover — nil when checkpointing: checkpointable() refuses fault-enabled runs
+	injector *fault.Injector        //mw:snapcover — nil when checkpointing: checkpointable() refuses fault-enabled runs
 
 	finished bool
 }

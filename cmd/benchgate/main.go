@@ -1,0 +1,144 @@
+// Command benchgate compares a benchmark summary (scripts/bench.sh output)
+// against a committed baseline and fails when allocation or memory numbers
+// regress beyond tolerance. It is the CI allocation-regression gate: the
+// zero-alloc contracts in internal/sim/alloc_test.go pin the engine's
+// steady state exactly, while this gate watches the whole suite — router
+// pipeline and full-run — for order-of-magnitude drift.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_PR5.json -current /tmp/bench.json [flags]
+//
+// A benchmark regresses when
+//
+//	current > baseline*(1+tol) + slack
+//
+// for its allocs/op or bytes/op. The default tolerances absorb the
+// systematic gap between a -benchtime=1x smoke run (warm-up allocations
+// not yet amortized) and the 1s baseline, while still catching per-flit or
+// per-event allocation leaks, which shift the full-run numbers by orders
+// of magnitude. ns/op is compared only when -ns-tol is set: wall-clock
+// noise on shared CI runners would otherwise make the gate flaky.
+//
+// Benchmarks present in the baseline but missing from the current run fail
+// the gate (a silently dropped benchmark is a dropped contract); new
+// benchmarks in the current run pass with a note, and enter the contract
+// when the baseline is next regenerated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type summary struct {
+	Commit     string      `json:"commit"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR5.json", "committed baseline summary")
+		currentPath  = flag.String("current", "", "summary to check (required)")
+		allocsTol    = flag.Float64("allocs-tol", 0.25, "relative allocs/op tolerance")
+		allocsSlack  = flag.Float64("allocs-slack", 8, "absolute allocs/op slack (warm-up headroom)")
+		bytesTol     = flag.Float64("bytes-tol", 0.25, "relative bytes/op tolerance")
+		bytesSlack   = flag.Float64("bytes-slack", 1024, "absolute bytes/op slack (warm-up headroom)")
+		nsTol        = flag.Float64("ns-tol", 0, "relative ns/op tolerance; 0 disables the wall-clock gate")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := read(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := read(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	curByName := make(map[string]benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		curByName[b.Pkg+"."+b.Name] = b
+	}
+	baseNames := make(map[string]bool, len(baseline.Benchmarks))
+
+	failures := 0
+	check := func(name, metric string, base, cur, tol, slack float64) {
+		limit := base*(1+tol) + slack
+		if cur > limit {
+			failures++
+			fmt.Printf("FAIL %s: %s %.4g exceeds limit %.4g (baseline %.4g, tol %.0f%% + %g)\n",
+				name, metric, cur, limit, base, tol*100, slack)
+			return
+		}
+		fmt.Printf("ok   %s: %s %.4g within limit %.4g (baseline %.4g)\n",
+			name, metric, cur, limit, base)
+	}
+
+	for _, base := range baseline.Benchmarks {
+		name := base.Pkg + "." + base.Name
+		baseNames[name] = true
+		cur, ok := curByName[name]
+		if !ok {
+			failures++
+			fmt.Printf("FAIL %s: present in baseline %s but missing from current run\n", name, *baselinePath)
+			continue
+		}
+		check(name, "allocs/op", base.AllocsPerOp, cur.AllocsPerOp, *allocsTol, *allocsSlack)
+		check(name, "bytes/op", base.BytesPerOp, cur.BytesPerOp, *bytesTol, *bytesSlack)
+		if *nsTol > 0 {
+			check(name, "ns/op", base.NsPerOp, cur.NsPerOp, *nsTol, 0)
+		}
+	}
+	for _, cur := range current.Benchmarks {
+		if name := cur.Pkg + "." + cur.Name; !baseNames[name] {
+			fmt.Printf("note %s: not in baseline; regenerate %s to gate it\n", name, *baselinePath)
+		}
+	}
+
+	fmt.Printf("benchgate: %d benchmark(s) gated against %s (%s, %s), %d failure(s)\n",
+		len(baseline.Benchmarks), *baselinePath, baseline.Commit, baseline.Benchtime, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func read(path string) (*summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: %s contains no benchmarks", path)
+	}
+	return &s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

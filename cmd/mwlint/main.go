@@ -1,9 +1,16 @@
-// Command mwlint runs the repository's determinism and exhaustiveness
-// analyzers (internal/analysis) over module packages and reports findings
-// in the familiar file:line:col form. It exits 1 when any finding survives
-// annotation filtering, 2 on load or usage errors — so CI can gate on it:
+// Command mwlint runs the repository's determinism, coverage, and
+// concurrency analyzers (internal/analysis) over module packages in
+// dependency order — analyzer facts flow from imported packages to their
+// importers — and reports findings in the familiar file:line:col form. It
+// exits 1 when any finding survives annotation filtering, 2 on load or
+// usage errors — so CI can gate on it:
 //
 //	go run ./cmd/mwlint ./...
+//
+// -json emits machine-readable diagnostics instead (one object per
+// finding: file/line/col/analyzer/message/suppressed), including the
+// annotation-suppressed findings the text form hides; the exit code still
+// reflects only unsuppressed findings.
 //
 // Patterns are ./... (the whole module, the default), a package directory
 // like ./internal/core, or a full import path. See DESIGN.md,
@@ -12,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +29,22 @@ import (
 	"mediaworm/internal/analysis"
 )
 
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array (suppressed findings included)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mwlint [-list] [-only a,b] [packages]\n\npackages default to ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: mwlint [-list] [-only a,b] [-json] [packages]\n\npackages default to ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,25 +87,42 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	loader := analysis.NewLoader(root)
+	driver := analysis.NewDriver(analysis.NewLoader(root))
+	fset := driver.Loader.Fset()
 	findings := 0
+	var all []jsonDiag
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		diags, err := analysis.RunAnalyzers(suite, pkg)
+		diags, err := driver.Run(suite, []string{path})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
+			pos := fset.Position(d.Pos)
 			rel, err := filepath.Rel(wd, pos.Filename)
 			if err != nil || strings.HasPrefix(rel, "..") {
 				rel = pos.Filename
 			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
-			findings++
+			if *asJSON {
+				all = append(all, jsonDiag{
+					File: rel, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer.Name, Message: d.Message, Suppressed: d.Suppressed,
+				})
+			} else if !d.Suppressed {
+				fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+			}
+			if !d.Suppressed {
+				findings++
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fatalf("%v", err)
 		}
 	}
 	if findings > 0 {

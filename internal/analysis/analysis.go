@@ -39,7 +39,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -71,6 +70,31 @@ type Pass struct {
 	// Report records one finding. The driver may later drop it if the
 	// source line carries a //mw:<name> annotation.
 	Report func(Diagnostic)
+
+	// exportFact/importFact are wired by the Driver; nil under the legacy
+	// single-package RunAnalyzers entry point, where facts are unavailable.
+	exportFact func(types.Object, Fact)
+	importFact func(types.Object, Fact) bool
+}
+
+// ExportObjectFact attaches fact to obj (a package-level declaration of the
+// package under analysis) for consumption when importing packages are
+// analyzed later. Facts cross the package boundary serialized; see Fact.
+// Outside a Driver run this is a no-op.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.exportFact != nil {
+		p.exportFact(obj, fact)
+	}
+}
+
+// ImportObjectFact decodes into fact the datum this same analyzer exported
+// for obj while analyzing the package that declares it, reporting whether
+// such a fact exists. Outside a Driver run it always reports false.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.importFact == nil {
+		return false
+	}
+	return p.importFact(obj, fact)
 }
 
 // Reportf is a convenience wrapper formatting a diagnostic at pos.
@@ -83,11 +107,17 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer *Analyzer // filled in by the driver
+
+	// Suppressed marks a finding on an //mw:<name>-annotated line. The
+	// Driver retains suppressed findings so front-ends can show them and so
+	// the stale-annotation audit can tell a live exception from a dead one;
+	// RunAnalyzers drops them for compatibility.
+	Suppressed bool
 }
 
 // Suite returns the full mwlint analyzer suite in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{DetLint, MapOrder, Exhaustive, SimTime}
+	return []*Analyzer{DetLint, MapOrder, Exhaustive, SimTime, SnapCover, HotPath, SharedState}
 }
 
 // annotationPrefix introduces an intentional-exception comment; the analyzer
@@ -104,14 +134,34 @@ func annotationName(a *Analyzer) string {
 	return a.Name
 }
 
-// suppressedLines returns the set of line numbers in file on which findings
-// of the named annotation are suppressed: every line holding an
-// "//mw:<name>" comment, and the line after it (so an annotation can sit
-// either on the flagged line or immediately above it).
-func suppressedLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+// An annotationSite is one //mw:<name> suppression comment: its position
+// and the line it sits on (it suppresses that line and the next).
+type annotationSite struct {
+	pos  token.Pos
+	line int
+}
+
+// annotationSites returns every //mw:<name> suppression annotation in file.
+// For the hotpath analyzer, annotations inside a function's doc comment are
+// excluded: there the token is the //mw:hotpath root marker (see HotPath),
+// not a suppression, so it neither silences findings nor trips the
+// stale-annotation audit.
+func annotationSites(fset *token.FileSet, file *ast.File, name string) []annotationSite {
 	want := annotationPrefix + name
-	lines := make(map[int]bool)
+	var docGroups map[*ast.CommentGroup]bool
+	if name == "hotpath" {
+		docGroups = make(map[*ast.CommentGroup]bool)
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docGroups[fd.Doc] = true
+			}
+		}
+	}
+	var sites []annotationSite
 	for _, cg := range file.Comments {
+		if docGroups[cg] {
+			continue
+		}
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, "//") {
 				continue
@@ -127,10 +177,21 @@ func suppressedLines(fset *token.FileSet, file *ast.File, name string) map[int]b
 				rest[0] != '-' && !strings.HasPrefix(rest, "—") {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
-			lines[line] = true
-			lines[line+1] = true
+			sites = append(sites, annotationSite{pos: c.Pos(), line: fset.Position(c.Pos()).Line})
 		}
+	}
+	return sites
+}
+
+// suppressedLines returns the set of line numbers in file on which findings
+// of the named annotation are suppressed: every line holding an
+// "//mw:<name>" comment, and the line after it (so an annotation can sit
+// either on the flagged line or immediately above it).
+func suppressedLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, s := range annotationSites(fset, file, name) {
+		lines[s.line] = true
+		lines[s.line+1] = true
 	}
 	return lines
 }
@@ -138,60 +199,25 @@ func suppressedLines(fset *token.FileSet, file *ast.File, name string) map[int]b
 // RunAnalyzers applies each analyzer to the package and returns the
 // surviving diagnostics sorted by position. Test files are excluded from
 // analysis, and diagnostics on annotated lines are dropped.
+//
+// This is the legacy single-package entry point: no facts cross package
+// boundaries and no stale-annotation audit runs. Use a Driver for both.
 func RunAnalyzers(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
-	var files []*ast.File
-	for _, f := range pkg.Files {
-		if strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
-			continue
-		}
-		files = append(files, f)
-	}
-
+	files := analysisFiles(pkg)
 	var out []Diagnostic
 	for _, a := range analyzers {
-		var raw []Diagnostic
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			Report:    func(d Diagnostic) { raw = append(raw, d) },
+		raw, err := runAnalyzer(a, pkg, files, nil)
+		if err != nil {
+			return nil, err
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-		}
-		if len(raw) == 0 {
-			continue
-		}
-		// Drop findings on annotated lines, per file.
-		suppressed := make(map[string]map[int]bool)
-		for _, f := range files {
-			name := pkg.Fset.Position(f.Package).Filename
-			suppressed[name] = suppressedLines(pkg.Fset, f, annotationName(a))
-		}
-		for _, d := range raw {
-			pos := pkg.Fset.Position(d.Pos)
-			if suppressed[pos.Filename][pos.Line] {
+		for _, dg := range filterAndAudit(a, pkg, files, raw, false) {
+			if dg.Suppressed {
 				continue
 			}
-			d.Analyzer = a
-			out = append(out, d)
+			out = append(out, dg)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Column != pj.Column {
-			return pi.Column < pj.Column
-		}
-		return out[i].Analyzer.Name < out[j].Analyzer.Name
-	})
+	sortDiagnostics(pkg.Fset, out)
 	return out, nil
 }
 

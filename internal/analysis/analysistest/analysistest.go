@@ -40,37 +40,62 @@ type want struct {
 var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
 
 // Run loads testdata/src/<fixture> as if its import path were asPath, runs
-// the analyzer over it, and reports any mismatch between produced
-// diagnostics and // want expectations as test failures.
+// the analyzer over it through a fact-carrying Driver, and reports any
+// mismatch between produced diagnostics and // want expectations as test
+// failures. Module packages the fixture imports are analyzed first
+// (facts-only), exactly as the real driver orders them; stale-annotation
+// audit findings participate in matching, so fixtures can pin them.
 func Run(t *testing.T, a *analysis.Analyzer, fixture, asPath string) {
 	t.Helper()
-	dir := filepath.Join(testdataDir(t), "src", filepath.FromSlash(fixture))
+	RunMulti(t, a, []Fixture{{Dir: fixture, Path: asPath}})
+}
 
-	root, err := analysis.FindModuleRoot(dir)
+// A Fixture names one testdata package for RunMulti: the directory under
+// testdata/src and the import path the analyzer should see it under. A
+// fixture that other fixtures import must use its real on-disk import path
+// (mediaworm/internal/analysis/testdata/src/...), so the loader can resolve
+// the import; list it before its importers.
+type Fixture struct {
+	Dir  string
+	Path string
+}
+
+// RunMulti analyzes several fixture packages through one shared Driver and
+// loader, in order. Facts exported while analyzing earlier fixtures (or
+// module dependencies) are visible to later ones — this is the harness for
+// cross-package fact tests.
+func RunMulti(t *testing.T, a *analysis.Analyzer, fixtures []Fixture) {
+	t.Helper()
+	td := testdataDir(t)
+	root, err := analysis.FindModuleRoot(td)
 	if err != nil {
 		t.Fatal(err)
 	}
-	loader := analysis.NewLoader(root)
-	pkg, err := loader.LoadDir(dir, asPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
-	}
-
-	wants := collectWants(t, pkg)
-	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, pkg)
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
-	}
-
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if w := matchWant(wants, pos, d.Message); w == nil {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+	driver := analysis.NewDriver(analysis.NewLoader(root))
+	for _, fx := range fixtures {
+		dir := filepath.Join(td, "src", filepath.FromSlash(fx.Dir))
+		pkg, err := driver.Loader.LoadDir(dir, fx.Path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fx.Dir, err)
 		}
-	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.rx)
+		wants := collectWants(t, pkg)
+		diags, err := driver.RunPackage([]*analysis.Analyzer{a}, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, fx.Dir, err)
+		}
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			pos := pkg.Fset.Position(d.Pos)
+			if w := matchWant(wants, pos, d.Message); w == nil {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.rx)
+			}
 		}
 	}
 }

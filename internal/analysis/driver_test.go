@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// TestStaleAnnotationAudit pins the driver's suppression audit: an
+// //mw:simtime annotation on a line that produces no simtime finding must
+// itself be reported, so exceptions cannot outlive what they justified.
+func TestStaleAnnotationAudit(t *testing.T) {
+	analysistest.Run(t, analysis.SimTime, "stale", "mediaworm/internal/stalefix")
+}
+
+// TestDriverOrderAndMemoization checks the multi-package pass structure:
+// requesting one package analyzes its module dependencies first (so their
+// facts exist when the importer runs), analyzes nothing twice, and the
+// memoized loader does not re-type-check a dependency it already holds.
+func TestDriverOrderAndMemoization(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(root)
+	driver := analysis.NewDriver(loader)
+	const target = "mediaworm/internal/traffic"
+	if _, err := driver.Run([]*analysis.Analyzer{analysis.SnapCover}, []string{target}); err != nil {
+		t.Fatal(err)
+	}
+
+	order := driver.Order()
+	index := make(map[string]int, len(order))
+	for i, path := range order {
+		if j, dup := index[path]; dup {
+			t.Errorf("package %s analyzed twice (positions %d and %d)", path, j, i)
+		}
+		index[path] = i
+	}
+	at, ok := index[target]
+	if !ok {
+		t.Fatalf("requested package %s missing from analysis order %v", target, order)
+	}
+	for _, dep := range []string{
+		"mediaworm/internal/flit",
+		"mediaworm/internal/sim",
+		"mediaworm/internal/rng",
+		"mediaworm/internal/network",
+	} {
+		di, ok := index[dep]
+		if !ok {
+			t.Errorf("dependency %s was never analyzed; facts for its types are missing", dep)
+			continue
+		}
+		if di > at {
+			t.Errorf("dependency %s analyzed after %s (positions %d > %d)", dep, target, di, at)
+		}
+	}
+
+	// The run above type-checked every dependency; asking for one again
+	// must come from the memo, not a fresh type-check.
+	checks := loader.TypeChecks()
+	for i := 0; i < 2; i++ {
+		if _, err := loader.Dependency("mediaworm/internal/sim"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := loader.TypeChecks(); got != checks {
+		t.Errorf("memoized Dependency re-type-checked: %d type-checks before, %d after", checks, got)
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+)
+
+// A Fact is a typed datum an analyzer attaches to a package-level
+// declaration so that the analysis of an importing package can consume it —
+// the cross-package channel that turns per-package syntax checks into
+// whole-module dataflow. The design mirrors golang.org/x/tools/go/analysis
+// facts: a fact type is a pointer to a struct with exported fields, and the
+// same analyzer that exported a fact imports it.
+//
+// Facts cross the package boundary in serialized (gob) form, never as live
+// pointers. That keeps them value-typed — an analyzer cannot accidentally
+// communicate through shared mutable state — and proves each fact type is
+// serializable, which is what a build-cache-backed driver (the real
+// golang.org/x/tools one) would require.
+type Fact interface {
+	// AFact marks the type as a fact. It is never called.
+	AFact()
+}
+
+// factKey identifies one exported fact: facts are namespaced per analyzer,
+// and attached to a declaration via its stable cross-package object key.
+type factKey struct {
+	analyzer string
+	object   string
+}
+
+// A factStore holds the serialized facts exported so far in one driver run.
+type factStore struct {
+	data map[factKey][]byte
+}
+
+func newFactStore() *factStore {
+	return &factStore{data: make(map[factKey][]byte)}
+}
+
+// objectKey returns a stable, cross-package identity for a package-level
+// object: "pkgpath.Name" for functions, types, and variables, and
+// "pkgpath.(Recv).Name" for methods. Objects without a package (builtins)
+// or with non-named receivers have no key.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return obj.Pkg().Path() + ".(" + named.Obj().Name() + ")." + obj.Name(), true
+		}
+	}
+	return obj.Pkg().Path() + "." + obj.Name(), true
+}
+
+// export serializes f and records it for (analyzer, obj), replacing any
+// earlier fact the same analyzer exported for the same object.
+func (s *factStore) export(analyzer string, obj types.Object, f Fact) error {
+	key, ok := objectKey(obj)
+	if !ok {
+		return fmt.Errorf("analysis: no stable key for object %v; facts attach to package-level declarations", obj)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("analysis: encoding %s fact for %s: %w", analyzer, key, err)
+	}
+	s.data[factKey{analyzer, key}] = buf.Bytes()
+	return nil
+}
+
+// load decodes the fact (analyzer, obj) into f, reporting whether one was
+// found. f must be a pointer to the same concrete type that was exported.
+func (s *factStore) load(analyzer string, obj types.Object, f Fact) bool {
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	b, ok := s.data[factKey{analyzer, key}]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(f) == nil
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// roundTripFact is a representative analyzer fact with exported fields, as
+// the gob channel requires.
+type roundTripFact struct {
+	Why  string
+	Hops int
+}
+
+func (*roundTripFact) AFact() {}
+
+// TestFactStoreRoundTrip checks the serialization contract of the fact
+// store: facts survive a gob round trip, are found through a *different*
+// types.Object carrying the same stable key (the situation when a package
+// is type-checked once without tests for the facts pass and again with
+// tests for the requested pass), stay namespaced per analyzer, and are
+// replaced on re-export.
+func TestFactStoreRoundTrip(t *testing.T) {
+	store := newFactStore()
+	pkg := types.NewPackage("mediaworm/internal/example", "example")
+	obj := types.NewVar(token.NoPos, pkg, "Exported", types.Typ[types.Int])
+	if err := store.export("hotpath", obj, &roundTripFact{Why: "append grows", Hops: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	other := types.NewVar(token.NoPos,
+		types.NewPackage("mediaworm/internal/example", "example"),
+		"Exported", types.Typ[types.Int])
+	var got roundTripFact
+	if !store.load("hotpath", other, &got) {
+		t.Fatal("fact not found via an equivalent object from a second type-check")
+	}
+	if got.Why != "append grows" || got.Hops != 2 {
+		t.Errorf("round-tripped fact = %+v, want {append grows 2}", got)
+	}
+
+	if store.load("snapcover", obj, &got) {
+		t.Error("fact leaked across analyzer namespaces")
+	}
+
+	// Re-export replaces. Decode into a fresh value: gob omits zero fields
+	// on the wire, so reusing a populated struct would keep stale fields.
+	if err := store.export("hotpath", obj, &roundTripFact{Why: "updated"}); err != nil {
+		t.Fatal(err)
+	}
+	var fresh roundTripFact
+	if !store.load("hotpath", obj, &fresh) || fresh.Why != "updated" || fresh.Hops != 0 {
+		t.Errorf("re-exported fact = %+v, want {updated 0}", fresh)
+	}
+}
+
+// TestObjectKeyMethods pins the method key format, which must stay stable
+// across type-check instances for facts on methods (EncodeState et al).
+func TestObjectKeyMethods(t *testing.T) {
+	pkg := types.NewPackage("p/q", "q")
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "T", nil),
+		types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "EncodeState", sig)
+	key, ok := objectKey(fn)
+	if !ok || key != "p/q.(T).EncodeState" {
+		t.Errorf("objectKey(method) = %q, %v; want %q, true", key, ok, "p/q.(T).EncodeState")
+	}
+
+	fun := types.NewFunc(token.NoPos, pkg, "Helper",
+		types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	key, ok = objectKey(fun)
+	if !ok || key != "p/q.Helper" {
+		t.Errorf("objectKey(func) = %q, %v; want %q, true", key, ok, "p/q.Helper")
+	}
+
+	if _, ok := objectKey(nil); ok {
+		t.Error("objectKey(nil) reported a stable key")
+	}
+}

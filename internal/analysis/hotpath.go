@@ -1,0 +1,586 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPath guards the zero-allocation engine statically. A function whose
+// doc comment carries the root marker
+//
+//	//mw:hotpath
+//
+// declares a steady-state hot path (the calendar operations, the router
+// pipeline tick, the arbiter picks). HotPath walks the marked functions and
+// everything they transitively call within the module and flags constructs
+// that allocate or may escape: composite literals taken by pointer, slice
+// and map literals, make/new, append without same-function preallocation
+// evidence, interface boxing at call sites, escaping closures, method
+// values, fmt formatting, string concatenation and string<->[]byte
+// conversions, and goroutine launches.
+//
+// Cross-package calls are checked through facts: every analyzed package
+// exports, for each of its functions, whether the function allocates
+// (directly or transitively); a hot caller in an importing package flags
+// the call site. Dynamic calls — interface methods and func values — are
+// skipped: mark the implementations (the arbiter Picks are) rather than
+// the dispatch site.
+//
+// An accepted allocation (amortized warm-up growth, a cold error path) is
+// annotated on its line with
+//
+//	//mw:hotpath — <why this allocation is acceptable>
+//
+// which also excludes it from the function's exported fact, so callers in
+// other packages are not flagged for it; the benchmark gate still bounds
+// such paths dynamically. Arguments to panic are exempt — a panicking hot
+// path is already dead.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating or escaping constructs in //mw:hotpath functions and their callees",
+	Run:  runHotPath,
+}
+
+// allocFact records that a function allocates, with a one-hop explanation
+// chain for the diagnostic at a cross-package call site.
+type allocFact struct {
+	Allocates bool
+	Why       string
+}
+
+func (*allocFact) AFact() {}
+
+const hotMarker = annotationPrefix + "hotpath"
+
+func runHotPath(pass *Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	hp := &hotPass{
+		pass:  pass,
+		funcs: make(map[*types.Func]*hotFunc),
+	}
+	hp.collect()
+	hp.exportFacts()
+	hp.reportHot()
+	return nil
+}
+
+type hotFunc struct {
+	decl     *ast.FuncDecl
+	findings []hotFinding
+	callees  []*types.Func // same-package static callees
+	marked   bool          // carries the //mw:hotpath root marker
+}
+
+type hotFinding struct {
+	pos        token.Pos
+	msg        string
+	suppressed bool // annotated: reported (as suppressed) but not exported
+}
+
+type hotPass struct {
+	pass  *Pass
+	funcs map[*types.Func]*hotFunc
+
+	allocMemo map[*types.Func]*hotFinding // nil entry: does not allocate
+}
+
+// collect indexes every function declaration, then scans each body once.
+// Indexing must finish before any body is scanned: recordCallees keeps only
+// call edges to functions already in hp.funcs, so a single interleaved pass
+// would drop edges to callees declared after their caller.
+func (hp *hotPass) collect() {
+	type scanItem struct {
+		hf         *hotFunc
+		suppressed map[int]bool
+	}
+	var scans []scanItem
+	for _, file := range hp.pass.Files {
+		suppressed := suppressedLines(hp.pass.Fset, file, "hotpath")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := hp.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			hf := &hotFunc{decl: fd, marked: hasHotMarker(fd)}
+			hp.funcs[obj] = hf
+			scans = append(scans, scanItem{hf, suppressed})
+		}
+	}
+	for _, s := range scans {
+		hp.scanBody(s.hf, s.suppressed)
+	}
+}
+
+// hasHotMarker reports whether fd's doc comment carries //mw:hotpath.
+func hasHotMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotMarker || strings.HasPrefix(text, hotMarker+" ") ||
+			strings.HasPrefix(text, hotMarker+"\t") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanBody records fn's allocating constructs and same-package call edges.
+func (hp *hotPass) scanBody(hf *hotFunc, suppressed map[int]bool) {
+	info := hp.pass.TypesInfo
+	body := hf.decl.Body
+
+	// Pre-pass: composite literals that are address-taken, function
+	// literals that are immediately invoked (defer func(){...}() and
+	// friends run inline and do not escape), and expressions used as the
+	// Fun of a call (so method values used only for calling are not
+	// closures).
+	addrOf := make(map[*ast.CompositeLit]bool)
+	invoked := make(map[*ast.FuncLit]bool)
+	callFun := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					addrOf[cl] = true
+				}
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			callFun[fun] = true
+			if lit, ok := fun.(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		}
+		return true
+	})
+
+	flag := func(pos token.Pos, format string, args ...any) {
+		hf.findings = append(hf.findings, hotFinding{
+			pos:        pos,
+			msg:        fmt.Sprintf(format, args...),
+			suppressed: suppressed[hp.pass.Fset.Position(pos).Line],
+		})
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			flag(n.Pos(), "go statement on a hot path: launching a goroutine allocates and forfeits determinism of the tick")
+
+		case *ast.FuncLit:
+			if !invoked[n] {
+				flag(n.Pos(), "function literal escapes: a closure value allocates; hoist it or restructure so the literal is immediately invoked")
+				return false // execution context unknown; don't scan the body
+			}
+
+		case *ast.CompositeLit:
+			tv, ok := info.Types[ast.Expr(n)]
+			if !ok {
+				break
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				flag(n.Pos(), "slice literal allocates on every execution; hoist it to a package variable or reuse a scratch buffer")
+			case *types.Map:
+				flag(n.Pos(), "map literal allocates on every execution; hoist it to a package variable")
+			default:
+				if addrOf[n] {
+					flag(n.Pos(), "composite literal taken by pointer escapes to the heap; reuse a preallocated value instead")
+				}
+			}
+
+		case *ast.CallExpr:
+			return hp.scanCall(hf, n, body, callFun, flag)
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[ast.Expr(n)]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						flag(n.Pos(), "string concatenation allocates; preformat outside the hot path")
+					}
+				}
+			}
+
+		case *ast.SelectorExpr:
+			// A method value (x.M used as a value, not called) allocates a
+			// bound-method closure.
+			if callFun[ast.Expr(n)] {
+				break
+			}
+			if sel := info.Selections[n]; sel != nil && sel.Kind() == types.MethodVal {
+				flag(n.Pos(), "method value allocates a bound-method closure; call it directly or hoist the value")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	hp.recordCallees(hf)
+}
+
+// scanCall handles one call expression; the return value tells ast.Inspect
+// whether to descend into the call's children.
+func (hp *hotPass) scanCall(hf *hotFunc, call *ast.CallExpr, body *ast.BlockStmt, callFun map[ast.Expr]bool, flag func(token.Pos, string, ...any)) bool {
+	info := hp.pass.TypesInfo
+
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			from, okf := info.Types[call.Args[0]]
+			if okf && conversionAllocates(from.Type, tv.Type) {
+				flag(call.Pos(), "conversion between string and byte/rune slice copies and allocates")
+			}
+		}
+		return true
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				// A panicking hot path is already dead; its argument (often
+				// fmt.Sprintf) is exempt.
+				return false
+			case "new":
+				flag(call.Pos(), "new(T) allocates; reuse a preallocated value")
+			case "make":
+				flag(call.Pos(), "make allocates on every execution; hoist the buffer and reuse it")
+			case "append":
+				if len(call.Args) > 0 && !hp.appendEvidence(body, call.Args[0]) {
+					flag(call.Pos(), "append without preallocated-capacity evidence may grow the backing array; reslice to [:0] or make with capacity in this function")
+				}
+			}
+			return true
+		}
+	}
+
+	callee := typeutilCallee(info, call)
+	if callee != nil {
+		hp.checkKnownCallee(hf, call, callee, flag)
+	}
+	hp.checkBoxing(call, callee, flag)
+	return true
+}
+
+// checkKnownCallee flags calls to stdlib allocators and to module functions
+// whose exported fact says they allocate; same-package callees are handled
+// by the hot-closure walk instead.
+func (hp *hotPass) checkKnownCallee(hf *hotFunc, call *ast.CallExpr, callee *types.Func, flag func(token.Pos, string, ...any)) {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	path := pkg.Path()
+	switch {
+	case path == hp.pass.Pkg.Path():
+		return // same package: the closure walk reports at the construct
+	case inModule(path):
+		var fact allocFact
+		if hp.pass.ImportObjectFact(callee, &fact) && fact.Allocates {
+			flag(call.Pos(), "call to %s.%s allocates on a hot path: %s", pkg.Name(), callee.Name(), fact.Why)
+		}
+	case allocStdlib[path] != nil:
+		if why, ok := allocStdlib[path][callee.Name()]; ok {
+			flag(call.Pos(), "call to %s.%s %s", path, callee.Name(), why)
+		}
+	case path == "fmt":
+		flag(call.Pos(), "call to fmt.%s allocates (formatting boxes its operands); hot paths must not format", callee.Name())
+	}
+}
+
+// allocStdlib curates standard-library calls known to allocate. Absence
+// means "assumed clean" — the benchmark gate backs the assumption.
+var allocStdlib = map[string]map[string]string{
+	"errors": {"New": "allocates a new error value"},
+	"sort": {
+		"Slice":       "allocates (boxes the slice and the less closure through reflection)",
+		"SliceStable": "allocates (boxes the slice and the less closure through reflection)",
+		"Sort":        "may allocate via the interface value",
+		"Stable":      "may allocate via the interface value",
+	},
+	"strconv": {
+		"Itoa":        "allocates the result string",
+		"FormatInt":   "allocates the result string",
+		"FormatUint":  "allocates the result string",
+		"FormatFloat": "allocates the result string",
+		"Quote":       "allocates the result string",
+	},
+	"strings": {
+		"Join": "allocates the result string", "Split": "allocates the result slice",
+		"SplitN": "allocates the result slice", "Fields": "allocates the result slice",
+		"Repeat": "allocates the result string", "Replace": "allocates the result string",
+		"ReplaceAll": "allocates the result string", "ToUpper": "allocates the result string",
+		"ToLower": "allocates the result string", "Map": "allocates the result string",
+	},
+}
+
+// checkBoxing flags non-pointer-shaped arguments passed to interface
+// parameters: the conversion boxes the value on the heap.
+func (hp *hotPass) checkBoxing(call *ast.CallExpr, callee *types.Func, flag func(token.Pos, string, ...any)) {
+	// fmt calls are already flagged wholesale; don't double-report per arg.
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		return
+	}
+	tv, ok := hp.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // forwarding a []T... re-uses the slice; no per-arg boxing
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := hp.pass.TypesInfo.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		if boxingAllocates(at.Type) {
+			flag(arg.Pos(), "passing %s to interface parameter boxes the value on the heap; pass a pointer or restructure", at.Type.String())
+		}
+	}
+}
+
+// boxingAllocates reports whether converting a value of type t to an
+// interface heap-allocates: pointer-shaped types (pointers, channels,
+// maps, funcs, unsafe pointers) and interfaces do not.
+func boxingAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// conversionAllocates reports whether a conversion from -> to copies into a
+// fresh allocation (string <-> []byte / []rune).
+func conversionAllocates(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isStr(to))
+}
+
+// appendEvidence reports whether the function shows same-function evidence
+// that target's backing array is preallocated: an assignment of target to a
+// reslice of itself (x = x[:0]) or to a make with explicit capacity.
+func (hp *hotPass) appendEvidence(body *ast.BlockStmt, target ast.Expr) bool {
+	key := exprKey(target)
+	if key == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if exprKey(lhs) != key || i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.SliceExpr:
+				if exprKey(rhs.X) == key {
+					found = true
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "make" && len(rhs.Args) == 3 {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprKey renders an Ident/Selector/Index chain as a comparable string, or
+// "" for expressions outside that grammar.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := exprKey(e.X)
+		idx := exprKey(e.Index)
+		if base == "" {
+			return ""
+		}
+		if idx == "" {
+			idx = "?"
+		}
+		return base + "[" + idx + "]"
+	}
+	return ""
+}
+
+// recordCallees collects fn's same-package static call edges for the hot
+// closure and the allocation summary.
+func (hp *hotPass) recordCallees(hf *hotFunc) {
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := typeutilCallee(hp.pass.TypesInfo, call)
+		if callee == nil || seen[callee] {
+			return true
+		}
+		if _, local := hp.funcs[callee]; local {
+			seen[callee] = true
+			hf.callees = append(hf.callees, callee)
+		}
+		return true
+	})
+}
+
+// allocates returns the finding that makes fn allocating (directly or via a
+// same-package callee), or nil. Cycles resolve optimistically: a cycle with
+// no direct allocation does not allocate.
+func (hp *hotPass) allocates(fn *types.Func, visiting map[*types.Func]bool) *hotFinding {
+	if hp.allocMemo == nil {
+		hp.allocMemo = make(map[*types.Func]*hotFinding)
+	}
+	if f, ok := hp.allocMemo[fn]; ok {
+		return f
+	}
+	if visiting[fn] {
+		return nil
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+
+	hf := hp.funcs[fn]
+	if hf == nil {
+		return nil
+	}
+	for i := range hf.findings {
+		if !hf.findings[i].suppressed {
+			hp.allocMemo[fn] = &hf.findings[i]
+			return &hf.findings[i]
+		}
+	}
+	for _, callee := range hf.callees {
+		if f := hp.allocates(callee, visiting); f != nil {
+			via := &hotFinding{
+				pos: f.pos,
+				msg: fmt.Sprintf("calls %s, which allocates: %s", callee.Name(), f.msg),
+			}
+			hp.allocMemo[fn] = via
+			return via
+		}
+	}
+	hp.allocMemo[fn] = nil
+	return nil
+}
+
+// exportFacts publishes an allocFact for every allocating function, so hot
+// callers in importing packages flag the call site.
+func (hp *hotPass) exportFacts() {
+	for fn := range hp.funcs {
+		if f := hp.allocates(fn, make(map[*types.Func]bool)); f != nil {
+			pos := hp.pass.Fset.Position(f.pos)
+			why := fmt.Sprintf("%s (%s:%d)", f.msg, shortFile(pos.Filename), pos.Line)
+			hp.pass.ExportObjectFact(fn, &allocFact{Allocates: true, Why: why})
+		}
+	}
+}
+
+// reportHot walks the hot closure — marked roots plus same-package callees
+// — and reports every finding inside it, suppressed ones included (the
+// driver marks them).
+func (hp *hotPass) reportHot() {
+	hot := make(map[*types.Func]bool)
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if hot[fn] {
+			return
+		}
+		hot[fn] = true
+		if hf := hp.funcs[fn]; hf != nil {
+			for _, callee := range hf.callees {
+				mark(callee)
+			}
+		}
+	}
+	roots := make([]*types.Func, 0)
+	for fn, hf := range hp.funcs {
+		if hf.marked {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	for _, fn := range roots {
+		mark(fn)
+	}
+	ordered := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		ordered = append(ordered, fn)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, fn := range ordered {
+		for _, f := range hp.funcs[fn].findings {
+			hp.pass.Report(Diagnostic{Pos: f.pos, Message: f.msg})
+		}
+	}
+}
+
+// shortFile trims a path to its final element for fact messages.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

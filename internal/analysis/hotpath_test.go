@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// TestHotPathFixture pins the single-package hotpath semantics: the
+// //mw:hotpath doc marker, transitive same-package callees, the allocating
+// constructs, the reslice-to-zero append sanction, cold functions, and
+// trailing suppressions.
+func TestHotPathFixture(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "hotpath", "mediaworm/internal/hotpathfix")
+}
+
+// TestHotPathFactFlow checks the cross-package alloc fact: dep.Grow's
+// allocation, recorded while analyzing dep, must surface at the hot call
+// site in app, while the allocation-free dep.Peek stays silent.
+func TestHotPathFactFlow(t *testing.T) {
+	analysistest.RunMulti(t, analysis.HotPath, []analysistest.Fixture{
+		{Dir: "hotfacts/dep", Path: "mediaworm/internal/analysis/testdata/src/hotfacts/dep"},
+		{Dir: "hotfacts/app", Path: "mediaworm/internal/analysis/testdata/src/hotfacts/app"},
+	})
+}
+
+// TestHotPathFactFlowImplicitDeps requests only the importer; the driver's
+// dependency pass must supply dep's alloc facts.
+func TestHotPathFactFlowImplicitDeps(t *testing.T) {
+	analysistest.RunMulti(t, analysis.HotPath, []analysistest.Fixture{
+		{Dir: "hotfacts/app", Path: "mediaworm/internal/analysis/testdata/src/hotfacts/app"},
+	})
+}

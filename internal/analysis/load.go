@@ -33,9 +33,11 @@ type Package struct {
 type Loader struct {
 	Root string // module root directory (holds go.mod)
 
-	fset *token.FileSet
-	std  types.Importer
-	pkgs map[string]*types.Package
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*types.Package
+	deps   map[string]*Package
+	checks int
 }
 
 // NewLoader returns a loader for the module rooted at root.
@@ -46,11 +48,17 @@ func NewLoader(root string) *Loader {
 		fset: fset,
 		std:  importer.ForCompiler(fset, "source", nil),
 		pkgs: make(map[string]*types.Package),
+		deps: make(map[string]*Package),
 	}
 }
 
 // Fset returns the file set all loaded packages share.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// TypeChecks reports how many type-check operations this loader has run.
+// Memoization tests assert on it: re-requesting a dependency must not move
+// the counter.
+func (l *Loader) TypeChecks() int { return l.checks }
 
 // Import implements types.Importer so a package under type-check can resolve
 // its dependencies through the same loader.
@@ -84,6 +92,18 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return l.check(path, l.dirFor(path), true)
 }
 
+// Dependency returns the full loaded form — syntax trees included — of the
+// module package with the given import path, excluding its test files. The
+// result is memoized and shared with import resolution, so a dependency
+// that was already pulled in while type-checking another package is not
+// checked again; the Driver leans on this to analyze each dependency once.
+func (l *Loader) Dependency(path string) (*Package, error) {
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	return l.check(path, l.dirFor(path), false)
+}
+
 // LoadDir parses and type-checks the (possibly out-of-module) package in
 // dir, pretending its import path is asPath. Fixture tests use this to
 // place testdata packages at analyzer-relevant paths.
@@ -95,6 +115,7 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 // is true, in-package test files are parsed and type-checked too (external
 // _test packages are skipped — they are separate packages).
 func (l *Loader) check(path, dir string, withTests bool) (*Package, error) {
+	l.checks++
 	names, err := goFileNames(dir, withTests)
 	if err != nil {
 		return nil, err
@@ -141,12 +162,14 @@ func (l *Loader) check(path, dir string, withTests bool) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}
 	if !withTests {
 		// Only dependency loads (never test files) are memoized for import
-		// resolution.
+		// resolution and for the Driver's facts-only dependency passes.
 		l.pkgs[path] = tpkg
+		l.deps[path] = pkg
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+	return pkg, nil
 }
 
 // goFileNames lists dir's Go files in lexical order, skipping test files

@@ -1,0 +1,118 @@
+package analysis_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mediaworm/internal/analysis"
+)
+
+// TestSnapCoverCatchesDroppedEncoderLine is the acceptance check for the
+// snapshot-completeness contract: copy the module source to a scratch
+// tree, delete one real field-encode line from a production snapshot
+// encoder, and snapcover must flag the now-uncovered field. The control
+// run on the unmodified copy must be clean, so the finding is attributable
+// to the mutation alone.
+func TestSnapCoverCatchesDroppedEncoderLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module twice")
+	}
+	scratch := copyModuleSource(t)
+
+	if diags := runSnapCoverOn(t, scratch, "mediaworm/internal/core"); len(diags) != 0 {
+		t.Fatalf("control: unmodified copy produced %d findings; first: %s",
+			len(diags), diags[0])
+	}
+
+	target := filepath.Join(scratch, "internal", "core", "snapshot.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mutation = "w.U64(r.seq)"
+	mutated := strings.Replace(string(src), mutation, "", 1)
+	if mutated == string(src) {
+		t.Fatalf("mutation target %q not found in %s; realign the test with the encoder", mutation, target)
+	}
+	if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runSnapCoverOn(t, scratch, "mediaworm/internal/core")
+	if len(diags) == 0 {
+		t.Fatal("deleting a field-encode line from the router snapshot encoder produced no snapcover finding")
+	}
+	for _, msg := range diags {
+		if strings.Contains(msg, "seq") && strings.Contains(msg, "not written by any snapshot encoder") {
+			return
+		}
+	}
+	t.Fatalf("no finding names the dropped field; got: %s", strings.Join(diags, "; "))
+}
+
+// runSnapCoverOn runs the snapcover analyzer over path inside root with a
+// fresh fact-carrying driver and returns the unsuppressed messages.
+func runSnapCoverOn(t *testing.T, root, path string) []string {
+	t.Helper()
+	driver := analysis.NewDriver(analysis.NewLoader(root))
+	diags, err := driver.Run([]*analysis.Analyzer{analysis.SnapCover}, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		if !d.Suppressed {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	return msgs
+}
+
+// copyModuleSource clones go.mod and every non-test .go file of the module
+// into a temp dir, preserving layout. Fixture trees, VCS metadata, and
+// test files are skipped: the analyzers exempt test files anyway, and the
+// copy only needs to type-check.
+func copyModuleSource(t *testing.T) string {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if rel != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if name := d.Name(); name != "go.mod" &&
+			(!strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go")) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}

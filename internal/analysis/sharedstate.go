@@ -1,0 +1,558 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SharedState flags unsynchronized writes to values reachable from more
+// than one goroutine — preparation for the conservative parallel-DES mode,
+// where router shards run on worker goroutines and any accidental sharing
+// breaks both memory safety and determinism.
+//
+// A function literal is goroutine-shared when it is launched by a go
+// statement or passed as a callback parameter that some function hands to
+// other goroutines (runner.Map's fn is the canonical case). Which
+// parameters those are is itself computed and exported as a fact: a
+// function that references one of its func-typed parameters inside a
+// go-launched literal — or forwards it into such a parameter of another
+// function — exports a sharesFact, and call sites in importing packages
+// treat literal arguments at those positions as goroutine-shared.
+//
+// Inside a shared literal, a write to a captured variable (or through one)
+// is flagged unless it uses a sanctioned idiom:
+//
+//   - per-shard ownership: an element write s[i] = v whose index derives
+//     from the literal's own parameters, an atomic counter claim
+//     (i := int(next.Add(1)) - 1), or a channel receive;
+//   - sync guards: the write sits between mu.Lock() and mu.Unlock() in the
+//     same block, or the written value's type carries its own sync/atomic
+//     field;
+//   - channel hand-off: sends are communication, not shared mutation, and
+//     are never flagged.
+//
+// A deliberate exception is annotated //mw:sharedstate — <why safe>.
+var SharedState = &Analyzer{
+	Name: "sharedstate",
+	Doc:  "flag unsynchronized writes to values reachable from more than one goroutine",
+	Run:  runSharedState,
+}
+
+// sharesFact marks the parameter indices of a function that it hands to
+// other goroutines (directly via go statements or transitively).
+type sharesFact struct {
+	Params []int
+}
+
+func (*sharesFact) AFact() {}
+
+func runSharedState(pass *Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	ss := &sharedPass{
+		pass:   pass,
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		shares: make(map[*types.Func]map[int]bool),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					ss.decls[obj] = fd
+				}
+			}
+		}
+	}
+	ss.computeShares()
+	for fn, idx := range ss.shares {
+		if len(idx) == 0 {
+			continue
+		}
+		f := &sharesFact{}
+		for i := range idx {
+			f.Params = append(f.Params, i)
+		}
+		sort.Ints(f.Params)
+		pass.ExportObjectFact(fn, f)
+	}
+	for _, fn := range ss.sorted() {
+		ss.checkFunc(fn)
+	}
+	return nil
+}
+
+type sharedPass struct {
+	pass   *Pass
+	decls  map[*types.Func]*ast.FuncDecl
+	shares map[*types.Func]map[int]bool
+}
+
+func (ss *sharedPass) sorted() []*types.Func {
+	fns := make([]*types.Func, 0, len(ss.decls))
+	for fn := range ss.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns
+}
+
+// paramIndex returns which parameter of fn the object is, or -1.
+func paramIndex(fn *types.Func, obj types.Object) int {
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedParamIndices answers, for any module function, which parameter
+// positions it shares with other goroutines: locally computed for this
+// package, fact-imported for others.
+func (ss *sharedPass) sharedParamIndices(fn *types.Func) map[int]bool {
+	if fn.Pkg() == ss.pass.Pkg {
+		return ss.shares[fn]
+	}
+	var f sharesFact
+	if !ss.pass.ImportObjectFact(fn, &f) {
+		return nil
+	}
+	out := make(map[int]bool, len(f.Params))
+	for _, i := range f.Params {
+		out[i] = true
+	}
+	return out
+}
+
+// computeShares runs the local fixed point: a parameter is shared if it is
+// referenced inside a go-launched literal of its function, or passed in a
+// shared position of any call (local or imported).
+func (ss *sharedPass) computeShares() {
+	for fn := range ss.decls {
+		ss.shares[fn] = make(map[int]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range ss.decls {
+			for idx := range ss.collectSharedParams(fn, fd) {
+				if !ss.shares[fn][idx] {
+					ss.shares[fn][idx] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (ss *sharedPass) collectSharedParams(fn *types.Func, fd *ast.FuncDecl) map[int]bool {
+	info := ss.pass.TypesInfo
+	out := make(map[int]bool)
+
+	// Parameters referenced inside go-launched literals.
+	for _, lit := range goLaunchedLits(fd.Body) {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				if i := paramIndex(fn, obj); i >= 0 {
+					out[i] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Parameters forwarded into a shared position of another call.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := typeutilCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		sharedAt := ss.sharedParamIndices(callee)
+		for ai, arg := range call.Args {
+			if !sharedAt[ai] {
+				continue
+			}
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if i := paramIndex(fn, obj); i >= 0 {
+						out[i] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// goLaunchedLits returns the function literals body launches directly with
+// a go statement.
+func goLaunchedLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// checkFunc finds fn's goroutine-shared literals and audits their writes.
+func (ss *sharedPass) checkFunc(fn *types.Func) {
+	fd := ss.decls[fn]
+	info := ss.pass.TypesInfo
+
+	var shared []*ast.FuncLit
+	context := make(map[*ast.FuncLit]string)
+	for _, lit := range goLaunchedLits(fd.Body) {
+		shared = append(shared, lit)
+		context[lit] = "go statement"
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := typeutilCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		sharedAt := ss.sharedParamIndices(callee)
+		for ai, arg := range call.Args {
+			if !sharedAt[ai] {
+				continue
+			}
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				shared = append(shared, lit)
+				context[lit] = callee.Name() + " callback"
+			}
+		}
+		return true
+	})
+
+	for _, lit := range shared {
+		ss.checkLiteral(lit, context[lit])
+	}
+}
+
+// checkLiteral audits one goroutine-shared literal for unsynchronized
+// writes to captured state.
+func (ss *sharedPass) checkLiteral(lit *ast.FuncLit, context string) {
+	info := ss.pass.TypesInfo
+	owned := ss.ownedIdents(lit)
+	locked := lockedRanges(lit.Body)
+
+	flagWrite := func(pos token.Pos, target ast.Expr) {
+		root := rootIdent(target)
+		if root == nil {
+			return
+		}
+		obj, ok := info.Uses[root].(*types.Var)
+		if !ok || obj.IsField() {
+			return
+		}
+		// Free variable: declared outside the literal.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return
+		}
+		// Sanctioned: a write into (or into a field of) an element whose
+		// index is owned by this goroutine — aux[i] = v and aux[i].field = v
+		// alike. Walk the lvalue chain down to the indexed access.
+		for e := ast.Unparen(target); ; {
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				e = ast.Unparen(sel.X)
+				continue
+			}
+			if star, ok := e.(*ast.StarExpr); ok {
+				e = ast.Unparen(star.X)
+				continue
+			}
+			idx, ok := e.(*ast.IndexExpr)
+			if !ok {
+				break
+			}
+			if isSliceOrArray(info, idx.X) && ss.indexOwned(idx.Index, lit, owned) {
+				return
+			}
+			e = ast.Unparen(idx.X)
+		}
+		// Sanctioned: between Lock and Unlock in the same block.
+		for _, r := range locked {
+			if pos >= r[0] && pos < r[1] {
+				return
+			}
+		}
+		// Sanctioned: the type synchronizes itself.
+		if typeHasSyncGuard(obj.Type()) {
+			return
+		}
+		ss.pass.Reportf(pos,
+			"write to %q (captured by a goroutine-shared function literal via %s) is unsynchronized; hand the value off on a channel, write a per-shard element, guard with a sync primitive, or annotate //mw:sharedstate — <why safe>",
+			root.Name, context)
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				flagWrite(n.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			flagWrite(n.Pos(), n.X)
+		}
+		return true
+	})
+}
+
+// ownedIdents collects locals of the literal that derive from an atomic
+// counter claim or a channel receive — per-shard index sources.
+func (ss *sharedPass) ownedIdents(lit *ast.FuncLit) map[types.Object]bool {
+	info := ss.pass.TypesInfo
+	owned := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			derived := false
+			for _, rhs := range n.Rhs {
+				if exprDerivesOwnership(info, rhs) {
+					derived = true
+				}
+			}
+			if !derived {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						owned[obj] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for v := range ch — each value is received by one goroutine.
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && n.Key != nil {
+					if id, ok := n.Key.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							owned[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// exprDerivesOwnership reports whether e contains an atomic method call or
+// a channel receive — a value only this goroutine can hold.
+func exprDerivesOwnership(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if selObj := info.Selections[sel]; selObj != nil {
+					if named, ok := derefNamed(selObj.Recv()); ok {
+						if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic" {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// indexOwned reports whether every identifier in an index expression is a
+// parameter of the literal or an ownership-derived local — the per-shard
+// ownership idiom.
+func (ss *sharedPass) indexOwned(index ast.Expr, lit *ast.FuncLit, owned map[types.Object]bool) bool {
+	info := ss.pass.TypesInfo
+	sawIdent, allOwned := false, true
+	litParams := make(map[types.Object]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					litParams[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		sawIdent = true
+		if !owned[obj] && !litParams[obj] {
+			allOwned = false
+		}
+		return true
+	})
+	return sawIdent && allOwned
+}
+
+// lockedRanges returns source ranges of statements bracketed by mu.Lock()
+// ... mu.Unlock() at the same block level.
+func lockedRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	var scan func(b *ast.BlockStmt)
+	scan = func(b *ast.BlockStmt) {
+		var lockPos token.Pos = token.NoPos
+		for _, stmt := range b.List {
+			if isLockCall(stmt, "Lock") || isLockCall(stmt, "RLock") {
+				lockPos = stmt.End()
+				continue
+			}
+			if isLockCall(stmt, "Unlock") || isLockCall(stmt, "RUnlock") {
+				if lockPos.IsValid() {
+					ranges = append(ranges, [2]token.Pos{lockPos, stmt.Pos()})
+					lockPos = token.NoPos
+				}
+				continue
+			}
+			if inner, ok := stmt.(*ast.BlockStmt); ok {
+				scan(inner)
+			}
+		}
+		if lockPos.IsValid() {
+			// Lock with a deferred Unlock: everything to the block end.
+			ranges = append(ranges, [2]token.Pos{lockPos, b.End()})
+		}
+	}
+	scan(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			scan(n.Body)
+		case *ast.ForStmt:
+			scan(n.Body)
+		case *ast.RangeStmt:
+			scan(n.Body)
+		}
+		return true
+	})
+	return ranges
+}
+
+// isLockCall matches a statement of the form x.<method>() for a mutex-like
+// method name.
+func isLockCall(stmt ast.Stmt, method string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == method
+}
+
+// typeHasSyncGuard reports whether t (deref) is a struct carrying its own
+// synchronization — a sync or sync/atomic field.
+func typeHasSyncGuard(t types.Type) bool {
+	named, ok := derefNamed(t)
+	if !ok {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			return typeHasSyncGuard(p.Elem())
+		}
+		return false
+	}
+	if pkg := named.Obj().Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+		return true
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if fn, ok := derefNamed(st.Field(i).Type()); ok {
+			if pkg := fn.Obj().Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// derefNamed unwraps one pointer level and returns the named type, if any.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// rootIdent returns the base identifier of an lvalue chain
+// (x, x.f, x[i].g, *x), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isSliceOrArray reports whether e's type is a slice or array.
+func isSliceOrArray(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// TestSharedStateFixture pins the sharedstate semantics on a golden
+// package: writes from go statements and goroutine-shared callbacks are
+// flagged, while per-shard element writes (including field writes through
+// the owned index) and mutex-bracketed writes are sanctioned.
+func TestSharedStateFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SharedState, "sharedstate", "mediaworm/internal/sharedfix")
+}

@@ -1,0 +1,550 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SnapCover verifies checkpoint completeness: every field of every struct
+// type reachable from a snapshot encoder must be written by that encoder
+// (and read by the matching decoder), so adding a field to Router/NI/stream
+// state without extending the checkpoint format is a build break instead of
+// a silent state-loss bug.
+//
+// An encoder is a module function that takes a *snapshot.Writer parameter
+// or calls snapshot.NewWriter; decoders take a *snapshot.Reader or call
+// snapshot.NewReader. The subjects of a package's encode side are the named
+// struct types of that package among all its encoders' receivers,
+// parameters, and results, plus — transitively — every same-package named
+// struct type reached through a covered field (the decode side is
+// symmetric). A field counts as covered when, anywhere in the side's
+// same-package static call closure, it is selected (x.f), named in a keyed
+// composite literal, or implied by an unkeyed composite literal; a struct
+// passed wholesale to encoding/json Marshal/Unmarshal is covered
+// recursively, the way the JSON codec itself walks it.
+//
+// Cross-package state uses facts: analyzing a package exports a fact for
+// each struct type its encoders reach, and a covered field whose type is a
+// module struct from another package must carry such a fact from its home
+// package — otherwise that state would silently vanish from checkpoints.
+//
+// A field that is deliberately outside the snapshot contract — scratch
+// buffers, wiring rebuilt by the constructor, subsystems the checkpoint
+// gate refuses — is annotated on its declaration line:
+//
+//	//mw:snapcover — <why this field is excluded or rebuilt on restore>
+//
+// Annotated fields are excluded entirely: not required to be covered, not
+// recursed into, not fact-checked.
+var SnapCover = &Analyzer{
+	Name: "snapcover",
+	Doc:  "every field of snapshotted structs must be encoded and decoded, or annotated",
+	Run:  runSnapCover,
+}
+
+// snapCoveredFact marks a named struct type as reached by a snapshot
+// encoder and/or decoder in its home package. Importing packages use it to
+// check that a covered field's foreign type has its own coverage.
+type snapCoveredFact struct {
+	Encode bool
+	Decode bool
+}
+
+func (*snapCoveredFact) AFact() {}
+
+const snapshotPkgPath = ModulePath + "/internal/snapshot"
+
+// snapCoverScoped excludes front-ends (no simulation state) and the
+// snapshot container package itself (its Writer/Reader are the transport,
+// not subjects).
+func snapCoverScoped(path string) bool {
+	if !inModule(path) {
+		return false
+	}
+	if hasPathPrefix(path, ModulePath+"/cmd") || hasPathPrefix(path, ModulePath+"/examples") {
+		return false
+	}
+	return path != snapshotPkgPath
+}
+
+func runSnapCover(pass *Pass) error {
+	if !snapCoverScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	sc := &snapCoverPass{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		reported: make(map[string]bool),
+		reached:  make(map[*types.TypeName]*snapCoveredFact),
+		excluded: make(map[string]bool),
+	}
+	sc.indexFuncs()
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Package).Filename
+		for _, site := range annotationSites(pass.Fset, file, "snapcover") {
+			sc.excluded[fmt.Sprintf("%s:%d", fname, site.line)] = true
+		}
+	}
+	var encoders, decoders []*types.Func
+	for _, fn := range sc.sortedFuncs() {
+		enc, dec := sc.encoderSides(fn)
+		if enc {
+			encoders = append(encoders, fn)
+		}
+		if dec {
+			decoders = append(decoders, fn)
+		}
+	}
+	sc.checkSide(encoders, true)
+	sc.checkSide(decoders, false)
+	// Export one merged fact per reached type, so importing packages can
+	// verify their foreign-typed fields against this package's coverage.
+	for tn, f := range sc.reached {
+		pass.ExportObjectFact(tn, f)
+	}
+	return nil
+}
+
+type snapCoverPass struct {
+	pass     *Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	reported map[string]bool // dedup key: "offset\x00message"
+	reached  map[*types.TypeName]*snapCoveredFact
+	excluded map[string]bool // "file:line" carrying an //mw:snapcover annotation
+}
+
+// fieldExcluded reports whether fld carries an //mw:snapcover annotation:
+// trailing on its own declaration line, or standalone on the line above.
+// A site on the line above that is another field's line is that field's
+// trailing annotation, not this one's — without the distinction, a
+// trailing annotation would bleed onto the next field and silently exclude
+// it too.
+func (sc *snapCoverPass) fieldExcluded(fld *types.Var, fieldLines map[int]bool) bool {
+	pos := sc.pass.Fset.Position(fld.Pos())
+	if sc.excluded[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] {
+		return true
+	}
+	return sc.excluded[fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1)] && !fieldLines[pos.Line-1]
+}
+
+// indexFuncs records every function declaration with a body.
+func (sc *snapCoverPass) indexFuncs() {
+	for _, file := range sc.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := sc.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				sc.decls[obj] = fd
+			}
+		}
+	}
+}
+
+// sortedFuncs returns the package's functions in source order, so
+// diagnostics and fact merging are deterministic.
+func (sc *snapCoverPass) sortedFuncs() []*types.Func {
+	fns := make([]*types.Func, 0, len(sc.decls))
+	for fn := range sc.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns
+}
+
+// encoderSides classifies fn: does it encode to a snapshot, decode from
+// one, or neither? Writer/Reader parameters identify the section encoders;
+// calling snapshot.NewWriter/NewReader identifies top-level entry points
+// like WriteCheckpoint that receive only an io.Writer.
+func (sc *snapCoverPass) encoderSides(fn *types.Func) (enc, dec bool) {
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		switch {
+		case isSnapshotPtr(sig.Params().At(i).Type(), "Writer"):
+			enc = true
+		case isSnapshotPtr(sig.Params().At(i).Type(), "Reader"):
+			dec = true
+		}
+	}
+	if enc || dec {
+		return enc, dec
+	}
+	ast.Inspect(sc.decls[fn].Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := typeutilCallee(sc.pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != snapshotPkgPath {
+			return true
+		}
+		switch callee.Name() {
+		case "NewWriter":
+			enc = true
+		case "NewReader":
+			dec = true
+		}
+		return true
+	})
+	return enc, dec
+}
+
+// isSnapshotPtr reports whether t is *snapshot.<name>.
+func isSnapshotPtr(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == snapshotPkgPath && named.Obj().Name() == name
+}
+
+// typeutilCallee resolves a call's static callee, or nil for dynamic calls.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// closureCoverage is what one encoder's same-package call closure covers.
+type closureCoverage struct {
+	fields    map[*types.TypeName]map[string]bool // covered fields per local struct
+	wholesale map[*types.TypeName]bool            // structs serialized wholesale (JSON)
+}
+
+// checkSide runs the coverage check for one side of the contract over the
+// union of the package's encoders (encode=true) or decoders (encode=false).
+// Sibling encoders routinely split one package's state between them —
+// EncodeFlit writes Message headers while EncodeTable writes the bodies —
+// so a field is covered when any same-side closure covers it.
+func (sc *snapCoverPass) checkSide(fns []*types.Func, encode bool) {
+	if len(fns) == 0 {
+		return
+	}
+	cov := sc.collectCoverage(sc.callClosure(fns))
+	var roots []*types.TypeName
+	rootSeen := make(map[*types.TypeName]bool)
+	for _, fn := range fns {
+		for _, tn := range sc.subjectRoots(fn) {
+			if !rootSeen[tn] {
+				rootSeen[tn] = true
+				roots = append(roots, tn)
+			}
+		}
+	}
+
+	verb, side := "written by any snapshot encoder", "encoder"
+	if !encode {
+		verb, side = "read by any snapshot decoder", "decoder"
+	}
+
+	seen := make(map[*types.TypeName]bool)
+	queue := roots
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		if seen[tn] {
+			continue
+		}
+		seen[tn] = true
+		sc.markReached(tn, encode)
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		whole := cov.wholesale[tn]
+		fieldLines := make(map[int]bool, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fieldLines[sc.pass.Fset.Position(st.Field(i).Pos()).Line] = true
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if sc.fieldExcluded(fld, fieldLines) {
+				// Excluded from the contract: emit the (suppressed) finding
+				// that keeps the annotation from auditing as stale, and stop
+				// — no coverage demand, no recursion, no fact check.
+				sc.report(fld.Pos(),
+					"field %s.%s is excluded from the snapshot contract by annotation",
+					tn.Name(), fld.Name())
+				continue
+			}
+			covered := whole || cov.fields[tn][fld.Name()]
+			if !covered {
+				sc.report(fld.Pos(),
+					"field %s.%s is not %s in this package — extend the checkpoint format or annotate //mw:snapcover — <why excluded>",
+					tn.Name(), fld.Name(), verb)
+				continue
+			}
+			for _, ftn := range namedStructsIn(fld.Type()) {
+				if ftn.Pkg() == sc.pass.Pkg {
+					if whole {
+						cov.wholesale[ftn] = true
+					}
+					queue = append(queue, ftn)
+					continue
+				}
+				if !inModule(ftn.Pkg().Path()) || whole {
+					continue
+				}
+				var fact snapCoveredFact
+				ok := sc.pass.ImportObjectFact(ftn, &fact)
+				if !ok || (encode && !fact.Encode) || (!encode && !fact.Decode) {
+					sc.report(fld.Pos(),
+						"field %s.%s has type %s.%s, which no snapshot %s in its package covers — that state is lost across checkpoint/restore; cover it there or annotate //mw:snapcover — <why excluded>",
+						tn.Name(), fld.Name(), ftn.Pkg().Name(), ftn.Name(), side)
+				}
+			}
+		}
+	}
+}
+
+// markReached merges one side into the per-type fact to be exported.
+func (sc *snapCoverPass) markReached(tn *types.TypeName, encode bool) {
+	f := sc.reached[tn]
+	if f == nil {
+		f = &snapCoveredFact{}
+		sc.reached[tn] = f
+	}
+	if encode {
+		f.Encode = true
+	} else {
+		f.Decode = true
+	}
+}
+
+// subjectRoots returns the named struct types of this package among fn's
+// receiver, parameters, and results — the state the encoder is responsible
+// for. Foreign types are excluded: their own package's encoders carry the
+// obligation (enforced via facts at the field that stores them).
+func (sc *snapCoverPass) subjectRoots(fn *types.Func) []*types.TypeName {
+	sig := fn.Type().(*types.Signature)
+	var roots []*types.TypeName
+	add := func(t types.Type) {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() != sc.pass.Pkg {
+			return
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return
+		}
+		roots = append(roots, named.Obj())
+	}
+	if sig.Recv() != nil {
+		add(sig.Recv().Type())
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		add(sig.Params().At(i).Type())
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		add(sig.Results().At(i).Type())
+	}
+	return roots
+}
+
+// callClosure returns fns plus every same-package function statically
+// reachable from them. Helpers like encodeStats extend their caller's
+// coverage; the closure stops at package boundaries, where facts take over.
+func (sc *snapCoverPass) callClosure(fns []*types.Func) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	seen := map[*types.Func]bool{}
+	stack := append([]*types.Func(nil), fns...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		fd, ok := sc.decls[cur]
+		if !ok {
+			continue
+		}
+		out = append(out, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := typeutilCallee(sc.pass.TypesInfo, call); callee != nil {
+				if _, local := sc.decls[callee]; local && !seen[callee] {
+					stack = append(stack, callee)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectCoverage gathers field coverage across a call closure: selector
+// expressions, composite literals, and wholesale JSON serialization.
+func (sc *snapCoverPass) collectCoverage(closure []*ast.FuncDecl) *closureCoverage {
+	cov := &closureCoverage{
+		fields:    make(map[*types.TypeName]map[string]bool),
+		wholesale: make(map[*types.TypeName]bool),
+	}
+	mark := func(tn *types.TypeName, field string) {
+		if tn.Pkg() != sc.pass.Pkg {
+			return
+		}
+		m := cov.fields[tn]
+		if m == nil {
+			m = make(map[string]bool)
+			cov.fields[tn] = m
+		}
+		m[field] = true
+	}
+	for _, fd := range closure {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := sc.pass.TypesInfo.Selections[n]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				// Walk the selection's index path so promoted fields also
+				// cover the embedded hops they pass through.
+				cur := localNamedStruct(sel.Recv())
+				for _, idx := range sel.Index() {
+					if cur == nil {
+						break
+					}
+					st := cur.Type().Underlying().(*types.Struct)
+					fld := st.Field(idx)
+					mark(cur, fld.Name())
+					cur = localNamedStruct(fld.Type())
+				}
+			case *ast.CompositeLit:
+				tv, ok := sc.pass.TypesInfo.Types[ast.Expr(n)]
+				if !ok {
+					return true
+				}
+				tn := localNamedStruct(tv.Type)
+				if tn == nil || tn.Pkg() != sc.pass.Pkg || len(n.Elts) == 0 {
+					return true
+				}
+				st := tn.Type().Underlying().(*types.Struct)
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); keyed {
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								mark(tn, id.Name)
+							}
+						}
+					}
+				} else {
+					for i := 0; i < st.NumFields(); i++ {
+						mark(tn, st.Field(i).Name())
+					}
+				}
+			case *ast.CallExpr:
+				callee := typeutilCallee(sc.pass.TypesInfo, n)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "encoding/json" {
+					return true
+				}
+				if callee.Name() != "Marshal" && callee.Name() != "Unmarshal" &&
+					callee.Name() != "MarshalIndent" {
+					return true
+				}
+				for _, arg := range n.Args {
+					tv, ok := sc.pass.TypesInfo.Types[arg]
+					if !ok {
+						continue
+					}
+					if tn := localNamedStruct(tv.Type); tn != nil && tn.Pkg() == sc.pass.Pkg {
+						cov.wholesale[tn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return cov
+}
+
+// localNamedStruct unwraps pointers and returns the named struct type
+// behind t, or nil.
+func localNamedStruct(t types.Type) *types.TypeName {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// namedStructsIn collects the named struct types a field of type t stores,
+// looking through pointers, slices, arrays, and map keys/values. Interfaces
+// are skipped: their dynamic types cannot be enumerated statically (the
+// encoders type-switch over them, e.g. sched.EncodeArbiter, and refuse
+// unknown cases at run time).
+func namedStructsIn(t types.Type) []*types.TypeName {
+	var out []*types.TypeName
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type)
+	walk = func(t types.Type) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Pointer:
+			walk(t.Elem())
+		case *types.Slice:
+			walk(t.Elem())
+		case *types.Array:
+			walk(t.Elem())
+		case *types.Map:
+			walk(t.Key())
+			walk(t.Elem())
+		case *types.Named:
+			if t.Obj().Pkg() == nil {
+				return
+			}
+			if _, ok := t.Underlying().(*types.Struct); ok {
+				out = append(out, t.Obj())
+				return
+			}
+			walk(t.Underlying())
+		}
+	}
+	walk(t)
+	return out
+}
+
+// report emits a deduplicated diagnostic: the same field reached through
+// several encoders yields one finding per distinct message.
+func (sc *snapCoverPass) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d\x00%s", pos, msg)
+	if sc.reported[key] {
+		return
+	}
+	sc.reported[key] = true
+	sc.pass.Report(Diagnostic{Pos: pos, Message: msg})
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mediaworm/internal/analysis"
+	"mediaworm/internal/analysis/analysistest"
+)
+
+// TestSnapCoverFixture pins the core snapcover semantics on a golden
+// package: per-side union over sibling encoders, helper-call closures,
+// keyed composite literals, wholesale JSON coverage, and the
+// //mw:snapcover exclusion contract.
+func TestSnapCoverFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SnapCover, "snapcover", "mediaworm/internal/snapcoverfix")
+}
+
+// TestSnapCoverFactFlow runs the exporter fixture before its importer
+// through one shared driver: dep.Covered's fact must suppress a finding on
+// the Good field while the fact-less dep.Uncovered is flagged.
+func TestSnapCoverFactFlow(t *testing.T) {
+	analysistest.RunMulti(t, analysis.SnapCover, []analysistest.Fixture{
+		{Dir: "snapfacts/dep", Path: "mediaworm/internal/analysis/testdata/src/snapfacts/dep"},
+		{Dir: "snapfacts/app", Path: "mediaworm/internal/analysis/testdata/src/snapfacts/app"},
+	})
+}
+
+// TestSnapCoverFactFlowImplicitDeps requests only the importer: the driver
+// must discover the dep fixture through the import graph and analyze it
+// facts-only first, so the expectations still hold.
+func TestSnapCoverFactFlowImplicitDeps(t *testing.T) {
+	analysistest.RunMulti(t, analysis.SnapCover, []analysistest.Fixture{
+		{Dir: "snapfacts/app", Path: "mediaworm/internal/analysis/testdata/src/snapfacts/app"},
+	})
+}

@@ -7,12 +7,12 @@ import (
 	"mediaworm/internal/analysis"
 )
 
-// The suite must register at least the four determinism analyzers, with
-// distinct names (annotation matching is by name).
+// The suite must register the four determinism analyzers plus the three
+// cross-package ones, with distinct names (annotation matching is by name).
 func TestSuiteRegistration(t *testing.T) {
 	suite := analysis.Suite()
-	if len(suite) < 4 {
-		t.Fatalf("suite has %d analyzers, want >= 4", len(suite))
+	if len(suite) < 7 {
+		t.Fatalf("suite has %d analyzers, want >= 7", len(suite))
 	}
 	seen := make(map[string]bool)
 	for _, a := range suite {
@@ -24,7 +24,10 @@ func TestSuiteRegistration(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"detlint", "maporder", "exhaustive", "simtime"} {
+	for _, name := range []string{
+		"detlint", "maporder", "exhaustive", "simtime",
+		"snapcover", "hotpath", "sharedstate",
+	} {
 		if !seen[name] {
 			t.Errorf("suite missing %q", name)
 		}
@@ -49,19 +52,17 @@ func TestModuleTreeIsClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("found only %d packages, discovery is broken: %v", len(paths), paths)
 	}
-	loader := analysis.NewLoader(root)
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
+	driver := analysis.NewDriver(analysis.NewLoader(root))
+	diags, err := driver.Run(analysis.Suite(), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := driver.Loader.Fset()
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
 		}
-		diags, err := analysis.RunAnalyzers(analysis.Suite(), pkg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			t.Errorf("%s: %s: %s", fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column), d.Analyzer.Name, d.Message)
-		}
+		pos := fset.Position(d.Pos)
+		t.Errorf("%s: %s: %s", fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column), d.Analyzer.Name, d.Message)
 	}
 }

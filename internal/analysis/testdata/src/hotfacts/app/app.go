@@ -1,0 +1,14 @@
+// Package app marks a hot function that calls across a package boundary:
+// the callee's alloc fact, exported while analyzing dep, must surface at
+// the call site here.
+package app
+
+import "mediaworm/internal/analysis/testdata/src/hotfacts/dep"
+
+// Pump is hot; dep.Grow allocates per its fact, dep.Peek does not.
+//
+//mw:hotpath
+func Pump(xs []int) int {
+	xs = dep.Grow(xs, 1) // want "call to dep.Grow allocates on a hot path"
+	return dep.Peek(xs)
+}

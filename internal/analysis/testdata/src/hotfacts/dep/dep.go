@@ -1,0 +1,12 @@
+// Package dep exports an allocating helper and an allocation-free one; the
+// hotpath analyzer must export an alloc fact for Grow so importers' hot
+// paths see through the package boundary.
+package dep
+
+// Grow allocates: append without capacity evidence.
+func Grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// Peek is allocation-free.
+func Peek(xs []int) int { return xs[0] }

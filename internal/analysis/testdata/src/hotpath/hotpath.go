@@ -1,0 +1,55 @@
+// Package hotpathfix exercises the hotpath analyzer: //mw:hotpath doc
+// markers, the transitive same-package hot closure, allocating constructs,
+// the reslice-to-zero append sanction, and trailing //mw:hotpath
+// suppressions (distinct from the doc marker).
+package hotpathfix
+
+// Tick is a marked hot root.
+//
+//mw:hotpath
+func Tick(buf []int, m map[int]int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += step(buf, i)
+	}
+	scratch := make([]int, n) // want "make allocates on every execution"
+	_ = scratch
+	go spin() // want "go statement on a hot path"
+	return total + m[0]
+}
+
+func spin() {}
+
+// step is unmarked but hot by virtue of being called from Tick.
+func step(buf []int, i int) int {
+	buf = append(buf, i) // want "append without preallocated-capacity evidence"
+	return buf[len(buf)-1]
+}
+
+// Reset shows the sanctioned append pattern: reslicing the same variable to
+// zero length in the same function is capacity evidence.
+//
+//mw:hotpath
+func Reset(buf []int, n int) []int {
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// Cold allocates freely: it is never reached from a marked root, so none of
+// its constructs are reported.
+func Cold(n int) []int {
+	return make([]int, n)
+}
+
+// Seed documents a deliberate warm-up allocation with a trailing
+// suppression; the driver marks the finding suppressed instead of dropping
+// it, so the annotation never audits as stale.
+//
+//mw:hotpath
+func Seed(n int) []int {
+	buf := make([]int, 0, n) //mw:hotpath — warm-up allocation, amortized across the run
+	return buf
+}

@@ -1,0 +1,72 @@
+// Package sharedfix exercises the sharedstate analyzer: unsynchronized
+// writes to variables captured by goroutine-shared function literals, the
+// per-shard element sanction (including field writes through an owned
+// index), mutex bracketing, and callback-parameter sharing through a local
+// runner-like function.
+package sharedfix
+
+import "sync"
+
+type cell struct {
+	n     int
+	trace string
+}
+
+// forEach hands each index to fn from its own goroutine, like runner.Map:
+// fn is goroutine-shared, and so is every literal passed for it.
+func forEach(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Race writes a captured scalar from a go statement.
+func Race() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++ // want "write to \"n\""
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// Shards writes per-shard elements and their fields through the callback's
+// own index parameter: sanctioned ownership, no findings.
+func Shards(n int) []cell {
+	out := make([]cell, n)
+	forEach(n, func(i int) {
+		out[i] = cell{n: i}
+		out[i].trace = "done"
+	})
+	return out
+}
+
+// Locked brackets the shared write with a mutex: sanctioned.
+func Locked(n int) int {
+	var mu sync.Mutex
+	total := 0
+	forEach(n, func(i int) {
+		mu.Lock()
+		total += i
+		mu.Unlock()
+	})
+	return total
+}
+
+// Tally accumulates into a captured variable from the shared callback
+// without synchronization: flagged, with the callee named in the message.
+func Tally(n int) int {
+	total := 0
+	forEach(n, func(i int) {
+		total += i // want "write to \"total\""
+	})
+	return total
+}

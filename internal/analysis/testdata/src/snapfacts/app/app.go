@@ -1,0 +1,23 @@
+// Package app stores dep types in its own snapshotted state. dep.Covered
+// carries a coverage fact from its home package; dep.Uncovered does not,
+// so the field holding one is reported even though the field itself is
+// written here.
+package app
+
+import (
+	"mediaworm/internal/analysis/testdata/src/snapfacts/dep"
+	"mediaworm/internal/snapshot"
+)
+
+// State is the encoder's root subject.
+type State struct {
+	Good dep.Covered
+	Bad  dep.Uncovered // want "which no snapshot encoder in its package covers"
+}
+
+// EncodeState writes both fields; coverage of the foreign types is dep's
+// responsibility, checked through facts.
+func (s *State) EncodeState(w *snapshot.Writer) {
+	s.Good.EncodeState(w)
+	w.Int(s.Bad.M)
+}

@@ -1,0 +1,23 @@
+// Package dep exports one snapshot-covered type and one uncovered type for
+// the cross-package snapcover fact tests: analyzing this package must
+// export a coverage fact for Covered and none for Uncovered.
+package dep
+
+import "mediaworm/internal/snapshot"
+
+// Covered is serialized by this package on both sides.
+type Covered struct {
+	N int
+}
+
+// Uncovered has no encoder here: an importer storing one in snapshotted
+// state would silently lose it across checkpoint/restore.
+type Uncovered struct {
+	M int
+}
+
+// EncodeState writes a Covered.
+func (c *Covered) EncodeState(w *snapshot.Writer) { w.Int(c.N) }
+
+// RestoreState reads a Covered back.
+func (c *Covered) RestoreState(r *snapshot.Reader) { c.N = r.Int() }

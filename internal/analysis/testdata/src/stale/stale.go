@@ -1,0 +1,10 @@
+// Package stalefix carries an //mw:simtime suppression on a line with no
+// simtime finding: the driver's annotation audit must report it, so an
+// exception cannot outlive whatever it once justified.
+package stalefix
+
+// Elapsed doubles a tick count; nothing here touches wall-clock time, so
+// the trailing suppression suppresses nothing.
+func Elapsed(ticks int) int {
+	return ticks * 2 //mw:simtime — historical exemption // want "stale //mw:simtime annotation"
+}

@@ -146,8 +146,8 @@ type inVC struct {
 
 	// port/vcIdx locate this VC for trace events; blkCause is the cause of
 	// the currently open blocking span (CauseNone = no open span).
-	port, vcIdx int16
-	blkCause    obs.Cause
+	port, vcIdx int16     //mw:snapcover — static trace coordinates, assigned at construction
+	blkCause    obs.Cause //mw:snapcover — open blocking spans are a trace concern; tracing refuses checkpoints
 }
 
 // request is a pending crossbar arbitration request (stage 3).
@@ -178,10 +178,10 @@ type outVC struct {
 
 // outPort is one output physical channel.
 type outPort struct {
-	consumer Consumer
+	consumer Consumer //mw:snapcover — downstream wiring, rebuilt by the topology constructor
 	// endpoint marks ports that attach to an endpoint (NI/sink) rather than
 	// another router; at an endpoint port the message's DstVC is used.
-	endpoint bool
+	endpoint bool //mw:snapcover — static wiring property, set when the port is connected
 	// reqs is the FCFS virtual-channel-allocation queue (stage 3): headers
 	// wait here until an output VC of their class is free. Output VCs are
 	// held at message granularity (wormhole semantics); the crossbar output
@@ -250,32 +250,32 @@ type PortStats struct {
 
 // Router is one MediaWorm switch.
 type Router struct {
-	cfg    Config
-	rtVCs  int // current real-time VC partition size (adjustable)
+	cfg    Config //mw:snapcover — run-immutable config; RestoreSim rebuilds the router from the checkpoint's embedded config and re-validates against it
+	rtVCs  int    // current real-time VC partition size (adjustable)
 	in     []inPort
 	out    []outPort
 	seq    uint64 // arbitration sequence counter
 	stats  Stats
-	fullXb bool
+	fullXb bool //mw:snapcover — derived from cfg at construction
 	// Fault state (see DESIGN.md "Fault model"): per-output-port link
 	// health and injected stalls, per-port fault counters, and the optional
 	// per-flit corruption hook.
 	linkUp    []bool
 	stalled   []bool
 	portStats []PortStats
-	corrupt   func(port int, f flit.Flit) bool
-	routeBuf  []int // scratch for health-filtered routing candidates
+	corrupt   func(port int, f flit.Flit) bool //mw:snapcover — fault-injection hook; fault runs refuse checkpoints
+	routeBuf  []int                            //mw:snapcover — per-cycle scratch for health-filtered routing candidates
 	// cands, claimed, claimedBy and picked are per-cycle scratch buffers,
 	// reused so the hot path does not allocate.
-	cands      []sched.Candidate
-	claimed    []bool
-	claimedBy  []int8
-	picked     []int8
-	feeder     []*inVC
-	feederCand []sched.Candidate
+	cands      []sched.Candidate //mw:snapcover — per-cycle scratch
+	claimed    []bool            //mw:snapcover — per-cycle scratch
+	claimedBy  []int8            //mw:snapcover — per-cycle scratch
+	picked     []int8            //mw:snapcover — per-cycle scratch
+	feeder     []*inVC           //mw:snapcover — per-cycle scratch
+	feederCand []sched.Candidate //mw:snapcover — per-cycle scratch
 	// trc is the observability sink (nil = disabled); now mirrors the
 	// current cycle instant so arbiter observers can stamp their events.
-	trc *obs.Tracer
+	trc *obs.Tracer //mw:snapcover — tracing refuses checkpoints
 	now sim.Time
 }
 
@@ -532,6 +532,8 @@ func (r *Router) Deliver(p, vc int, f flit.Flit) {
 
 // Step advances the router one cycle ending at time now. The fabric calls
 // Step on every router each cycle, then lets NIs inject.
+//
+//mw:hotpath
 func (r *Router) Step(now sim.Time) {
 	r.now = now
 	r.routeAndArbitrate(now)
@@ -590,7 +592,7 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 			in.outPort = out
 			in.phase = vcRequested
 			in.reqSeq = r.seq
-			r.out[out].reqs = append(r.out[out].reqs, request{in: in, vc: v, at: now, seq: r.seq})
+			r.out[out].reqs = append(r.out[out].reqs, request{in: in, vc: v, at: now, seq: r.seq}) //mw:hotpath — queue capacity grows to the per-port working set once, then is recycled by the stage-3 compaction
 			r.seq++
 			r.stats.RequestsQueued++
 		}
@@ -612,7 +614,7 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 			}
 			vc, ok := r.allocOutVC(op, req.in.headMsg)
 			if !ok {
-				kept = append(kept, req)
+				kept = append(kept, req) //mw:hotpath — compacts in place over op.reqs' existing backing array (kept aliases op.reqs[:0])
 				continue
 			}
 			if !op.endpoint || r.cfg.ExclusiveEndpointVCs {
@@ -678,14 +680,13 @@ func (r *Router) liveRoute(msg *flit.Message) []int {
 	if len(cands) == 0 {
 		return nil
 	}
-	live := r.routeBuf[:0]
+	r.routeBuf = r.routeBuf[:0]
 	for _, p := range cands {
 		if r.linkUp[p] {
-			live = append(live, p)
+			r.routeBuf = append(r.routeBuf, p)
 		}
 	}
-	r.routeBuf = live
-	return live
+	return r.routeBuf
 }
 
 // reapInVC removes dead-message state from one input VC: buffered flits of
@@ -777,9 +778,9 @@ func (r *Router) switchTraversal(now sim.Time) {
 	}
 	n := len(r.in)
 	if len(r.claimed) < n {
-		r.claimed = make([]bool, n)
-		r.claimedBy = make([]int8, n)
-		r.picked = make([]int8, n)
+		r.claimed = make([]bool, n)   //mw:hotpath — lazy one-time sizing to the port count; never reallocated after
+		r.claimedBy = make([]int8, n) //mw:hotpath — lazy one-time sizing to the port count; never reallocated after
+		r.picked = make([]int8, n)    //mw:hotpath — lazy one-time sizing to the port count; never reallocated after
 	}
 	claimed := r.claimed
 	for i := range claimed {
@@ -899,8 +900,8 @@ func (r *Router) fullTraversal(now sim.Time) {
 	m := r.cfg.VCs
 	total := len(r.out) * m
 	if len(r.feeder) < total {
-		r.feeder = make([]*inVC, total)
-		r.feederCand = make([]sched.Candidate, total)
+		r.feeder = make([]*inVC, total)               //mw:hotpath — lazy one-time sizing to ports×VCs; never reallocated after
+		r.feederCand = make([]sched.Candidate, total) //mw:hotpath — lazy one-time sizing to ports×VCs; never reallocated after
 	}
 	for i := 0; i < total; i++ {
 		r.feeder[i] = nil

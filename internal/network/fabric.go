@@ -16,23 +16,23 @@ import (
 
 // Fabric is a set of routers, NIs and sinks sharing one clock.
 type Fabric struct {
-	Engine *sim.Engine
-	Period sim.Time
+	Engine *sim.Engine //mw:snapcover — clock serialized by the top-level secClock section
+	Period sim.Time    //mw:snapcover — derived from router config at construction
 
-	Routers []*core.Router
-	NIs     []*NI
-	Sinks   []*Sink
+	Routers []*core.Router //mw:snapcover — serialized element-wise by the secRouters checkpoint section
+	NIs     []*NI          //mw:snapcover — serialized element-wise by the secNIs checkpoint section
+	Sinks   []*Sink        //mw:snapcover — serialized element-wise by the secSinks checkpoint section
 
 	work     int64 // flits currently inside the fabric (NI queues included)
 	tickerOn bool
 	lastTick sim.Time
-	tickFn   func()    // cached method value so rescheduling does not allocate
-	tickEv   sim.Event // live tick event, rearmed in place via Reschedule
+	tickFn   func()    //mw:snapcover — cached method value, recreated at construction
+	tickEv   sim.Event //mw:snapcover — calendar key serialized by EncodeState; re-armed via ScheduleRestored
 
 	// links records router-to-router wiring: output (router, port) → input
 	// (router, port). The watchdog follows it to chain blocked worms across
 	// routers into a wait-for cycle.
-	links map[linkKey]linkKey
+	links map[linkKey]linkKey //mw:snapcover — static wiring, rebuilt by Connect
 
 	// Fault/resilience state. Drops are reconciled against work each cycle:
 	// routers and NIs count reaped flits, and the fabric subtracts the
@@ -42,21 +42,21 @@ type Fabric struct {
 
 	// Watchdog state (SetWatchdog). lastMotion snapshots the fabric-wide
 	// progress counter; idleTicks counts cycles with work but no motion.
-	watchdogLimit   int
-	watchdogRecover bool
-	lastMotion      uint64
-	idleTicks       int
+	watchdogLimit   int    //mw:snapcover — watchdog state; fault runs refuse checkpoints
+	watchdogRecover bool   //mw:snapcover — watchdog state; fault runs refuse checkpoints
+	lastMotion      uint64 //mw:snapcover — watchdog state; fault runs refuse checkpoints
+	idleTicks       int    //mw:snapcover — watchdog state; fault runs refuse checkpoints
 
 	// Deadlock is the first watchdog report (nil if it never tripped);
 	// Deadlocks counts trips, DeadlocksBroken recovery kills.
-	Deadlock        *DeadlockReport
-	Deadlocks       int
-	DeadlocksBroken int
+	Deadlock        *DeadlockReport //mw:snapcover — deadlock reporting; fault runs refuse checkpoints
+	Deadlocks       int             //mw:snapcover — deadlock reporting; fault runs refuse checkpoints
+	DeadlocksBroken int             //mw:snapcover — deadlock reporting; fault runs refuse checkpoints
 	// OnDeadlock, if set, observes every watchdog trip.
-	OnDeadlock func(*DeadlockReport)
+	OnDeadlock func(*DeadlockReport) //mw:snapcover — observer callback, rewired by the embedding run
 
 	// trc is the observability sink (nil = tracing disabled).
-	trc *obs.Tracer
+	trc *obs.Tracer //mw:snapcover — tracing refuses checkpoints
 }
 
 type linkKey struct {

@@ -50,16 +50,16 @@ type niVC struct {
 // router (see DESIGN.md §7: the paper leaves source serialization
 // unspecified; this models the upstream node's stage 5).
 type NI struct {
-	fab    *Fabric
-	router *core.Router
-	port   int
+	fab    *Fabric      //mw:snapcover — static wiring, set by newNI
+	router *core.Router //mw:snapcover — static wiring, set by newNI
+	port   int          //mw:snapcover — static wiring, set by newNI
 	// Node is the endpoint identifier this NI injects for.
-	Node int
+	Node int //mw:snapcover — endpoint identity, set by newNI
 	vcs  []niVC
 	arb  sched.Arbiter
 	// cands is the arbitration scratch buffer, reused every cycle so the
 	// hot path does not allocate.
-	cands []sched.Candidate
+	cands []sched.Candidate //mw:snapcover — per-cycle scratch
 
 	// Stalls counts cycles where messages were queued but no flit could be
 	// sent because every backlogged VC lacked router credit (link waste —
@@ -75,12 +75,12 @@ type NI struct {
 	RTFlits, BEFlits uint64
 
 	// retx, if set, tracks injected messages for end-to-end retransmission.
-	retx *Retransmitter
+	retx *Retransmitter //mw:snapcover — nil when checkpointing: fault runs refuse checkpoints
 
 	// trc is the observability sink (nil = disabled); blocked tracks the
 	// open no-credit blocking span on the injection link.
-	trc     *obs.Tracer
-	blocked bool
+	trc     *obs.Tracer //mw:snapcover — tracing refuses checkpoints
+	blocked bool        //mw:snapcover — open blocking span; tracing refuses checkpoints
 }
 
 func newNI(f *Fabric, r *core.Router, port, node int) *NI {

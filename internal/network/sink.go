@@ -11,24 +11,24 @@ import (
 // model), reassembles frames, and reports deliveries to the measurement
 // layer.
 type Sink struct {
-	fab *Fabric
+	fab *Fabric //mw:snapcover — static wiring, set at construction
 	// Node is the endpoint identifier.
-	Node int
+	Node int //mw:snapcover — endpoint identity, set at construction
 	// router/port locate the output port feeding this sink, for tracing.
-	router, port int
+	router, port int //mw:snapcover — static trace coordinates, set at construction
 	// frames maps (stream, frame) to the number of messages still missing.
 	frames map[uint64]int
 
 	// retx, if set, is acknowledged on every tail arrival so the
 	// retransmission layer can cancel the message's timeout.
-	retx *Retransmitter
+	retx *Retransmitter //mw:snapcover — nil when checkpointing: fault runs refuse checkpoints
 
 	// OnFrame, if set, is called when the last flit of a frame's last
 	// outstanding message arrives: the paper's frame delivery instant.
-	OnFrame func(stream, frame int, t sim.Time)
+	OnFrame func(stream, frame int, t sim.Time) //mw:snapcover — observer callback, rewired by NewSim on restore
 	// OnMessage, if set, is called on every completed message (tail
 	// arrival), real-time and best-effort alike.
-	OnMessage func(m *flit.Message, t sim.Time)
+	OnMessage func(m *flit.Message, t sim.Time) //mw:snapcover — observer callback, rewired by NewSim on restore
 
 	// FlitsReceived counts all flits consumed.
 	FlitsReceived uint64

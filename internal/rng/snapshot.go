@@ -1,5 +1,7 @@
 package rng
 
+import "mediaworm/internal/snapshot"
+
 // State is a Source's complete serializable state: the xoshiro256** words
 // plus the cached Box–Muller variate. The cache matters for determinism —
 // dropping it would shift every subsequent Normal draw by one variate.
@@ -25,4 +27,36 @@ func (r *Source) SetState(st State) bool {
 	r.gauss = st.Gauss
 	r.hasGauss = st.HasGauss
 	return true
+}
+
+// EncodeState writes the source's complete state — the four xoshiro words
+// then the Box–Muller cache — in the fixed wire order checkpoints rely on.
+func (r *Source) EncodeState(w *snapshot.Writer) {
+	st := r.State()
+	for _, v := range st.S {
+		w.U64(v)
+	}
+	w.F64(st.Gauss)
+	w.Bool(st.HasGauss)
+}
+
+// RestoreState reads the wire form EncodeState writes and overwrites the
+// source, rejecting the unreachable all-zero xoshiro state as corrupt.
+func (r *Source) RestoreState(rd *snapshot.Reader) error {
+	var st State
+	for i := range st.S {
+		st.S[i] = rd.U64()
+	}
+	st.Gauss = rd.F64()
+	st.HasGauss = rd.Bool()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if !r.SetState(st) {
+		return &snapshot.InvariantError{
+			Invariant: "rng-state",
+			Detail:    "all-zero xoshiro state",
+		}
+	}
+	return nil
 }

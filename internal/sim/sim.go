@@ -141,7 +141,7 @@ func (e *Engine) alloc() int32 {
 		e.freeHead = e.arena[i].next
 		return i
 	}
-	e.arena = append(e.arena, eventSlot{gen: 1})
+	e.arena = append(e.arena, eventSlot{gen: 1}) //mw:hotpath — arena growth on an empty free list; the steady state recycles slots without allocating (alloc_test.go)
 	return int32(len(e.arena) - 1)
 }
 
@@ -160,6 +160,8 @@ func (e *Engine) release(i int32) {
 // At schedules fn to run at the absolute time at. Events scheduled for the
 // same instant run in scheduling order. Scheduling in the past panics: it is
 // always a model bug and silently reordering time would corrupt results.
+//
+//mw:hotpath
 func (e *Engine) At(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
@@ -173,12 +175,16 @@ func (e *Engine) At(at Time, fn func()) Event {
 }
 
 // After schedules fn to run delay nanoseconds from now.
+//
+//mw:hotpath
 func (e *Engine) After(delay Time, fn func()) Event {
 	return e.At(e.now+delay, fn)
 }
 
 // Cancel removes a pending event. Cancelling a fired, already-cancelled or
 // zero event is a no-op.
+//
+//mw:hotpath
 func (e *Engine) Cancel(ev Event) {
 	if ev.e != e || ev.e == nil {
 		return
@@ -200,6 +206,8 @@ func (e *Engine) Cancel(ev Event) {
 // Rescheduling a completed, cancelled or zero event panics: the slot may
 // already belong to someone else, and silently scheduling a stale callback
 // would corrupt the model. Use At to arm a fresh event after a gap.
+//
+//mw:hotpath
 func (e *Engine) Reschedule(ev Event, at Time) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: rescheduling at %d before now %d", at, e.now))
@@ -247,6 +255,8 @@ func (e *Engine) fire(root heapEntry) {
 // exceed horizon, or until Stop is called. It returns the time of the last
 // executed event (or the current time if none ran). The clock is left at
 // min(next event time, horizon) ≤ horizon.
+//
+//mw:hotpath
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
@@ -324,7 +334,7 @@ func (e *Engine) RunUntilIdle(horizon Time, idleLimit uint64) (Time, error) {
 
 // heapPush appends an entry and sifts it up.
 func (e *Engine) heapPush(ent heapEntry) {
-	e.heap = append(e.heap, ent)
+	e.heap = append(e.heap, ent) //mw:hotpath — calendar growth to the pending working set; capacity is retained across pops
 	e.siftUp(len(e.heap) - 1)
 }
 

@@ -10,9 +10,9 @@ import "mediaworm/internal/sim"
 // Per stream, playout is anchored at the first observed frame's delivery:
 // frame k's deadline is firstDelivery + (B + k − k₀)·interval.
 type PlayoutTracker struct {
-	interval sim.Time
-	buffer   int
-	warmup   sim.Time
+	interval sim.Time //mw:snapcover — constructor input, re-derived from the embedded config on restore
+	buffer   int      //mw:snapcover — constructor input, re-derived from the embedded config on restore
+	warmup   sim.Time //mw:snapcover — constructor input, re-derived from the embedded config on restore
 	streams  map[int]*playoutStream
 
 	frames uint64

@@ -218,7 +218,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 // successive frames of the same stream at its destination.
 type IntervalTracker struct {
 	last    map[int]sim.Time // stream -> last delivery instant
-	warmup  sim.Time
+	warmup  sim.Time         //mw:snapcover — constructor input, re-derived from the embedded config on restore
 	samples Welford
 }
 
@@ -256,7 +256,7 @@ func (it *IntervalTracker) Streams() int { return len(it.last) }
 // injected/delivered counts that drive saturation detection (Table 2's
 // "Sat." entries). Latency samples before warmup are discarded.
 type BestEffort struct {
-	warmup    sim.Time
+	warmup    sim.Time //mw:snapcover — constructor input, re-derived from the embedded config on restore
 	latency   Welford
 	injected  uint64
 	delivered uint64

@@ -24,29 +24,12 @@ const (
 )
 
 func encodeRng(w *snapshot.Writer, src *rng.Source) {
-	st := src.State()
-	for _, v := range st.S {
-		w.U64(v)
-	}
-	w.F64(st.Gauss)
-	w.Bool(st.HasGauss)
+	src.EncodeState(w)
 }
 
 func restoreRng(r *snapshot.Reader, src *rng.Source, what string) error {
-	var st rng.State
-	for i := range st.S {
-		st.S[i] = r.U64()
-	}
-	st.Gauss = r.F64()
-	st.HasGauss = r.Bool()
-	if err := r.Err(); err != nil {
-		return err
-	}
-	if !src.SetState(st) {
-		return &snapshot.InvariantError{
-			Invariant: "rng-state",
-			Detail:    fmt.Sprintf("%s: all-zero xoshiro state", what),
-		}
+	if err := src.RestoreState(r); err != nil {
+		return fmt.Errorf("%s: %w", what, err)
 	}
 	return nil
 }

@@ -58,11 +58,11 @@ func (c *StreamConfig) NominalBitsPerSec() float64 {
 
 // Stream drives one video stream's injection events.
 type Stream struct {
-	cfg   StreamConfig
-	ni    *network.NI
-	eng   *sim.Engine
+	cfg   StreamConfig //mw:snapcover — run-immutable stream parameters; restore rebuilds streams from the embedded config
+	ni    *network.NI  //mw:snapcover — injection wiring, rebuilt by Apply
+	eng   *sim.Engine  //mw:snapcover — engine handle; the clock serializes in secClock
 	rnd   *rng.Source
-	ids   *uint64
+	ids   *uint64 //mw:snapcover — shared message-id counter, serialized once by Workload
 	frame int
 
 	// FramesInjected counts emitted frames (for tests).
@@ -70,7 +70,7 @@ type Stream struct {
 
 	// OnEmit, if set, observes every emitted frame (delivered-frame
 	// accounting in the resilience experiments).
-	OnEmit func(stream, frame int)
+	OnEmit func(stream, frame int) //mw:snapcover — observer callback, rewired by NewSim on restore
 
 	// revoked pauses emission (admission-controlled QoS degradation);
 	// parked records that the self-scheduling emit chain has died and
@@ -78,9 +78,9 @@ type Stream struct {
 	revoked bool
 	parked  bool
 
-	emitFn   func()    // cached method value so rescheduling does not allocate
-	emitEv   sim.Event // live emit event, rearmed in place via Reschedule
-	injectFn func()    // cached method value shared by every pending injection
+	emitFn   func()    //mw:snapcover — cached method value, recreated by Apply
+	emitEv   sim.Event //mw:snapcover — calendar key serialized by encodeEvent; re-armed via ScheduleRestored
+	injectFn func()    //mw:snapcover — cached method value, recreated by Apply
 	// pending holds segmented messages whose injection events have not fired
 	// yet, oldest first. Injection events are scheduled in increasing
 	// (time, sequence) order, so they pop front-first; keeping them listed
@@ -92,7 +92,7 @@ type Stream struct {
 // pendingInject is one scheduled-but-not-yet-fired message injection.
 type pendingInject struct {
 	msg *flit.Message
-	ev  sim.Event
+	ev  sim.Event //mw:snapcover — calendar key serialized by encodeEvent; re-armed via ScheduleRestored
 }
 
 // ID returns the stream's identifier.
@@ -242,17 +242,17 @@ type BestEffortConfig struct {
 
 // BestEffortSource injects best-effort messages on a fixed cadence.
 type BestEffortSource struct {
-	cfg BestEffortConfig
-	ni  *network.NI
-	eng *sim.Engine
+	cfg BestEffortConfig //mw:snapcover — run-immutable source parameters; restore rebuilds sources from the embedded config
+	ni  *network.NI      //mw:snapcover — injection wiring, rebuilt by Apply
+	eng *sim.Engine      //mw:snapcover — engine handle; the clock serializes in secClock
 	rnd *rng.Source
-	ids *uint64
+	ids *uint64 //mw:snapcover — shared message-id counter, serialized once by Workload
 
-	emitFn func()    // cached method value so rescheduling does not allocate
-	emitEv sim.Event // live emit event, rearmed in place via Reschedule
+	emitFn func()    //mw:snapcover — cached method value, recreated by StartBestEffort
+	emitEv sim.Event //mw:snapcover — calendar key serialized by encodeEvent; re-armed via ScheduleRestored
 
 	// OnInject, if set, observes each injection (for load accounting).
-	OnInject func(m *flit.Message)
+	OnInject func(m *flit.Message) //mw:snapcover — observer callback, rewired by NewSim on restore
 	// Injected counts messages emitted.
 	Injected uint64
 }
