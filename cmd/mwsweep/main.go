@@ -32,11 +32,14 @@ import (
 
 	"mediaworm"
 	"mediaworm/internal/artifact"
+	"mediaworm/internal/calculus"
+	"mediaworm/internal/experiments"
 	"mediaworm/internal/obs"
 	"mediaworm/internal/prof"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/runner"
 	"mediaworm/internal/stats"
+	"mediaworm/internal/traffic"
 )
 
 func main() {
@@ -59,6 +62,7 @@ func main() {
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = 65536)")
 	manifestPath := flag.String("manifest", "", "journal completed cells to this file (fsynced per cell)")
 	resume := flag.Bool("resume", false, "reuse an existing manifest: skip journaled cells, recompute only the missing ones")
+	bounds := flag.Bool("bounds", false, "append the analytic network-calculus delay bound per point (bound_ms; inf = model declines the operating point)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock limit (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts per failed cell before the sweep aborts")
 	crashAfter := flag.Int("crash-after", 0, "testing hook: exit(3) after this many cells are journaled")
@@ -256,6 +260,9 @@ func main() {
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	header := []string{*param, "d_ms", "sd_ms", "be_latency_us", "be_saturated", "playout_miss_rate", "streams"}
+	if *bounds {
+		header = append(header, "bound_ms")
+	}
 	if reps > 1 {
 		header = append(header, "d_ms_ci95", "sd_ms_ci95", "be_latency_us_ci95", "replicas")
 	}
@@ -284,6 +291,9 @@ func main() {
 			strconv.FormatFloat(miss.Mean(), 'f', 5, 64),
 			strconv.Itoa(runs[cell*reps].res.Streams),
 		}
+		if *bounds {
+			row = append(row, analyticBound(cfgs[cell], runs[cell*reps].norm))
+		}
 		if reps > 1 {
 			row = append(row,
 				strconv.FormatFloat(d.CI95(), 'f', 4, 64),
@@ -296,6 +306,27 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// analyticBound prices one sweep cell's worst-case end-to-end delay with the
+// closed-form network-calculus model (internal/calculus) under the balanced
+// placement the cell's load implies, normalized to paper-scale milliseconds.
+// "inf" means the model declines the operating point rather than certify an
+// unsound bound.
+func analyticBound(cfg mediaworm.Config, norm float64) string {
+	fat := cfg.Topology == mediaworm.FatMesh2x2
+	p, err := experiments.CalculusParams(cfg, fat, cfg.Load, cfg.RTShare, traffic.PartitionVCs(cfg.VCs, cfg.RTShare))
+	if err != nil {
+		fatal(err)
+	}
+	bound, _, err := calculus.BalancedDelayBoundSec(p, cfg.Load, cfg.RTShare)
+	if err != nil {
+		fatal(err)
+	}
+	if math.IsInf(bound, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(bound*1e3*norm, 'f', 3, 64)
 }
 
 func fatal(err error) {

@@ -34,7 +34,7 @@ func main() {
 	intervals := flag.Int("intervals", 10, "measured frame intervals per point")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores, 1 = serial); output is byte-identical either way")
 	replicas := flag.Int("replicas", 1, "independent-seed runs per point, reported as mean ± 95% CI")
-	only := flag.String("only", "", "comma-separated subset: fig3,fig4,fig5,table2,fig6,fig7,fig8,table3,fig9,table1; ablations/extensions by id (abl-alloc,abl-endpointvc,abl-source,abl-sched,ext-gop,ext-tetra,ext-dynpart) or 'extras' for all of them")
+	only := flag.String("only", "", "comma-separated subset: fig3,fig4,fig5,table2,fig6,fig7,fig8,table3,fig9,table1,bounds; 'bounds-smoke' runs the reduced bound-soundness grid and exits nonzero on violations; ablations/extensions by id (abl-alloc,abl-endpointvc,abl-source,abl-sched,ext-gop,ext-tetra,ext-dynpart) or 'extras' for all of them")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
 	svgDir := flag.String("svg", "", "also render each figure as SVG charts into this directory")
@@ -150,6 +150,26 @@ func main() {
 		}
 		emit(fig)
 		experiments.Fig9BestEffort(fig, os.Stdout)
+	}
+
+	if sel("bounds") || want["bounds-smoke"] {
+		run, label := experiments.BoundsSweep, "bounds"
+		if want["bounds-smoke"] {
+			run, label = experiments.BoundsSmoke, "bounds smoke"
+		}
+		rep, err := run(opt)
+		if err != nil {
+			fail(err)
+		}
+		rep.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if _, err := report.WriteBoundsFile(*csvDir, rep); err != nil {
+				fail(err)
+			}
+		}
+		if v := rep.Violations(); want["bounds-smoke"] && v > 0 {
+			fail(fmt.Errorf("%s: %d observed worst-case latencies above their analytic bound", label, v))
+		}
 	}
 
 	// Ablations and extensions (beyond the paper) run only when asked for.

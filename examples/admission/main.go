@@ -1,6 +1,9 @@
 // Admission: the admission-control strategy the paper's conclusions call
 // for. Calibrates the switch's jitter-free envelope against the simulator
-// itself, then admits video-on-demand session requests against it.
+// itself, derives the same envelope in closed form from the network-calculus
+// model (microseconds instead of simulated minutes), compares the two side
+// by side, then admits video-on-demand session requests against the
+// calibrated one.
 //
 //	go run ./examples/admission
 package main
@@ -11,6 +14,7 @@ import (
 
 	"mediaworm"
 	"mediaworm/internal/admission"
+	"mediaworm/internal/calculus"
 )
 
 func main() {
@@ -29,14 +33,34 @@ func main() {
 		return res.StdDevDeliveryIntervalMs * norm, nil
 	}
 
+	shares := []float64{0.4, 0.5, 0.8, 1.0}
 	fmt.Println("calibrating the jitter-free envelope (σd budget 1.5 ms)…")
-	env, err := admission.Calibrate(probe, []float64{0.5, 0.8, 1.0}, 1.5, 4)
+	env, err := admission.Calibrate(probe, shares, 1.5, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, share := range []float64{0.5, 0.8, 1.0} {
-		fmt.Printf("  mix %3.0f%% video → max safe load %.2f\n", share*100, env.MaxLoad(share))
+
+	// The closed-form sibling: same envelope type, same budget, derived from
+	// the network-calculus model without a single simulation.
+	analytic, err := calculus.AnalyticEnvelope(calculus.DefaultParams(), shares, 1.5, 6)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Println("\n  mix          calibrated  analytic  (max safe load)")
+	for _, share := range shares {
+		fmt.Printf("  %3.0f%% video       %.2f      %.2f\n",
+			share*100, env.MaxLoad(share), analytic.MaxLoad(share))
+	}
+
+	// At the paper's 40% real-time share operating point, the analytic
+	// envelope's conservatism is the slack between the two certifications.
+	const opShare = 0.4
+	cal, ana := env.MaxLoad(opShare), analytic.MaxLoad(opShare)
+	fmt.Printf("\nat the paper's 40%% real-time share: calibrated %.2f vs analytic %.2f (slack %.2f)\n",
+		cal, ana, ana/cal)
+	fmt.Println("  at mixed shares both certify nearly the full load — Virtual Clock isolates")
+	fmt.Println("  the video class; at video-heavy mixes the analytic envelope grows")
+	fmt.Println("  conservative: the price of a closed-form worst-case guarantee.")
 
 	// Admit 4 Mb/s MPEG-2 sessions on one 400 Mb/s link that already
 	// carries 10% best-effort control traffic.

@@ -76,17 +76,60 @@ func (e *Envelope) MaxLoad(rtShare float64) float64 {
 	return a.MaxLoad + frac*(b.MaxLoad-a.MaxLoad)
 }
 
+// Points returns a copy of the envelope's calibration points in ascending
+// RTShare order — the raw material for rendering, goldens, and side-by-side
+// envelope comparisons.
+func (e *Envelope) Points() []EnvelopePoint {
+	return append([]EnvelopePoint(nil), e.points...)
+}
+
 // ProbeFunc measures the delivery-interval standard deviation (paper-scale
 // milliseconds) of a fabric at the given load and real-time share. The
-// experiment harness provides one backed by the simulator.
+// experiment harness provides one backed by the simulator; internal/calculus
+// provides a closed-form one backed by network-calculus bounds.
 type ProbeFunc func(load, rtShare float64) (sdMs float64, err error)
+
+// InvalidParamError reports a Calibrate parameter outside its domain.
+type InvalidParamError struct {
+	Param string
+	Value float64
+}
+
+func (e *InvalidParamError) Error() string {
+	return fmt.Sprintf("admission: %s must be positive, got %g", e.Param, e.Value)
+}
+
+// MonotonicityError reports a calibrated envelope whose MaxLoad increases
+// with RTShare — physically impossible for a fabric where real-time traffic
+// is the harder class to serve, so it flags a broken or noisy probe. A and B
+// are the offending pair of points (A.RTShare < B.RTShare but
+// A.MaxLoad < B.MaxLoad).
+type MonotonicityError struct {
+	A, B EnvelopePoint
+}
+
+func (e *MonotonicityError) Error() string {
+	return fmt.Sprintf(
+		"admission: calibrated envelope is not monotone: MaxLoad %.4f at RTShare %.2f rises to %.4f at RTShare %.2f",
+		e.A.MaxLoad, e.A.RTShare, e.B.MaxLoad, e.B.RTShare)
+}
 
 // Calibrate builds an envelope empirically: for each real-time share it
 // binary-searches the highest load whose σd stays below jitterBudgetMs.
-// steps controls the bisection depth (5 gives ~0.01 load resolution).
+// steps controls the bisection depth (5 gives ~0.01 load resolution) and
+// must be positive, as must jitterBudgetMs; violations return
+// *InvalidParamError. The calibrated MaxLoad must be non-increasing in
+// RTShare (more real-time traffic never raises the safe load); a violating
+// pair of points returns *MonotonicityError naming them.
 func Calibrate(probe ProbeFunc, shares []float64, jitterBudgetMs float64, steps int) (*Envelope, error) {
 	if len(shares) == 0 {
 		return nil, fmt.Errorf("admission: no shares to calibrate")
+	}
+	if steps <= 0 {
+		return nil, &InvalidParamError{Param: "steps", Value: float64(steps)}
+	}
+	if jitterBudgetMs <= 0 {
+		return nil, &InvalidParamError{Param: "jitterBudgetMs", Value: jitterBudgetMs}
 	}
 	var points []EnvelopePoint
 	for _, share := range shares {
@@ -105,7 +148,20 @@ func Calibrate(probe ProbeFunc, shares []float64, jitterBudgetMs float64, steps 
 		}
 		points = append(points, EnvelopePoint{RTShare: share, MaxLoad: lo})
 	}
-	return NewEnvelope(points)
+	env, err := NewEnvelope(points)
+	if err != nil {
+		return nil, err
+	}
+	// Bisection quantizes loads to (hi−lo)/2^steps; treat sub-quantum
+	// wobble as flat rather than rising.
+	tol := 0.6 / float64(int64(1)<<uint(min(steps, 62)))
+	for i := 1; i < len(env.points); i++ {
+		a, b := env.points[i-1], env.points[i]
+		if b.MaxLoad > a.MaxLoad+tol/2 {
+			return nil, &MonotonicityError{A: a, B: b}
+		}
+	}
+	return env, nil
 }
 
 // Controller admits streams against an envelope. It tracks the accepted

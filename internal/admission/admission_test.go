@@ -1,8 +1,10 @@
 package admission
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -101,6 +103,84 @@ func TestCalibrateErrors(t *testing.T) {
 	boom := func(load, share float64) (float64, error) { return 0, fmt.Errorf("boom") }
 	if _, err := Calibrate(boom, []float64{0.5}, 1, 3); err == nil {
 		t.Fatal("probe error swallowed")
+	}
+}
+
+func TestCalibrateValidatesParams(t *testing.T) {
+	quiet := func(load, share float64) (float64, error) { return 0, nil }
+	for _, tc := range []struct {
+		name   string
+		budget float64
+		steps  int
+		param  string
+	}{
+		{"zero steps", 1.0, 0, "steps"},
+		{"negative steps", 1.0, -3, "steps"},
+		{"zero budget", 0, 5, "jitterBudgetMs"},
+		{"negative budget", -1.5, 5, "jitterBudgetMs"},
+	} {
+		_, err := Calibrate(quiet, []float64{0.5}, tc.budget, tc.steps)
+		var ipe *InvalidParamError
+		if !errors.As(err, &ipe) {
+			t.Fatalf("%s: err = %v, want *InvalidParamError", tc.name, err)
+		}
+		if ipe.Param != tc.param {
+			t.Fatalf("%s: flagged param %q, want %q", tc.name, ipe.Param, tc.param)
+		}
+	}
+}
+
+func TestCalibrateRejectsNonMonotoneEnvelope(t *testing.T) {
+	// A probe whose knee RISES with the real-time share: physically
+	// impossible, so Calibrate must name the offending pair.
+	knee := map[float64]float64{0.5: 0.60, 1.0: 0.90}
+	probe := func(load, share float64) (float64, error) {
+		if load > knee[share] {
+			return 10, nil
+		}
+		return 0.1, nil
+	}
+	_, err := Calibrate(probe, []float64{0.5, 1.0}, 1.0, 10)
+	var me *MonotonicityError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MonotonicityError", err)
+	}
+	if me.A.RTShare != 0.5 || me.B.RTShare != 1.0 {
+		t.Fatalf("offending pair %+v → %+v, want shares 0.5 → 1.0", me.A, me.B)
+	}
+	if me.B.MaxLoad <= me.A.MaxLoad {
+		t.Fatalf("reported pair is not rising: %+v → %+v", me.A, me.B)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "0.50") || !strings.Contains(msg, "1.00") {
+		t.Fatalf("error %q does not name the offending shares", msg)
+	}
+	// Flat-within-quantization envelopes stay accepted: both shares share
+	// one knee, so bisection lands on the same load.
+	flat := func(load, share float64) (float64, error) {
+		if load > 0.8 {
+			return 10, nil
+		}
+		return 0.1, nil
+	}
+	if _, err := Calibrate(flat, []float64{0.5, 1.0}, 1.0, 10); err != nil {
+		t.Fatalf("flat envelope rejected: %v", err)
+	}
+}
+
+func TestEnvelopePointsAccessor(t *testing.T) {
+	env := DefaultEnvelope()
+	pts := env.Points()
+	if len(pts) != 4 {
+		t.Fatalf("Points() = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RTShare <= pts[i-1].RTShare {
+			t.Fatalf("points not ascending: %v", pts)
+		}
+	}
+	pts[0].MaxLoad = 0 // a copy: mutating it must not corrupt the envelope
+	if env.MaxLoad(0) == 0 {
+		t.Fatal("Points() aliases envelope internals")
 	}
 }
 

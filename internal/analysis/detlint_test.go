@@ -57,3 +57,11 @@ func TestDetLintCmdExempt(t *testing.T) {
 func TestDetLintExamplesExempt(t *testing.T) {
 	analysistest.Run(t, analysis.DetLint, "detlint/cmd", "mediaworm/examples/detfix")
 }
+
+// The calculus fixture pins detlint on analytic admission-control code:
+// closed-form bound arithmetic passes clean, while wall-clock admission
+// stamps and randomized tie-breaking are flagged under the calculus
+// package's real path — an admission sequence must replay byte-for-byte.
+func TestDetLintCalculusPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DetLint, "detlint/calculus", "mediaworm/internal/calculus")
+}

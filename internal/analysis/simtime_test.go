@@ -37,3 +37,10 @@ func TestSimTimeObsFixture(t *testing.T) {
 func TestSimTimeSnapshotFixture(t *testing.T) {
 	analysistest.Run(t, analysis.SimTime, "simtime/snapshot", "mediaworm/internal/snapshot/timefix")
 }
+
+// The calculus fixture pins the float-seconds ↔ tick-domain boundary of the
+// analytic model: a priced bound entering the engine as a deadline must
+// cross into sim.Time explicitly, never through time.Duration.
+func TestSimTimeCalculusFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SimTime, "simtime/calculus", "mediaworm/internal/calculus")
+}

@@ -33,3 +33,11 @@ func TestSnapCoverFactFlowImplicitDeps(t *testing.T) {
 		{Dir: "snapfacts/app", Path: "mediaworm/internal/analysis/testdata/src/snapfacts/app"},
 	})
 }
+
+// The calculus fixture pins snapcover on the analytic controller shape:
+// per-link aggregates and admit counters must round-trip, derived
+// fixed-point caches carry the exclusion marker, and a field forgotten on
+// either side is flagged.
+func TestSnapCoverCalculusFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SnapCover, "snapcover/calculus", "mediaworm/internal/calculus")
+}

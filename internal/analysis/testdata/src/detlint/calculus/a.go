@@ -1,0 +1,60 @@
+// Package calcdetfix exercises detlint on analytic admission-control code —
+// the internal/calculus idiom: closed-form bound arithmetic is pure and
+// passes clean, while the ambient-state temptations around an admission
+// decision (wall-clock decision stamps, randomized tie-breaking between
+// equally priced routes) are exactly what detlint must flag inside the
+// calculus package, where reproducing an admission trace byte-for-byte is
+// part of the determinism contract.
+package calcdetfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+type controller struct {
+	rate, burst float64
+	deadline    float64
+	admitted    int
+	lastAdmit   time.Time
+}
+
+// admit is the pure closed-form decision: arithmetic only, nothing ambient.
+func (c *controller) admit(mu, b0 float64) bool {
+	bound := (c.burst + b0) / (c.rate - mu)
+	if bound <= c.deadline {
+		c.rate -= mu
+		c.burst += b0
+		c.admitted++
+		return true
+	}
+	return false
+}
+
+// flaggedStamp records when the admission happened — wall-clock state in the
+// middle of a deterministic controller.
+func (c *controller) flaggedStamp() {
+	c.lastAdmit = time.Now() // want "time.Now reads the wall clock"
+}
+
+// flaggedTieBreak randomizes which of two equally priced routes wins, which
+// makes the admission sequence irreproducible across runs.
+func flaggedTieBreak(a, b int) int {
+	if rand.Intn(2) == 0 { // want "math/rand.Intn draws from the process-global generator"
+		return a
+	}
+	return b
+}
+
+// allowedSeededPerturbation is the deterministic idiom for sensitivity
+// experiments: an explicitly seeded source perturbing stream parameters.
+func allowedSeededPerturbation(seed int64, mu float64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return mu * (1 + 0.01*r.Float64())
+}
+
+// allowedAnnotatedProgress stamps calibration progress for a human log —
+// never simulation or admission state — under the documented escape hatch.
+func allowedAnnotatedProgress() time.Time {
+	return time.Now() //mw:wallclock — fixture: calibration progress logging only
+}

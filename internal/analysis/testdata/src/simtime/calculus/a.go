@@ -1,0 +1,47 @@
+// Package calctimefix pins simtime on the analytic-model boundary: the
+// network-calculus controller prices delays in float64 seconds, and turning
+// a priced bound into an engine deadline must cross into the sim.Time tick
+// domain explicitly. Routing the value through time.Duration — or collapsing
+// a configured Duration budget into a bare integer of implicit units — is
+// exactly the silent re-typing simtime exists to catch.
+package calctimefix
+
+import (
+	"time"
+
+	"mediaworm/internal/sim"
+)
+
+// flaggedDeadlineFromDuration turns a wall-clock deadline budget straight
+// into engine ticks, silently assuming Duration's nanosecond unit.
+func flaggedDeadlineFromDuration(budget time.Duration) sim.Time {
+	return sim.Time(budget) // want "converts a time.Duration straight into the tick domain"
+}
+
+// flaggedBoundToWallClock re-types a tick-domain bound as wall-clock units
+// on its way to a report.
+func flaggedBoundToWallClock(bound sim.Time) time.Duration {
+	return time.Duration(bound) // want "converts a sim.Time tick count straight into wall-clock units"
+}
+
+// flaggedCollapsedBudget drops a Duration's unit on the floor.
+func flaggedCollapsedBudget(budget time.Duration) uint64 {
+	return uint64(budget) // want "collapses a time.Duration into a unitless integer"
+}
+
+// allowedExplicitNanoseconds is the documented idiom: name the unit at the
+// crossing, then enter the tick domain from a bare integer.
+func allowedExplicitNanoseconds(budget time.Duration) sim.Time {
+	return sim.Time(budget.Nanoseconds())
+}
+
+// allowedSecondsArithmetic stays in float64 seconds end to end — the
+// calculus package's native domain never touches time.Duration.
+func allowedSecondsArithmetic(boundSec float64) sim.Time {
+	return sim.Time(int64(boundSec * 1e9))
+}
+
+// allowedTickArithmetic composes bounds inside the tick domain.
+func allowedTickArithmetic(a, b sim.Time) sim.Time {
+	return a + b
+}

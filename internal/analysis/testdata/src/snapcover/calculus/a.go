@@ -1,0 +1,54 @@
+// Package calcsnapfix pins snapcover on an analytic admission controller —
+// the internal/calculus shape: per-link aggregates and admit/reject counters
+// must round-trip through a checkpoint, derived caches are rebuilt on
+// restore and carry the exclusion marker, and a forgotten field on either
+// side is flagged.
+package calcsnapfix
+
+import "mediaworm/internal/snapshot"
+
+// linkAgg is one link's admitted aggregate, reached through Model.Links.
+type linkAgg struct {
+	N    int
+	Rate float64
+	SumU float64 // want "field linkAgg.SumU is not read by any snapshot decoder"
+}
+
+// Model is a root subject: the receiver of an encoder and a decoder.
+type Model struct {
+	Links      []linkAgg
+	Admitted   int
+	Rejected   int     // want "field Model.Rejected is not written by any snapshot encoder"
+	Theta      float64 //mw:snapcover — derived fixed-point cache, recomputed on restore
+	ThetaDirty bool    //mw:snapcover — derived fixed-point cache, recomputed on restore
+}
+
+// EncodeModel covers Links (through a helper) and Admitted, and forgets
+// Rejected.
+func (m *Model) EncodeModel(w *snapshot.Writer) error {
+	w.Int(len(m.Links))
+	for i := range m.Links {
+		encodeLink(w, &m.Links[i])
+	}
+	w.Int(m.Admitted)
+	return nil
+}
+
+func encodeLink(w *snapshot.Writer, l *linkAgg) {
+	w.Int(l.N)
+	w.F64(l.Rate)
+	w.F64(l.SumU)
+}
+
+// RestoreModel reads Links back through a keyed literal that forgets SumU,
+// and covers both counters.
+func (m *Model) RestoreModel(r *snapshot.Reader) error {
+	n := r.Int()
+	m.Links = m.Links[:0]
+	for i := 0; i < n; i++ {
+		m.Links = append(m.Links, linkAgg{N: r.Int(), Rate: r.F64()})
+	}
+	m.Admitted = r.Int()
+	m.Rejected = r.Int()
+	return r.Err()
+}

@@ -1,0 +1,472 @@
+// Package calculus computes closed-form worst-case delay and backlog bounds
+// for MediaWorm fabrics using deterministic network calculus (Cruz; Le Boudec
+// & Thiran), the framework Farhi & Gaujal apply to wormhole routing and
+// Nikolić & Indrusiak tighten for priority-preemptive NoC arbitration (see
+// PAPERS.md). Traffic is abstracted into arrival curves α (an upper envelope
+// on the bits a stream may emit in any window), routers and links into
+// service curves β (a lower envelope on the bits a contention point must
+// serve), and the two compose by min-plus algebra:
+//
+//	delay bound   = horizontal deviation h(α, β)
+//	backlog bound = vertical deviation   v(α, β)
+//	end-to-end β  = β₁ ⊗ β₂ ⊗ … (min-plus convolution along the route)
+//
+// Everything in this package is pure float64 arithmetic — no simulation, no
+// randomness, no clock — so an admission decision is O(route length) with
+// zero allocations, which is what lets AnalyticEnvelope sit beside the
+// simulator-backed Calibrate as an O(1) admission oracle.
+package calculus
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Knot is one breakpoint of a piecewise-linear curve.
+type Knot struct {
+	X, Y float64
+}
+
+// Curve is a non-decreasing piecewise-linear function on [0, ∞): knots with
+// strictly increasing X (the first at X = 0) joined by line segments, and a
+// final slope Rate beyond the last knot. The zero value is the constant 0.
+//
+// Arrival curves are concave (token buckets: a burst then a rate), service
+// curves convex (rate-latency: a latency then a rate); the algebra below is
+// exact on those shapes.
+type Curve struct {
+	knots []Knot
+	rate  float64
+}
+
+// NewCurve builds a curve from knots and a final rate, normalizing away
+// collinear interior knots. Knots must have strictly increasing X starting
+// at 0, non-decreasing Y, and the final rate must be non-negative.
+func NewCurve(knots []Knot, rate float64) (Curve, error) {
+	if len(knots) == 0 || knots[0].X != 0 {
+		return Curve{}, fmt.Errorf("calculus: curve must start at x = 0")
+	}
+	if rate < 0 || math.IsNaN(rate) {
+		return Curve{}, fmt.Errorf("calculus: negative final rate %v", rate)
+	}
+	for i, k := range knots {
+		if math.IsNaN(k.X) || math.IsNaN(k.Y) || k.Y < 0 {
+			return Curve{}, fmt.Errorf("calculus: invalid knot %+v", k)
+		}
+		if i > 0 && (k.X <= knots[i-1].X || k.Y < knots[i-1].Y) {
+			return Curve{}, fmt.Errorf("calculus: knots not increasing at %+v", k)
+		}
+	}
+	c := Curve{knots: append([]Knot(nil), knots...), rate: rate}
+	c.normalize()
+	return c, nil
+}
+
+// normalize drops interior knots that lie on the segment through their
+// neighbours, so equal functions share one representation.
+func (c *Curve) normalize() {
+	out := c.knots[:1]
+	for i := 1; i < len(c.knots); i++ {
+		k := c.knots[i]
+		// Slope into k from the last kept knot, and out of k.
+		prev := out[len(out)-1]
+		in := (k.Y - prev.Y) / (k.X - prev.X)
+		var outSlope float64
+		if i+1 < len(c.knots) {
+			n := c.knots[i+1]
+			outSlope = (n.Y - k.Y) / (n.X - k.X)
+		} else {
+			outSlope = c.rate
+		}
+		if math.Abs(in-outSlope) <= 1e-12*(1+math.Abs(in)) {
+			continue // collinear: k carries no information
+		}
+		out = append(out, k)
+	}
+	c.knots = out
+}
+
+// Zero returns the constant-zero curve.
+func Zero() Curve { return Curve{knots: []Knot{{0, 0}}} }
+
+// TokenBucket returns the arrival curve α(t) = burst + rate·t (with
+// α(0) = burst: the whole burst may appear instantaneously).
+func TokenBucket(burst, rate float64) Curve {
+	return Curve{knots: []Knot{{0, burst}}, rate: rate}
+}
+
+// RateLatency returns the service curve β(t) = rate·max(0, t − latency).
+func RateLatency(rate, latency float64) Curve {
+	if latency <= 0 {
+		return Curve{knots: []Knot{{0, 0}}, rate: rate}
+	}
+	return Curve{knots: []Knot{{0, 0}, {latency, 0}}, rate: rate}
+}
+
+// Rate returns the curve's long-run slope.
+func (c Curve) Rate() float64 { return c.rate }
+
+// Burst returns c(0): the instantaneous jump at the origin.
+func (c Curve) Burst() float64 {
+	if len(c.knots) == 0 {
+		return 0
+	}
+	return c.knots[0].Y
+}
+
+// Knots returns a copy of the curve's breakpoints.
+func (c Curve) Knots() []Knot { return append([]Knot(nil), c.knots...) }
+
+// Eval returns c(x) for x ≥ 0.
+func (c Curve) Eval(x float64) float64 {
+	if len(c.knots) == 0 {
+		return 0
+	}
+	last := c.knots[len(c.knots)-1]
+	if x >= last.X {
+		return last.Y + c.rate*(x-last.X)
+	}
+	// Walk the (short) knot list; curves in this package have ≤ a handful
+	// of breakpoints.
+	for i := len(c.knots) - 1; i >= 0; i-- {
+		k := c.knots[i]
+		if x >= k.X {
+			n := c.knots[i+1]
+			return k.Y + (n.Y-k.Y)/(n.X-k.X)*(x-k.X)
+		}
+	}
+	return c.knots[0].Y // x < 0 is out of domain; clamp
+}
+
+// inverse returns the earliest x with c(x) ≥ y, or +Inf when y is never
+// reached (final rate 0 below y).
+func (c Curve) inverse(y float64) float64 {
+	if len(c.knots) == 0 {
+		if y <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	if y <= c.knots[0].Y {
+		return 0
+	}
+	for i := 1; i < len(c.knots); i++ {
+		k := c.knots[i]
+		if y <= k.Y {
+			p := c.knots[i-1]
+			return p.X + (y-p.Y)/((k.Y-p.Y)/(k.X-p.X))
+		}
+	}
+	last := c.knots[len(c.knots)-1]
+	if c.rate == 0 {
+		return math.Inf(1)
+	}
+	return last.X + (y-last.Y)/c.rate
+}
+
+// mergedXs appends to dst the union of both curves' knot X values, sorted,
+// without duplicates.
+func mergedXs(dst []float64, a, b Curve) []float64 {
+	i, j := 0, 0
+	for i < len(a.knots) || j < len(b.knots) {
+		var x float64
+		switch {
+		case i == len(a.knots):
+			x = b.knots[j].X
+			j++
+		case j == len(b.knots):
+			x = a.knots[i].X
+			i++
+		case a.knots[i].X < b.knots[j].X:
+			x = a.knots[i].X
+			i++
+		case a.knots[i].X > b.knots[j].X:
+			x = b.knots[j].X
+			j++
+		default:
+			x = a.knots[i].X
+			i++
+			j++
+		}
+		if len(dst) == 0 || x > dst[len(dst)-1] {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// Add returns the pointwise sum a + b.
+func (c Curve) Add(o Curve) Curve {
+	xs := mergedXs(nil, c, o)
+	knots := make([]Knot, len(xs))
+	for i, x := range xs {
+		knots[i] = Knot{x, c.Eval(x) + o.Eval(x)}
+	}
+	return Curve{knots: knots, rate: c.rate + o.rate}
+}
+
+// Min returns the pointwise minimum min(a, b), adding knots where the curves
+// cross inside a segment.
+func (c Curve) Min(o Curve) Curve {
+	xs := mergedXs(nil, c, o)
+	// Between consecutive sample points both curves are affine, so they
+	// cross at most once per interval; find those crossings.
+	var cross []float64
+	sample := func(x float64) (float64, float64) { return c.Eval(x), o.Eval(x) }
+	for i := 0; i < len(xs); i++ {
+		x0 := xs[i]
+		var x1 float64
+		if i+1 < len(xs) {
+			x1 = xs[i+1]
+		} else {
+			// Beyond the last knot both are affine forever; a final crossing
+			// exists when the difference changes sign at infinity.
+			d0 := c.Eval(x0) - o.Eval(x0)
+			dr := c.rate - o.rate
+			if d0 != 0 && dr != 0 && (d0 < 0) != (dr < 0) {
+				cross = append(cross, x0-d0/dr)
+			}
+			break
+		}
+		a0, b0 := sample(x0)
+		a1, b1 := sample(x1)
+		d0, d1 := a0-b0, a1-b1
+		if d0 != 0 && d1 != 0 && (d0 < 0) != (d1 < 0) {
+			cross = append(cross, x0+(x1-x0)*d0/(d0-d1))
+		}
+	}
+	all := append(append([]float64(nil), xs...), cross...)
+	sortFloats(all)
+	out := make([]Knot, 0, len(all))
+	for _, x := range all {
+		if len(out) > 0 && x <= out[len(out)-1].X {
+			continue
+		}
+		av, bv := sample(x)
+		out = append(out, Knot{x, math.Min(av, bv)})
+	}
+	r := math.Min(c.rate, o.rate)
+	// If the curves still cross after the last sample the larger-rate one is
+	// above; min rate is correct. When rates are equal the lower offset wins,
+	// also correct.
+	res := Curve{knots: out, rate: r}
+	res.normalize()
+	return res
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// IsConvex reports whether segment slopes are non-decreasing (a service-curve
+// shape: rate-latency curves and their convolutions).
+func (c Curve) IsConvex() bool {
+	prev := math.Inf(-1)
+	for i := 1; i < len(c.knots); i++ {
+		s := (c.knots[i].Y - c.knots[i-1].Y) / (c.knots[i].X - c.knots[i-1].X)
+		if s < prev-1e-12 {
+			return false
+		}
+		prev = s
+	}
+	return c.rate >= prev-1e-12
+}
+
+// Convolve returns the min-plus convolution (c ⊗ o)(t) = inf over s of
+// c(s) + o(t−s), exactly, for convex curves: the result starts at
+// c(0) + o(0) and takes segments from both operands in ascending slope
+// order (the classic convex slope merge). It panics if either operand is
+// not convex — the package only convolves service curves, which are.
+func (c Curve) Convolve(o Curve) Curve {
+	if !c.IsConvex() || !o.IsConvex() {
+		panic("calculus: Convolve requires convex operands")
+	}
+	type seg struct {
+		slope, length float64 // length +Inf for the final ray
+	}
+	segments := func(k Curve) []seg {
+		var ss []seg
+		for i := 1; i < len(k.knots); i++ {
+			ss = append(ss, seg{
+				slope:  (k.knots[i].Y - k.knots[i-1].Y) / (k.knots[i].X - k.knots[i-1].X),
+				length: k.knots[i].X - k.knots[i-1].X,
+			})
+		}
+		ss = append(ss, seg{slope: k.rate, length: math.Inf(1)})
+		return ss
+	}
+	sa, sb := segments(c), segments(o)
+	x, y := 0.0, c.Burst()+o.Burst()
+	knots := []Knot{{x, y}}
+	i, j := 0, 0
+	var rate float64
+	for {
+		var s seg
+		switch {
+		case i == len(sa) && j == len(sb):
+			s = seg{} // unreachable: final rays are infinite
+		case i == len(sa):
+			s = sb[j]
+			j++
+		case j == len(sb):
+			s = sa[i]
+			i++
+		case sa[i].slope <= sb[j].slope:
+			s = sa[i]
+			i++
+		default:
+			s = sb[j]
+			j++
+		}
+		if math.IsInf(s.length, 1) {
+			rate = s.slope
+			break
+		}
+		x += s.length
+		y += s.slope * s.length
+		knots = append(knots, Knot{x, y})
+	}
+	res := Curve{knots: knots, rate: rate}
+	res.normalize()
+	return res
+}
+
+// Deconvolve returns the min-plus deconvolution (c ⊘ β)(t) = sup over u of
+// c(t+u) − β(u) for a concave arrival curve c and a rate-latency service
+// curve β = RateLatency(R, T): the arrival envelope of the output flow of a
+// server offering β to input c. It requires c.Rate() ≤ R (a stable server);
+// otherwise the output is unbounded and the all-∞ curve is represented by a
+// token bucket with infinite burst.
+func (c Curve) Deconvolve(rate, latency float64) Curve {
+	if c.rate > rate {
+		return TokenBucket(math.Inf(1), c.rate)
+	}
+	// For concave c and β = R(t−T)⁺ the supremum splits at the point x*
+	// where c's slope falls to R (x* = 0 for a stable token bucket):
+	//
+	//	t ≥ x* − T :  attained at u = T      → c(t + T)   (shift left by T)
+	//	t < x* − T :  attained at t + u = x* → c(x*) − R(x* − T − t)
+	//
+	// With c a token bucket this is the textbook b + r·T + r·t output burst
+	// (slope r ≤ R everywhere, so only the shift term remains).
+	xStar := 0.0
+	for i := range c.knots {
+		var out float64
+		if i+1 < len(c.knots) {
+			out = (c.knots[i+1].Y - c.knots[i].Y) / (c.knots[i+1].X - c.knots[i].X)
+		} else {
+			out = c.rate
+		}
+		if out > rate {
+			if i+1 < len(c.knots) {
+				xStar = c.knots[i+1].X
+			}
+		}
+	}
+	// Shifted tail: d(t) = c(t + T) for t ≥ max(0, x* − T).
+	lo := math.Max(0, xStar-latency)
+	knots := []Knot{{lo, c.Eval(lo + latency)}}
+	for _, k := range c.knots {
+		if k.X-latency > lo {
+			knots = append(knots, Knot{k.X - latency, k.Y})
+		}
+	}
+	// Head: a slope-R ramp from (0, c(x*) − R(x* − T)) into the tail.
+	if lo > 0 {
+		knots = append([]Knot{{0, knots[0].Y - rate*lo}}, knots...)
+	}
+	res := Curve{knots: knots, rate: c.rate}
+	res.normalize()
+	return res
+}
+
+// DelayBound returns the horizontal deviation h(α, β): the worst-case delay
+// of a flow with arrival curve α through a server with service curve β
+// (FIFO per aggregate). It is +Inf when α's long-run rate exceeds β's.
+func DelayBound(alpha, beta Curve) float64 {
+	if alpha.rate > beta.rate {
+		return math.Inf(1)
+	}
+	// For concave α and convex β the deviation t ↦ β⁻¹(α(t)) − t is concave,
+	// so its maximum is at a breakpoint of its derivative: a knot of α, or a
+	// point where α(t) crosses one of β's knot levels. Beyond the last of
+	// those both curves are affine and the deviation is non-increasing, so a
+	// final affine sample closes the candidate set exactly.
+	far := 0.0
+	cands := make([]float64, 0, len(alpha.knots)+len(beta.knots)+1)
+	for _, k := range alpha.knots {
+		cands = append(cands, k.X)
+		if k.X > far {
+			far = k.X
+		}
+	}
+	for _, k := range beta.knots {
+		t := alpha.inverse(k.Y)
+		if !math.IsInf(t, 1) {
+			cands = append(cands, t)
+			if t > far {
+				far = t
+			}
+		}
+	}
+	cands = append(cands, far+1)
+	d := 0.0
+	for _, t := range cands {
+		dev := beta.inverse(alpha.Eval(t)) - t
+		if dev > d {
+			d = dev
+		}
+	}
+	return d
+}
+
+// BacklogBound returns the vertical deviation v(α, β): the worst-case
+// backlog of a flow with arrival curve α through a server with service
+// curve β. It is +Inf when α's long-run rate exceeds β's.
+func BacklogBound(alpha, beta Curve) float64 {
+	if alpha.rate > beta.rate {
+		return math.Inf(1)
+	}
+	far := 0.0
+	cands := make([]float64, 0, len(alpha.knots)+len(beta.knots)+1)
+	for _, k := range alpha.knots {
+		cands = append(cands, k.X)
+		if k.X > far {
+			far = k.X
+		}
+	}
+	for _, k := range beta.knots {
+		cands = append(cands, k.X)
+		if k.X > far {
+			far = k.X
+		}
+	}
+	cands = append(cands, far+1)
+	v := 0.0
+	for _, t := range cands {
+		dev := alpha.Eval(t) - beta.Eval(t)
+		if dev > v {
+			v = dev
+		}
+	}
+	return v
+}
+
+// String renders the curve compactly for goldens and errors.
+func (c Curve) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range c.knots {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%.6g,%.6g)", k.X, k.Y)
+	}
+	fmt.Fprintf(&b, " r=%.6g}", c.rate)
+	return b.String()
+}

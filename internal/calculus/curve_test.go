@@ -1,0 +1,213 @@
+package calculus
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func curvesEqual(a, b Curve, xs []float64) bool {
+	for _, x := range xs {
+		av, bv := a.Eval(x), b.Eval(x)
+		if math.Abs(av-bv) > 1e-6*(1+math.Abs(av)) {
+			return false
+		}
+	}
+	return math.Abs(a.Rate()-b.Rate()) <= 1e-9*(1+a.Rate())
+}
+
+// sampleXs covers the knot span of every operand plus the affine tails.
+func sampleXs(cs ...Curve) []float64 {
+	far := 1.0
+	var xs []float64
+	for _, c := range cs {
+		for _, k := range c.Knots() {
+			xs = append(xs, k.X)
+			if k.X > far {
+				far = k.X
+			}
+		}
+	}
+	for f := 0.0; f <= 3.0; f += 0.25 {
+		xs = append(xs, far*f+0.1*f)
+	}
+	xs = append(xs, 3*far+7)
+	return xs
+}
+
+// convexCurve is a random convex piecewise-linear curve for testing/quick:
+// a rate-latency-like shape with up to four knots of increasing slope.
+type convexCurve struct{ C Curve }
+
+// Generate implements quick.Generator.
+func (convexCurve) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(4)
+	x, y := 0.0, float64(r.Intn(3)) // convex curves may start above 0
+	knots := []Knot{{x, y}}
+	slope := float64(r.Intn(3)) // non-decreasing slopes keep it convex
+	for i := 0; i < n; i++ {
+		dx := 0.25 + r.Float64()*2
+		x += dx
+		y += slope * dx
+		knots = append(knots, Knot{x, y})
+		slope += r.Float64() * 2
+	}
+	rate := slope + r.Float64()*2
+	c, err := NewCurve(knots, rate)
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(convexCurve{c})
+}
+
+// TestConvolveCommutative checks a ⊗ b = b ⊗ a on random convex
+// piecewise-linear curves.
+func TestConvolveCommutative(t *testing.T) {
+	prop := func(a, b convexCurve) bool {
+		ab := a.C.Convolve(b.C)
+		ba := b.C.Convolve(a.C)
+		return curvesEqual(ab, ba, sampleXs(a.C, b.C, ab))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvolveAssociative checks (a ⊗ b) ⊗ c = a ⊗ (b ⊗ c) on random convex
+// piecewise-linear curves.
+func TestConvolveAssociative(t *testing.T) {
+	prop := func(a, b, c convexCurve) bool {
+		l := a.C.Convolve(b.C).Convolve(c.C)
+		r := a.C.Convolve(b.C.Convolve(c.C))
+		return curvesEqual(l, r, sampleXs(a.C, b.C, c.C, l))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvolveMatchesDefinition cross-checks the slope-merge construction
+// against the defining infimum evaluated by brute force on a grid.
+func TestConvolveMatchesDefinition(t *testing.T) {
+	prop := func(a, b convexCurve) bool {
+		conv := a.C.Convolve(b.C)
+		for _, x := range sampleXs(a.C, b.C, conv) {
+			inf := math.Inf(1)
+			const steps = 400
+			for i := 0; i <= steps; i++ {
+				s := x * float64(i) / steps
+				if v := a.C.Eval(s) + b.C.Eval(x-s); v < inf {
+					inf = v
+				}
+			}
+			got := conv.Eval(x)
+			// The grid infimum is an upper bound on the true infimum, so the
+			// exact result must sit at or below it, and close on a fine grid.
+			if got > inf+1e-9*(1+inf) || inf-got > 0.1*(1+inf) {
+				t.Logf("x=%v got=%v grid-inf=%v a=%v b=%v", x, got, inf, a.C, b.C)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateLatencyConvolution(t *testing.T) {
+	// β1 ⊗ β2 for rate-latency curves is RateLatency(min R, T1+T2).
+	b1 := RateLatency(100, 2)
+	b2 := RateLatency(40, 3)
+	got := b1.Convolve(b2)
+	want := RateLatency(40, 5)
+	if !curvesEqual(got, want, sampleXs(got, want)) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDelayAndBacklogBoundTokenBucketRateLatency(t *testing.T) {
+	// The textbook pair: α = b + r·t through β = R(t−T)⁺ gives
+	// delay ≤ T + b/R and backlog ≤ b + r·T.
+	alpha := TokenBucket(8, 2)
+	beta := RateLatency(4, 3)
+	if d, want := DelayBound(alpha, beta), 3+8.0/4; math.Abs(d-want) > 1e-9 {
+		t.Fatalf("delay bound %v, want %v", d, want)
+	}
+	if v, want := BacklogBound(alpha, beta), 8+2*3.0; math.Abs(v-want) > 1e-9 {
+		t.Fatalf("backlog bound %v, want %v", v, want)
+	}
+}
+
+func TestDelayBoundUnstable(t *testing.T) {
+	if d := DelayBound(TokenBucket(1, 10), RateLatency(5, 0)); !math.IsInf(d, 1) {
+		t.Fatalf("overloaded server delay bound = %v, want +Inf", d)
+	}
+	if v := BacklogBound(TokenBucket(1, 10), RateLatency(5, 0)); !math.IsInf(v, 1) {
+		t.Fatalf("overloaded server backlog bound = %v, want +Inf", v)
+	}
+}
+
+func TestDeconvolveTokenBucket(t *testing.T) {
+	// Output burstiness through a rate-latency server: b' = b + r·T.
+	out := TokenBucket(8, 2).Deconvolve(4, 3)
+	if got, want := out.Burst(), 8+2*3.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("output burst %v, want %v", got, want)
+	}
+	if got := out.Rate(); got != 2 {
+		t.Fatalf("output rate %v, want 2", got)
+	}
+	// An unstable server has no finite output envelope.
+	if out := TokenBucket(1, 10).Deconvolve(5, 1); !math.IsInf(out.Burst(), 1) {
+		t.Fatalf("unstable deconvolution burst = %v, want +Inf", out.Burst())
+	}
+}
+
+func TestAddAndMin(t *testing.T) {
+	a := TokenBucket(5, 1)
+	b := TokenBucket(1, 3)
+	sum := a.Add(b)
+	if got, want := sum.Eval(2), (5+2.0)+(1+6.0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Add eval %v, want %v", got, want)
+	}
+	m := a.Min(b)
+	// b is below until the crossing at t = 2, then a.
+	for _, tc := range []struct{ x, want float64 }{
+		{0, 1}, {1, 4}, {2, 7}, {3, 8}, {10, 15},
+	} {
+		if got := m.Eval(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("Min(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNewCurveRejectsBadShapes(t *testing.T) {
+	if _, err := NewCurve([]Knot{{1, 0}}, 1); err == nil {
+		t.Fatal("accepted a curve not starting at 0")
+	}
+	if _, err := NewCurve([]Knot{{0, 0}, {1, 2}, {1, 3}}, 1); err == nil {
+		t.Fatal("accepted duplicate X knots")
+	}
+	if _, err := NewCurve([]Knot{{0, 3}, {1, 2}}, 1); err == nil {
+		t.Fatal("accepted decreasing Y")
+	}
+	if _, err := NewCurve([]Knot{{0, 0}}, -1); err == nil {
+		t.Fatal("accepted a negative rate")
+	}
+}
+
+func TestEvalInverseRoundTrip(t *testing.T) {
+	c := RateLatency(7, 2)
+	for _, y := range []float64{0, 1, 5, 100} {
+		x := c.inverse(y)
+		if got := c.Eval(x); got+1e-9 < y {
+			t.Fatalf("Eval(inverse(%v)) = %v < %v", y, got, y)
+		}
+	}
+	flat := TokenBucket(3, 0)
+	if x := flat.inverse(4); !math.IsInf(x, 1) {
+		t.Fatalf("inverse beyond a flat curve = %v, want +Inf", x)
+	}
+}

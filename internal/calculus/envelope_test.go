@@ -1,0 +1,161 @@
+package calculus
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestAnalyticProbeBehaviour(t *testing.T) {
+	probe := AnalyticProbe(DefaultParams())
+	light, err := probe(0.4, 0.5)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	heavy, err := probe(0.96, 1.0)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if light < 0 || math.IsInf(light, 1) {
+		t.Fatalf("light-load jitter %v", light)
+	}
+	if heavy <= light {
+		t.Fatalf("jitter bound not increasing with load: %v at 0.4 vs %v at 0.96", light, heavy)
+	}
+}
+
+func TestAnalyticProbeMonotoneInLoad(t *testing.T) {
+	probe := AnalyticProbe(DefaultParams())
+	for _, share := range []float64{0.5, 0.8, 1.0} {
+		prev := -1.0
+		for _, load := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.96} {
+			sd, err := probe(load, share)
+			if err != nil {
+				t.Fatalf("probe(%v, %v): %v", load, share, err)
+			}
+			if sd < prev {
+				t.Fatalf("share %v: jitter bound fell from %v to %v at load %v", share, prev, sd, load)
+			}
+			prev = sd
+		}
+	}
+}
+
+func TestAnalyticEnvelope(t *testing.T) {
+	env, err := AnalyticEnvelope(DefaultParams(), []float64{0.5, 0.8, 1.0}, 1.5, 6)
+	if err != nil {
+		t.Fatalf("AnalyticEnvelope: %v", err)
+	}
+	pts := env.Points()
+	if len(pts) != 3 {
+		t.Fatalf("envelope has %d points, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.MaxLoad <= 0.4 || p.MaxLoad > 1 {
+			t.Fatalf("calibrated MaxLoad %v at share %v outside the searched range", p.MaxLoad, p.RTShare)
+		}
+	}
+	// Calibrate already enforces monotonicity; spot-check anyway.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MaxLoad > pts[i-1].MaxLoad+1e-9 {
+			t.Fatalf("envelope not monotone: %+v", pts)
+		}
+	}
+}
+
+// TestAnalyticEnvelopeGolden pins the exact rendered bytes of the analytic
+// envelope for the paper's Table 1 configuration. The model is pure float64
+// arithmetic with exactly-rounded math.Sqrt, so the output is deterministic
+// across platforms; an unintentional change to curve algebra, service
+// modeling, or burst accounting shows up as a byte diff here. Refresh with
+// `go test ./internal/calculus -run Golden -update` after an intentional
+// model change.
+func TestAnalyticEnvelopeGolden(t *testing.T) {
+	env, err := AnalyticEnvelope(DefaultParams(), []float64{0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0}, 1.5, 8)
+	if err != nil {
+		t.Fatalf("AnalyticEnvelope: %v", err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# AnalyticEnvelope, Table 1 single switch, budget 1.5 ms, 8 bisection steps\n")
+	fmt.Fprintf(&buf, "rt_share,max_load\n")
+	for _, p := range env.Points() {
+		fmt.Fprintf(&buf, "%.2f,%.6f\n", p.RTShare, p.MaxLoad)
+	}
+	path := filepath.Join("testdata", "envelope.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("analytic envelope drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// The admission hot path must not allocate: a controller embedded in a
+// long-running admission loop may be consulted per stream arrival.
+func TestAdmitZeroAllocs(t *testing.T) {
+	c, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.Admit(n%8, (n+1)%8) {
+			c.Release(n%8, (n+1)%8)
+		}
+		n++
+	})
+	if allocs != 0 {
+		t.Fatalf("Admit/Release allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkAnalyticAdmit(b *testing.B) {
+	c, err := New(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % 8
+		dst := (i + 1 + i/8%7) % 8
+		if src == dst {
+			dst = (dst + 1) % 8
+		}
+		if c.Admit(src, dst) {
+			c.Release(src, dst)
+		}
+	}
+}
+
+func BenchmarkAnalyticDelayBound(b *testing.B) {
+	c, err := New(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for src := 0; src < 8; src++ {
+		for k := 0; k < 3; k++ {
+			c.Register(src, (src+1+k)%8)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.DelayBoundSec(i%8, (i%8+1)%8)
+	}
+}

@@ -32,6 +32,17 @@ import (
 	"mediaworm/internal/sim"
 )
 
+// Pipeline latency of the five-stage router in cycles, exported for the
+// analytic model (internal/calculus): a header flit spends
+// HeaderPipelineCycles from link arrival to the next link (stages 1–5),
+// middle and tail flits BodyPipelineCycles (they bypass stages 2–3). These
+// are the uncontended per-hop constants of the package doc above; queueing
+// on top of them is what the service-curve machinery bounds.
+const (
+	HeaderPipelineCycles = 5
+	BodyPipelineCycles   = 3
+)
+
 // Consumer receives flits transmitted out of a router output port. The
 // network layer implements it for endpoint sinks and for the input ports of
 // downstream routers.

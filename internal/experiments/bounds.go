@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mediaworm/internal/calculus"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/topology"
+	"mediaworm/internal/traffic"
+
+	"mediaworm"
+	"mediaworm/internal/runner"
+)
+
+// BoundsSweep cross-validates the closed-form network-calculus bounds of
+// internal/calculus against the simulator: for every cell of the paper's
+// figure grids it simulates the workload, prices every realized stream's
+// analytic end-to-end delay bound, and compares the bound against the
+// stream's worst observed message latency. A sound model shows zero
+// violations — no stream's observed worst case above its finite bound —
+// and the slack ratio (bound / observed) quantifies how conservative the
+// analysis is.
+
+// BoundsPoint is one grid cell's bound-versus-observed comparison.
+type BoundsPoint struct {
+	// Fabric names the topology: "single-switch" or "fat-mesh".
+	Fabric string
+	// Load and RTShare locate the cell on the paper's grid.
+	Load, RTShare float64
+	// Streams is the realized real-time stream count; Certified how many
+	// received a finite analytic bound (the rest are ∞ — the model
+	// declines to certify an unstable or θ-violating operating point,
+	// which dominates any observation trivially).
+	Streams, Certified int
+	// Compared counts certified streams that delivered at least one
+	// message; Violations how many of those observed a message latency
+	// above their bound. Soundness means zero.
+	Compared, Violations int
+	// WorstBoundMs is the largest finite per-stream bound and
+	// WorstObservedMs the largest observed worst-case latency among
+	// compared streams, both in paper-scale milliseconds.
+	WorstBoundMs, WorstObservedMs float64
+	// MedianSlack is the median over compared streams of bound/observed —
+	// the headline looseness metric. 0 when nothing was compared.
+	MedianSlack float64
+	// MaxBacklogKbits is the analytic worst per-link backlog bound in
+	// kilobits (∞ when some link is uncertifiable).
+	MaxBacklogKbits float64
+}
+
+// BoundsReport is the BoundsSweep output.
+type BoundsReport struct {
+	Cells []BoundsPoint
+	Notes string
+}
+
+// Violations sums soundness violations across all cells.
+func (r *BoundsReport) Violations() int {
+	total := 0
+	for _, c := range r.Cells {
+		total += c.Violations
+	}
+	return total
+}
+
+// MedianSlack returns the median of the per-cell median slack ratios over
+// cells that compared at least one stream.
+func (r *BoundsReport) MedianSlack() float64 {
+	var meds []float64
+	for _, c := range r.Cells {
+		if c.Compared > 0 {
+			meds = append(meds, c.MedianSlack)
+		}
+	}
+	return median(meds)
+}
+
+// Fprint renders the bound-versus-observed grid.
+func (r *BoundsReport) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "== bounds: analytic delay bound vs observed worst case ==")
+	rows := [][]string{{"fabric", "load", "x:y", "streams", "certified", "compared", "viol", "bound ms", "observed ms", "slack med", "backlog kb"}}
+	for _, c := range r.Cells {
+		boundCell := "inf"
+		if c.Certified > 0 {
+			boundCell = fmt.Sprintf("%.3f", c.WorstBoundMs)
+		}
+		slackCell, backlogCell := "-", "inf"
+		if c.Compared > 0 {
+			slackCell = fmt.Sprintf("%.1f", c.MedianSlack)
+		}
+		if !math.IsInf(c.MaxBacklogKbits, 1) {
+			backlogCell = fmt.Sprintf("%.1f", c.MaxBacklogKbits)
+		}
+		rows = append(rows, []string{
+			c.Fabric,
+			fmt.Sprintf("%.2f", c.Load),
+			fmt.Sprintf("%d:%d", int(c.RTShare*100+0.5), int((1-c.RTShare)*100+0.5)),
+			fmt.Sprintf("%d", c.Streams),
+			fmt.Sprintf("%d", c.Certified),
+			fmt.Sprintf("%d", c.Compared),
+			fmt.Sprintf("%d", c.Violations),
+			boundCell,
+			fmt.Sprintf("%.3f", c.WorstObservedMs),
+			slackCell,
+			backlogCell,
+		})
+	}
+	writeAligned(w, rows)
+	if r.Notes != "" {
+		fmt.Fprintf(w, "note: %s\n", r.Notes)
+	}
+	fmt.Fprintf(w, "total violations: %d, median slack: %.1f\n\n", r.Violations(), r.MedianSlack())
+}
+
+// boundsCell locates one simulation of the sweep.
+type boundsCell struct {
+	fatMesh   bool
+	load, mix float64
+}
+
+func boundsGrid(full bool) []boundsCell {
+	var cells []boundsCell
+	if full {
+		for _, load := range Table2Loads {
+			for _, mix := range Fig5Mixes {
+				cells = append(cells, boundsCell{load: load, mix: mix})
+			}
+		}
+		for _, load := range Fig9Loads {
+			for _, mix := range Fig9Mixes {
+				cells = append(cells, boundsCell{fatMesh: true, load: load, mix: mix})
+			}
+		}
+		return cells
+	}
+	// Smoke grid: corners that exercise both fabrics — certifiable mixed
+	// and pure-RT single-switch cells, a saturating pure-RT cell the model
+	// must decline, and a certifiable plus a declining fat-mesh cell.
+	return []boundsCell{
+		{load: 0.60, mix: 0.5},
+		{load: 0.60, mix: 1.0},
+		{load: 0.90, mix: 1.0},
+		{fatMesh: true, load: 0.70, mix: 0.4},
+		{fatMesh: true, load: 0.90, mix: 0.8},
+	}
+}
+
+// BoundsSweep runs the full figure grid: Table 2 loads × Fig. 5 mixes on
+// the single switch plus the Fig. 9 load/mix grid on the 2×2 fat-mesh.
+func BoundsSweep(opt Options) (*BoundsReport, error) {
+	return boundsSweep(opt, boundsGrid(true),
+		"bound is the per-stream network-calculus delay bound (internal/calculus); "+
+			"observed is the worst delivered message latency per stream; "+
+			"uncertified streams carry an infinite bound (model declines the operating point)")
+}
+
+// BoundsSmoke runs a reduced five-cell grid — both fabrics, certifiable and
+// saturating corners — sized for CI.
+func BoundsSmoke(opt Options) (*BoundsReport, error) {
+	return boundsSweep(opt, boundsGrid(false), "reduced CI grid; see BoundsSweep for the full one")
+}
+
+func boundsSweep(opt Options, cells []boundsCell, notes string) (*BoundsReport, error) {
+	opt = opt.normalized()
+	pts, err := runner.Map(context.Background(), len(cells),
+		runner.Options{Workers: opt.Parallel},
+		func(_ context.Context, i int) (BoundsPoint, error) {
+			return runBoundsPoint(opt, cells[i])
+		})
+	if err != nil {
+		var re *runner.Error
+		if errors.As(err, &re) {
+			c := cells[re.Index]
+			return nil, fmt.Errorf("bounds sweep at load %.2f mix %.2f: %w", c.load, c.mix, re.Err)
+		}
+		return nil, fmt.Errorf("bounds sweep: %w", err)
+	}
+	return &BoundsReport{Cells: pts, Notes: notes}, nil
+}
+
+// CalculusParams maps a simulator configuration onto the analytic model's
+// parameters for the given operating point. Exported so CLIs and examples
+// price the exact configuration they simulate.
+func CalculusParams(cfg mediaworm.Config, fatMesh bool, load, rtShare float64, rtVCs int) (calculus.Params, error) {
+	kind, err := sched.ParseKind(string(cfg.Policy))
+	if err != nil {
+		return calculus.Params{}, err
+	}
+	p := calculus.Params{
+		Topology:         calculus.SingleSwitch,
+		Nodes:            cfg.Ports,
+		LinkBandwidthBps: cfg.LinkBandwidthBps,
+		FlitBits:         cfg.FlitBits,
+		MsgFlits:         cfg.MsgFlits,
+		VCs:              cfg.VCs,
+		RTVCs:            rtVCs,
+		Policy:           kind,
+		FrameBytes:       cfg.FrameBytes,
+		FrameBytesSD:     cfg.FrameBytesSD,
+		IntervalSec:      cfg.FrameInterval.Seconds(),
+		BestEffortLoad:   load * (1 - rtShare),
+	}
+	if fatMesh {
+		p.Topology = calculus.FatMesh2x2
+		p.Nodes = 16
+	}
+	return p, nil
+}
+
+func runBoundsPoint(opt Options, cell boundsCell) (BoundsPoint, error) {
+	base := baseConfig(opt)
+	rtVCs := traffic.PartitionVCs(base.VCs, cell.mix)
+	eng := sim.NewEngine()
+	rcfg := coreConfigFrom(base, rtVCs)
+	var (
+		net *topology.Net
+		err error
+	)
+	if cell.fatMesh {
+		rcfg.Ports = 8
+		net, err = topology.FatMesh2x2(eng, rcfg)
+	} else {
+		net, err = topology.SingleSwitch(eng, rcfg)
+	}
+	if err != nil {
+		return BoundsPoint{}, err
+	}
+
+	warmup := sim.Time(base.Warmup.Nanoseconds())
+	stop := warmup + sim.Time(base.Measure.Nanoseconds())
+	interval := sim.Time(base.FrameInterval.Nanoseconds())
+
+	// Per-stream worst observed message latency, injection to tail
+	// delivery. The bound claims every message, warmup included: an
+	// initially empty fabric only helps, so no window filtering.
+	observed := map[int]sim.Time{}
+	for _, s := range net.Sinks {
+		s.OnMessage = func(m *flit.Message, at sim.Time) {
+			if m.Class == flit.BestEffort {
+				return
+			}
+			if lat := at - m.Injected; lat > observed[m.StreamID] {
+				observed[m.StreamID] = lat
+			}
+		}
+	}
+
+	w, err := traffic.Apply(eng, net, traffic.MixConfig{
+		Load: cell.load, RTShare: cell.mix, Class: flit.VBR,
+		LinkBitsPerSec: base.LinkBandwidthBps,
+		FlitBits:       base.FlitBits, MsgFlits: base.MsgFlits,
+		FrameBytes: base.FrameBytes, FrameBytesSD: base.FrameBytesSD,
+		Interval: interval, VCs: base.VCs, RTVCs: rtVCs,
+		Stop: stop, Seed: opt.Seed,
+	})
+	if err != nil {
+		return BoundsPoint{}, err
+	}
+
+	eng.Run(stop)
+	eng.Drain()
+	if err := net.Fabric.CheckDrained(); err != nil {
+		return BoundsPoint{}, err
+	}
+
+	params, err := CalculusParams(base, cell.fatMesh, cell.load, cell.mix, rtVCs)
+	if err != nil {
+		return BoundsPoint{}, err
+	}
+	model, err := calculus.New(params)
+	if err != nil {
+		return BoundsPoint{}, err
+	}
+	// Price the realized placement, not the balanced ideal: registration
+	// order does not matter, so bounds are placement-exact.
+	for _, st := range w.Streams {
+		model.Register(st.Src(), st.Dst())
+	}
+
+	norm := paperIntervalMs / (base.FrameInterval.Seconds() * 1000)
+	point := BoundsPoint{
+		Fabric:  "single-switch",
+		Load:    cell.load,
+		RTShare: cell.mix,
+		Streams: len(w.Streams),
+	}
+	if cell.fatMesh {
+		point.Fabric = "fat-mesh"
+	}
+	var slacks []float64
+	for _, st := range w.Streams {
+		boundMs := model.DelayBoundSec(st.Src(), st.Dst()) * 1e3 * norm
+		if math.IsInf(boundMs, 1) {
+			continue
+		}
+		point.Certified++
+		if boundMs > point.WorstBoundMs {
+			point.WorstBoundMs = boundMs
+		}
+		lat, delivered := observed[st.ID()]
+		if !delivered {
+			continue
+		}
+		obsMs := float64(lat) / 1e6 * norm
+		point.Compared++
+		if obsMs > point.WorstObservedMs {
+			point.WorstObservedMs = obsMs
+		}
+		if obsMs > boundMs {
+			point.Violations++
+		}
+		if obsMs > 0 {
+			slacks = append(slacks, boundMs/obsMs)
+		}
+	}
+	point.MedianSlack = median(slacks)
+	bits, _ := model.MaxBacklogBits()
+	point.MaxBacklogKbits = bits / 1e3
+	return point, nil
+}
+
+// median returns the middle value of vs (mean of the middle two for even
+// lengths), or 0 for an empty slice. vs is reordered.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	if n := len(vs); n%2 == 1 {
+		return vs[n/2]
+	} else {
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mediaworm/internal/calculus"
+)
+
+// TestBoundsSmokeSoundness is the in-tree soundness gate: on the reduced
+// grid the analytic bound must dominate every observed worst-case latency,
+// certifiable cells must actually certify streams, and saturating cells must
+// be declined rather than given an optimistic finite bound.
+func TestBoundsSmokeSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := BoundsSmoke(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Violations(); got != 0 {
+		t.Fatalf("%d observed worst-case latencies above their analytic bound", got)
+	}
+	certified, compared := 0, 0
+	for _, c := range rep.Cells {
+		certified += c.Certified
+		compared += c.Compared
+		if c.Certified > c.Streams || c.Compared > c.Certified {
+			t.Fatalf("cell %+v has inconsistent counts", c)
+		}
+		if c.Compared > 0 && c.MedianSlack < 1 {
+			t.Fatalf("cell load %.2f mix %.2f median slack %.2f < 1 with zero violations",
+				c.Load, c.RTShare, c.MedianSlack)
+		}
+	}
+	if certified == 0 || compared == 0 {
+		t.Fatal("no cell certified any stream — the experiment compares nothing")
+	}
+	// The saturating pure-RT corner must be declined: certifying a fabric
+	// whose aggregate exceeds service capacity would be unsound.
+	for _, c := range rep.Cells {
+		if c.Fabric == "single-switch" && c.Load == 0.90 && c.RTShare == 1.0 && c.Certified != 0 {
+			t.Fatalf("saturating cell certified %d streams", c.Certified)
+		}
+	}
+}
+
+func TestBoundsReportPrint(t *testing.T) {
+	rep := &BoundsReport{
+		Cells: []BoundsPoint{
+			{Fabric: "single-switch", Load: 0.6, RTShare: 0.5, Streams: 10, Certified: 10,
+				Compared: 10, WorstBoundMs: 3.2, WorstObservedMs: 0.5, MedianSlack: 6.4,
+				MaxBacklogKbits: 60},
+			{Fabric: "fat-mesh", Load: 0.9, RTShare: 0.8, Streams: 12,
+				MaxBacklogKbits: math.Inf(1)},
+		},
+		Notes: "test grid",
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"single-switch", "fat-mesh", "inf", "6.4", "total violations: 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCalculusParamsMapsConfig(t *testing.T) {
+	cfg := baseConfig(fastOpt())
+	p, err := CalculusParams(cfg, false, 0.8, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Topology != calculus.SingleSwitch || p.Nodes != cfg.Ports {
+		t.Fatalf("single-switch mapping: %+v", p)
+	}
+	if p.RTVCs != 8 || math.Abs(p.BestEffortLoad-0.4) > 1e-12 {
+		t.Fatalf("partition mapping: RTVCs %d BE %v", p.RTVCs, p.BestEffortLoad)
+	}
+	if p.IntervalSec != cfg.FrameInterval.Seconds() {
+		t.Fatalf("interval %v != %v", p.IntervalSec, cfg.FrameInterval.Seconds())
+	}
+	fat, err := CalculusParams(cfg, true, 0.8, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fat.Topology != calculus.FatMesh2x2 || fat.Nodes != 16 {
+		t.Fatalf("fat-mesh mapping: %+v", fat)
+	}
+	bad := cfg
+	bad.Policy = "bogus"
+	if _, err := CalculusParams(bad, false, 0.8, 0.5, 8); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -106,6 +107,53 @@ func Table3CSV(tab *experiments.Table3, w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// BoundsCSV writes one row per bound-versus-observed grid cell. Infinite
+// bounds (cells the analytic model declines to certify) render as "inf".
+func BoundsCSV(rep *experiments.BoundsReport, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"fabric", "load", "rt_share", "streams", "certified", "compared",
+		"violations", "worst_bound_ms", "worst_observed_ms", "median_slack",
+		"max_backlog_kbits",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range rep.Cells {
+		bound := "inf"
+		if c.Certified > 0 {
+			bound = formatF(c.WorstBoundMs)
+		}
+		backlog := "inf"
+		if !math.IsInf(c.MaxBacklogKbits, 1) {
+			backlog = formatF(c.MaxBacklogKbits)
+		}
+		row := []string{
+			c.Fabric,
+			formatF(c.Load),
+			formatF(c.RTShare),
+			strconv.Itoa(c.Streams),
+			strconv.Itoa(c.Certified),
+			strconv.Itoa(c.Compared),
+			strconv.Itoa(c.Violations),
+			bound,
+			formatF(c.WorstObservedMs),
+			formatF(c.MedianSlack),
+			backlog,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBoundsFile renders a bounds report to <dir>/bounds.csv.
+func WriteBoundsFile(dir string, rep *experiments.BoundsReport) (string, error) {
+	return writeFile(dir, "bounds", func(w io.Writer) error { return BoundsCSV(rep, w) })
 }
 
 // WriteFigureFile renders a figure to <dir>/<id>.csv.

@@ -11,6 +11,7 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 
 	"mediaworm/internal/sim"
 )
@@ -45,7 +46,11 @@ func (k Kind) String() string {
 	}
 }
 
-// ParseKind converts a policy name to a Kind.
+// ParseKind converts a policy name to a Kind. Accepted spellings are exact:
+// "fifo"/"FIFO", "round-robin"/"rr", and "virtual-clock"/"vc"/"virtualclock".
+// Near-miss junk — stray whitespace or mixed case like "Fifo " — is rejected
+// with an error that names the canonical spelling instead of an opaque
+// "unknown policy".
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "fifo", "FIFO":
@@ -55,7 +60,12 @@ func ParseKind(s string) (Kind, error) {
 	case "virtual-clock", "vc", "virtualclock":
 		return VirtualClock, nil
 	}
-	return 0, fmt.Errorf("sched: unknown policy %q", s)
+	if norm := strings.ToLower(strings.TrimSpace(s)); norm != s {
+		if k, err := ParseKind(norm); err == nil {
+			return 0, fmt.Errorf("sched: unknown policy %q (policy names are lowercase without surrounding space: did you mean %q?)", s, k)
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q (valid: fifo, round-robin, rr, virtual-clock, vc, virtualclock)", s)
 }
 
 // Candidate describes one virtual channel competing at a contention point.
@@ -250,3 +260,68 @@ func (v *VClock) Aux() sim.Time { return v.aux }
 
 // Reset clears the clock for reuse by a new message.
 func (v *VClock) Reset() { v.aux = 0 }
+
+// ServiceConfig carries the contention-point parameters a worst-case service
+// characterization depends on: the virtual-channel partition at the point.
+type ServiceConfig struct {
+	// VCs is the number of virtual channels multiplexed at the point;
+	// RTVCs of them carry real-time traffic.
+	VCs, RTVCs int
+}
+
+// ServiceModel is the worst-case rate-latency characterization of one
+// scheduling discipline at one contention point, in link-rate and flit-slot
+// units so it stays independent of the physical channel speed: the
+// real-time aggregate is guaranteed at least a Share fraction of the link
+// bandwidth after at most LatencyFlits flit-transmission times of
+// scheduling delay. internal/calculus turns this into a rate-latency
+// service curve β(t) = Share·C·(t − LatencyFlits·cycle)⁺.
+type ServiceModel struct {
+	// Share is the guaranteed long-run fraction of link bandwidth available
+	// to the real-time aggregate.
+	Share float64
+	// LatencyFlits is the worst-case scheduling latency, in flit slots,
+	// before that share applies (non-preemption blocking, rotation turns).
+	LatencyFlits float64
+	// CrossBestEffort reports whether best-effort traffic must be counted
+	// as cross traffic when computing leftover real-time service: true when
+	// the discipline gives best-effort flits equal standing (FIFO), false
+	// when its guarantee already isolates them (RoundRobin's slots, Virtual
+	// Clock's strict timestamp priority).
+	CrossBestEffort bool
+}
+
+// ServiceCurve returns the per-kind worst-case service characterization of
+// a contention point for the real-time aggregate:
+//
+//   - FIFO serves in arrival order, so real-time flits get the whole link
+//     but queue behind every best-effort flit that arrived earlier: full
+//     share, no extra latency, best-effort counted as cross traffic.
+//   - RoundRobin guarantees each VC one flit per rotation: the real-time
+//     VCs jointly hold RTVCs/VCs of the link and wait at most the
+//     best-effort VCs' slots (VCs − RTVCs flit times) per rotation;
+//     best-effort is isolated by construction.
+//   - VirtualClock serves finite timestamps strictly before best-effort
+//     (timestamp ∞), so the aggregate holds the full link minus one flit of
+//     non-preemption blocking — wormhole transmission is not preempted
+//     mid-flit. This is the Nikolić–Indrusiak priority-preemptive shape.
+func ServiceCurve(k Kind, cfg ServiceConfig) (ServiceModel, error) {
+	if cfg.VCs <= 0 || cfg.RTVCs < 0 || cfg.RTVCs > cfg.VCs {
+		return ServiceModel{}, fmt.Errorf("sched: invalid service config %+v", cfg)
+	}
+	switch k {
+	case FIFO:
+		return ServiceModel{Share: 1, LatencyFlits: 0, CrossBestEffort: true}, nil
+	case RoundRobin:
+		if cfg.RTVCs == 0 {
+			return ServiceModel{}, fmt.Errorf("sched: round-robin service with no real-time VCs")
+		}
+		return ServiceModel{
+			Share:        float64(cfg.RTVCs) / float64(cfg.VCs),
+			LatencyFlits: float64(cfg.VCs - cfg.RTVCs),
+		}, nil
+	case VirtualClock:
+		return ServiceModel{Share: 1, LatencyFlits: 1}, nil
+	}
+	return ServiceModel{}, fmt.Errorf("sched: unknown kind %d", k)
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -19,14 +20,78 @@ func TestKindString(t *testing.T) {
 }
 
 func TestParseKind(t *testing.T) {
-	for s, want := range map[string]Kind{"fifo": FIFO, "FIFO": FIFO, "rr": RoundRobin, "round-robin": RoundRobin, "vc": VirtualClock, "virtual-clock": VirtualClock, "virtualclock": VirtualClock} {
+	accepted := map[string]Kind{
+		"fifo": FIFO, "FIFO": FIFO,
+		"rr": RoundRobin, "round-robin": RoundRobin,
+		"vc": VirtualClock, "virtual-clock": VirtualClock, "virtualclock": VirtualClock,
+	}
+	for s, want := range accepted {
 		got, err := ParseKind(s)
 		if err != nil || got != want {
 			t.Fatalf("ParseKind(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := ParseKind("bogus"); err == nil {
-		t.Fatal("ParseKind accepted junk")
+	rejected := []struct {
+		in       string
+		wantHint string // substring the error must carry
+	}{
+		{"bogus", "valid:"},
+		{"", "valid:"},
+		{"Fifo ", `did you mean "fifo"?`},
+		{" fifo", `did you mean "fifo"?`},
+		{"fifo\t", `did you mean "fifo"?`},
+		{"FiFo", `did you mean "fifo"?`},
+		{"RR", `did you mean "round-robin"?`},
+		{"Round-Robin", `did you mean "round-robin"?`},
+		{"VC ", `did you mean "virtual-clock"?`},
+		{"VirtualClock", `did you mean "virtual-clock"?`},
+		{"Virtual-Clock\n", `did you mean "virtual-clock"?`},
+		{" bogus ", "valid:"}, // junk stays junk even normalized
+	}
+	for _, tc := range rejected {
+		_, err := ParseKind(tc.in)
+		if err == nil {
+			t.Fatalf("ParseKind(%q) accepted junk", tc.in)
+		}
+		if !strings.Contains(err.Error(), tc.wantHint) {
+			t.Fatalf("ParseKind(%q) error %q lacks %q", tc.in, err, tc.wantHint)
+		}
+	}
+}
+
+func TestServiceCurve(t *testing.T) {
+	cfg := ServiceConfig{VCs: 16, RTVCs: 12}
+	cases := []struct {
+		kind    Kind
+		share   float64
+		latency float64
+		crossBE bool
+	}{
+		{FIFO, 1, 0, true},
+		{RoundRobin, 12.0 / 16, 4, false},
+		{VirtualClock, 1, 1, false},
+	}
+	for _, tc := range cases {
+		m, err := ServiceCurve(tc.kind, cfg)
+		if err != nil {
+			t.Fatalf("ServiceCurve(%v): %v", tc.kind, err)
+		}
+		if m.Share != tc.share || m.LatencyFlits != tc.latency || m.CrossBestEffort != tc.crossBE {
+			t.Fatalf("ServiceCurve(%v) = %+v, want share %v latency %v crossBE %v",
+				tc.kind, m, tc.share, tc.latency, tc.crossBE)
+		}
+	}
+	if _, err := ServiceCurve(FIFO, ServiceConfig{VCs: 0}); err == nil {
+		t.Fatal("accepted zero VCs")
+	}
+	if _, err := ServiceCurve(FIFO, ServiceConfig{VCs: 4, RTVCs: 5}); err == nil {
+		t.Fatal("accepted RTVCs > VCs")
+	}
+	if _, err := ServiceCurve(RoundRobin, ServiceConfig{VCs: 4, RTVCs: 0}); err == nil {
+		t.Fatal("round-robin accepted zero real-time VCs")
+	}
+	if _, err := ServiceCurve(Kind(99), cfg); err == nil {
+		t.Fatal("accepted unknown kind")
 	}
 }
 

@@ -179,6 +179,25 @@ func FatMeshEndpointLocation(ep int) (sw, port int) {
 	return ep / fmEndpoints, ep % fmEndpoints
 }
 
+// FatMeshSwitchPath returns the switch sequence a fault-free message
+// traverses from srcSw to dstSw under the deterministic XY routing of
+// fatMeshRoute, source and destination switches included. The analytic
+// model (internal/calculus) composes per-hop service curves along exactly
+// this path; each interior step crosses one fat (two-parallel-link) channel.
+func FatMeshSwitchPath(srcSw, dstSw int) []int {
+	path := []int{srcSw}
+	at := srcSw
+	if dstSw%2 != at%2 { // correct X first (flip the x coordinate)
+		at ^= 1
+		path = append(path, at)
+	}
+	if dstSw != at { // then Y
+		at ^= 2
+		path = append(path, at)
+	}
+	return path
+}
+
 // fatMeshRoute is deterministic XY routing over the 2×2 mesh. Switch s sits
 // at (s%2, s/2). A message not yet at its destination switch first corrects
 // X (via the two parallel X ports), then Y. Both parallel ports are returned

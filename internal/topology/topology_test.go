@@ -301,3 +301,49 @@ func TestFatMeshBidirectionalLinks(t *testing.T) {
 		t.Fatal("reverse-direction message not delivered")
 	}
 }
+
+func TestFatMeshSwitchPathMatchesRouting(t *testing.T) {
+	// Property: for every endpoint pair, following fatMeshRoute's first
+	// candidate hop by hop visits exactly FatMeshSwitchPath's switches.
+	portToSwitch := func(sw, port int) int {
+		switch port {
+		case fmXPortA, fmXPortB:
+			return sw ^ 1
+		case fmYPortA, fmYPortB:
+			return sw ^ 2
+		}
+		return -1 // endpoint port: delivered
+	}
+	for src := 0; src < fmTotalNodes; src++ {
+		for dst := 0; dst < fmTotalNodes; dst++ {
+			if src == dst {
+				continue
+			}
+			srcSw, _ := FatMeshEndpointLocation(src)
+			dstSw, _ := FatMeshEndpointLocation(dst)
+			want := FatMeshSwitchPath(srcSw, dstSw)
+			var got []int
+			at := srcSw
+			for {
+				got = append(got, at)
+				ports := fatMeshRoute(at, &flit.Message{Dst: dst})
+				next := portToSwitch(at, ports[0])
+				if next < 0 {
+					break
+				}
+				at = next
+			}
+			if len(got) != len(want) {
+				t.Fatalf("path(%d→%d) = %v, want %v", src, dst, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("path(%d→%d) = %v, want %v", src, dst, got, want)
+				}
+			}
+			if got[len(got)-1] != dstSw {
+				t.Fatalf("path(%d→%d) ends at switch %d, want %d", src, dst, got[len(got)-1], dstSw)
+			}
+		}
+	}
+}

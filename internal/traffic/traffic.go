@@ -50,6 +50,22 @@ func (c *StreamConfig) PayloadFlitsPerMsg() int {
 	return c.MsgFlits - 1
 }
 
+// WireFlits returns the on-wire flit count of a frame of the given byte
+// size under the config's segmentation: payload flits plus one header per
+// message.
+func (c *StreamConfig) WireFlits(bytes float64) int {
+	payload := flit.FlitsForBytes(int(math.Round(bytes)), c.FlitBits)
+	if payload < 1 {
+		payload = 1
+	}
+	perMsg := c.PayloadFlitsPerMsg()
+	msgs := (payload + perMsg - 1) / perMsg
+	if c.MsgFlits > 1 {
+		return payload + msgs
+	}
+	return payload
+}
+
 // NominalBitsPerSec returns the stream's payload bandwidth (the paper's
 // "4 Mbps"), excluding header overhead.
 func (c *StreamConfig) NominalBitsPerSec() float64 {
@@ -97,6 +113,13 @@ type pendingInject struct {
 
 // ID returns the stream's identifier.
 func (s *Stream) ID() int { return s.cfg.ID }
+
+// Src and Dst return the stream's endpoint ids — the route the analytic
+// admission model prices.
+func (s *Stream) Src() int { return s.cfg.Src }
+
+// Dst returns the stream's destination endpoint id.
+func (s *Stream) Dst() int { return s.cfg.Dst }
 
 // Revoked reports whether the stream is currently revoked.
 func (s *Stream) Revoked() bool { return s.revoked }
@@ -176,6 +199,17 @@ func (s *Stream) emitFrame() {
 		wireFlits += msgs
 	}
 	vtick := sim.Time(int64(s.cfg.Interval) / int64(wireFlits))
+	// A connection's virtual clock never runs slower than its subscribed
+	// nominal rate — the paper's timestamps reflect connection bandwidth
+	// (§3.3), not instantaneous frame size. Without the floor, an
+	// unusually small frame would request an arbitrarily slow clock and
+	// its flits could stall behind cross traffic for an unbounded stamp
+	// skew; with it, the skew is capped at MsgFlits nominal ticks, which
+	// is what internal/calculus prices as the Virtual Clock pacing term.
+	// Larger-than-nominal frames keep their faster instantaneous clock.
+	if nom := sim.Time(int64(s.cfg.Interval) / int64(s.cfg.WireFlits(s.cfg.FrameBytes))); vtick > nom {
+		vtick = nom
+	}
 	if vtick < 1 {
 		vtick = 1
 	}
