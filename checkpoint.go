@@ -11,6 +11,7 @@ import (
 	"mediaworm/internal/flit"
 	"mediaworm/internal/network"
 	"mediaworm/internal/obs"
+	"mediaworm/internal/police"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/sim"
 	"mediaworm/internal/snapshot"
@@ -42,7 +43,7 @@ type Sim struct {
 	// Fault/resilience/trace wiring (absent when disabled). Runs using any
 	// of these execute normally but refuse to checkpoint.
 	trc      *obs.Tracer            //mw:snapcover — checkpointable() refuses traced runs
-	ledger   *stats.FrameLedger     //mw:snapcover — nil when checkpointing: checkpointable() refuses fault-enabled runs
+	ledger   *stats.FrameLedger     //mw:snapcover — rebuilt by NewSim; serialized via FrameLedger.EncodeState when policing is armed, and fault runs refuse checkpoints
 	retx     *network.Retransmitter //mw:snapcover — nil when checkpointing: checkpointable() refuses fault-enabled runs
 	injector *fault.Injector        //mw:snapcover — nil when checkpointing: checkpointable() refuses fault-enabled runs
 
@@ -95,6 +96,7 @@ func NewSim(cfg Config) (*Sim, error) {
 		StageDepth:           cfg.StageDepth,
 		FullCrossbar:         cfg.FullCrossbar,
 		Policy:               kind,
+		Sched:                schedParams(cfg, rtVCs),
 		Period:               sim.Time(cfg.CyclePeriod().Nanoseconds()),
 		AllocatorIterations:  cfg.AllocatorIterations,
 		ExclusiveEndpointVCs: cfg.ExclusiveEndpointVCs,
@@ -121,9 +123,17 @@ func NewSim(cfg Config) (*Sim, error) {
 			return nil, err
 		}
 		for _, ni := range net.NIs {
-			ni.SetPolicy(srcKind)
+			ni.SetPolicyParams(srcKind, rcfg.Sched)
 		}
 	}
+	if cfg.Policing.Enabled {
+		mc, dc := policingParams(cfg)
+		src := rng.NewStream(cfg.Seed, "police")
+		for i, ni := range net.NIs {
+			ni.SetPolicer(police.NewPolicer(mc, dc, src.Split(uint64(i))))
+		}
+	}
+	policed := cfg.Policing.Enabled
 
 	warmup := sim.Time(cfg.Warmup.Nanoseconds())
 	stop := warmup + sim.Time(cfg.Measure.Nanoseconds())
@@ -164,6 +174,12 @@ func NewSim(cfg Config) (*Sim, error) {
 		if fc.FlitCorruptionProb > 0 {
 			s.injector.CorruptFlits(fc.FlitCorruptionProb)
 		}
+		s.ledger = stats.NewFrameLedger()
+	}
+	// Policing discards whole messages at injection, so their frames never
+	// finish reassembly; the ledger makes that loss visible as a
+	// delivered-frame ratio instead of silently shrinking the sample count.
+	if policed && s.ledger == nil {
 		s.ledger = stats.NewFrameLedger()
 	}
 
@@ -298,6 +314,17 @@ func (s *Sim) Finish() (Result, error) {
 			Saturated:     saturatedBE(injAtStop, delAtStop),
 		}
 	}
+	if s.cfg.Policing.Enabled {
+		pr := PolicingResult{Enabled: true}
+		for _, ni := range s.net.NIs {
+			pr.MeterExceed += ni.MeterExceed
+			pr.MeterViolate += ni.MeterViolate
+			pr.Drops += ni.PoliceDrops
+		}
+		pr.FramesEmitted, pr.FramesDelivered = s.ledger.Counts()
+		pr.DeliveredFrameRatio = s.ledger.Ratio()
+		res.Policing = pr
+	}
 	if s.cfg.Faults.enabled() {
 		rr := ResilienceResult{Enabled: true}
 		for _, r := range s.net.Routers {
@@ -424,6 +451,9 @@ func (s *Sim) WriteCheckpoint(out io.Writer) error {
 	if s.playout != nil {
 		s.playout.EncodeState(w)
 	}
+	if s.ledger != nil {
+		s.ledger.EncodeState(w)
+	}
 	w.End()
 
 	return w.Flush(out)
@@ -525,6 +555,11 @@ func RestoreSim(in io.Reader) (*Sim, error) {
 	}
 	if s.playout != nil {
 		if err := s.playout.RestoreState(r); err != nil {
+			return nil, err
+		}
+	}
+	if s.ledger != nil {
+		if err := s.ledger.RestoreState(r); err != nil {
 			return nil, err
 		}
 	}

@@ -71,6 +71,23 @@ func TestCheckpointRoundTripGolden(t *testing.T) {
 		{"fat-mesh", func(c *Config) { c.Topology = FatMesh2x2; c.Load = 0.5 }},
 		{"tetrahedral", func(c *Config) { c.Topology = Tetrahedral; c.Load = 0.5 }},
 		{"source-policy-override", func(c *Config) { c.SourcePolicy = FIFO }},
+		{"wrr-weighted", func(c *Config) {
+			c.Policy = WRR
+			c.Sched = SchedConfig{RTWeight: 3, BEWeight: 1}
+		}},
+		{"drr-weighted", func(c *Config) {
+			c.Policy = DRR
+			c.Sched = SchedConfig{RTWeight: 3, BEWeight: 1, Quantum: 2}
+		}},
+		{"wf2q", func(c *Config) {
+			c.Policy = WF2Q
+			c.Sched = SchedConfig{RTWeight: 2, BEWeight: 1}
+		}},
+		{"sp-wrr", func(c *Config) {
+			c.Policy = SPWRR
+			c.Sched = SchedConfig{RTWeight: 3, BEWeight: 1}
+		}},
+		{"policed", func(c *Config) { c.Policing.Enabled = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,6 +103,35 @@ func TestCheckpointRoundTripGolden(t *testing.T) {
 					resultString(got), resultString(want))
 			}
 		})
+	}
+}
+
+// TestCheckpointPolicedWeightedRun checkpoints mid-run with a weighted
+// scheduler AND active policing: tight meter buckets force real drops
+// before the checkpoint instant, so the serialized state must carry
+// non-trivial token-bucket levels, WRED averages, dropper RNG positions and
+// per-tier arbiter rotations for the continuation to replay byte-identically.
+func TestCheckpointPolicedWeightedRun(t *testing.T) {
+	cfg := ckptCfg()
+	cfg.Policy = SPWRR
+	cfg.Sched = SchedConfig{RTWeight: 3, BEWeight: 1}
+	cfg.Load = 0.95
+	cfg.Policing = PolicingConfig{Enabled: true, CBSFlits: 60, EBSFlits: 30}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want.Policing.Drops == 0 || want.Policing.MeterViolate == 0 {
+		t.Fatalf("test config too gentle: %d drops, %d violations — the checkpoint would not cover live policer state",
+			want.Policing.Drops, want.Policing.MeterViolate)
+	}
+	if want.Policing.DeliveredFrameRatio >= 1 {
+		t.Fatalf("drops recorded but delivered-frame ratio is %v", want.Policing.DeliveredFrameRatio)
+	}
+	got, _ := runInterrupted(t, cfg, cfg.Warmup+cfg.Measure/2)
+	if resultString(got) != resultString(want) {
+		t.Errorf("restored policed run diverged\n got: %s\nwant: %s",
+			resultString(got), resultString(want))
 	}
 }
 

@@ -36,7 +36,7 @@ func main() {
 		topology  = flag.String("topology", string(mediaworm.SingleSwitch), "single-switch or fat-mesh-2x2")
 		ports     = flag.Int("ports", 8, "ports per router")
 		vcs       = flag.Int("vcs", 16, "virtual channels per physical channel")
-		policy    = flag.String("policy", string(mediaworm.VirtualClock), "fifo, round-robin or virtual-clock")
+		policy    = flag.String("policy", string(mediaworm.VirtualClock), "fifo, round-robin, virtual-clock, wrr, drr, wf2q or sp+wrr")
 		fullXbar  = flag.Bool("full-crossbar", false, "use a full (n·m × n·m) crossbar")
 		load      = flag.Float64("load", 0.8, "offered input-link load (fraction of link bandwidth)")
 		mix       = flag.Float64("mix", 1.0, "real-time share x/(x+y) of the load")
@@ -48,6 +48,15 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		pcsMode   = flag.Bool("pcs", false, "run the PCS router instead of MediaWorm")
 		asJSON    = flag.Bool("json", false, "emit JSON")
+
+		rtWeight   = flag.Int("rt-weight", 0, "per-VC weight of the real-time partition under wrr/drr/wf2q/sp+wrr (0 = 1)")
+		beWeight   = flag.Int("be-weight", 0, "per-VC weight of the best-effort partition under wrr/drr/wf2q/sp+wrr (0 = 1)")
+		drrQuantum = flag.Int("drr-quantum", 0, "DRR base credit in flits per weight unit (0 = 1)")
+
+		policing  = flag.Bool("police", false, "arm the srTCM meter + WRED dropper at every source NI")
+		cirFactor = flag.Float64("police-cir", 0, "committed rate as a multiple of the nominal real-time rate (0 = 1.2)")
+		cbsFlits  = flag.Int("police-cbs", 0, "committed burst size in flits (0 = one nominal frame)")
+		ebsFlits  = flag.Int("police-ebs", 0, "excess burst size in flits (0 = half a frame)")
 
 		faultSweep  = flag.Bool("fault-sweep", false, "run the FaultSweep resilience experiment instead of a single simulation")
 		faultMTBF   = flag.Duration("fault-mtbf", 0, "mean time between link failures (0 disables link churn)")
@@ -140,6 +149,17 @@ func main() {
 	cfg.LinkBandwidthBps = *linkMbps * 1e6
 	cfg.MsgFlits = *msgFlits
 	cfg.Seed = *seed
+	cfg.Sched = mediaworm.SchedConfig{
+		RTWeight: *rtWeight,
+		BEWeight: *beWeight,
+		Quantum:  *drrQuantum,
+	}
+	cfg.Policing = mediaworm.PolicingConfig{
+		Enabled:   *policing,
+		CIRFactor: *cirFactor,
+		CBSFlits:  *cbsFlits,
+		EBSFlits:  *ebsFlits,
+	}
 	cfg = cfg.Scale(*scale)
 	cfg.Warmup = 3 * cfg.FrameInterval
 	cfg.Measure = time.Duration(*intervals) * cfg.FrameInterval
@@ -241,6 +261,10 @@ func printResult(res mediaworm.Result, cfg mediaworm.Config, asJSON bool) {
 			fmt.Printf("  best-effort: %.1f µs mean (max %.1f), %d/%d delivered%s\n",
 				res.BestEffort.MeanLatencyUs, res.BestEffort.MaxLatencyUs,
 				res.BestEffort.Delivered, res.BestEffort.Injected, sat)
+		}
+		if p := res.Policing; p.Enabled {
+			fmt.Printf("  policing: %d drops (%d exceed, %d violate), delivered-frame ratio %.4f\n",
+				p.Drops, p.MeterExceed, p.MeterViolate, p.DeliveredFrameRatio)
 		}
 		if r := res.Resilience; r.Enabled {
 			fmt.Printf("  faults: %d link downs / %d ups, %d flits dropped, %d msgs killed\n",

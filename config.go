@@ -18,7 +18,27 @@ const (
 	// VirtualClock is the rate-based scheduler that makes the router a
 	// MediaWorm router.
 	VirtualClock Policy = "virtual-clock"
+	// WRR is weighted round-robin: each VC gets weight flits per rotation.
+	WRR Policy = "wrr"
+	// DRR is deficit round-robin (Shreedhar–Varghese): quantum·weight flits
+	// of credit per rotation, unspent credit forfeited on an empty queue.
+	DRR Policy = "drr"
+	// WF2Q is WF²Q+ — worst-case fair weighted fair queueing with virtual
+	// eligibility, the tightest packet approximation of fluid GPS.
+	WF2Q Policy = "wf2q"
+	// SPWRR is hierarchical strict-priority across tiers with weighted
+	// round-robin inside each tier; real-time VCs occupy the top tier.
+	SPWRR Policy = "sp+wrr"
 )
+
+// validPolicy reports whether p names a known scheduling discipline.
+func validPolicy(p Policy) bool {
+	switch p {
+	case FIFO, RoundRobin, VirtualClock, WRR, DRR, WF2Q, SPWRR:
+		return true
+	}
+	return false
+}
 
 // TrafficClass selects the real-time traffic type.
 type TrafficClass string
@@ -115,10 +135,69 @@ type Config struct {
 	// PlayoutBufferFrames sizes the modeled video client's jitter buffer
 	// for the deadline-miss metric (Result.Playout). 0 disables it.
 	PlayoutBufferFrames int
+	// Sched parameterizes the weighted disciplines (WRR/DRR/WF²Q+/SP+WRR).
+	// The zero value gives every VC weight 1. Ignored by FIFO, RoundRobin
+	// and VirtualClock.
+	Sched SchedConfig
+	// Policing arms the srTCM meter + WRED early-dropper chain at every
+	// source NI's injection point. The zero value disables it — real-time
+	// messages inject unconditionally, the paper's model.
+	Policing PolicingConfig
 	// Trace arms the observability subsystem (internal/obs). The zero value
 	// disables it: the run pays one nil-check per instrumentation site and
 	// allocates nothing.
 	Trace TraceConfig
+}
+
+// SchedConfig carries the weighted disciplines' parameters. Weights apply
+// per VC across the real-time/best-effort partition (real-time VCs are
+// [0, RTVCs)); under SP+WRR the partition doubles as the priority tiers.
+type SchedConfig struct {
+	// RTWeight and BEWeight are the per-VC weights of the real-time and
+	// best-effort partitions (0 → 1 each).
+	RTWeight, BEWeight int
+	// Quantum is DRR's base credit in flits per weight unit (0 → 1).
+	Quantum int
+}
+
+func (s *SchedConfig) validate() error {
+	if s.RTWeight < 0 || s.BEWeight < 0 || s.Quantum < 0 {
+		return fmt.Errorf("mediaworm: negative scheduler parameters %+v", *s)
+	}
+	return nil
+}
+
+// PolicingConfig configures the per-NI srTCM token-bucket meter and the
+// color-aware WRED dropper in front of the injection queues. Only real-time
+// messages are metered; best-effort traffic is regulated by backpressure
+// alone. A dropped message keeps its frame from ever completing reassembly,
+// which Result.Policing reports as the delivered-frame ratio.
+type PolicingConfig struct {
+	// Enabled arms the meter + dropper chain.
+	Enabled bool
+	// CIRFactor scales each source's committed rate relative to its nominal
+	// real-time injection rate Load·RTShare·LinkBandwidth (0 → 1.2, leaving
+	// headroom for VBR frame-size variance before traffic colors yellow).
+	CIRFactor float64
+	// CBSFlits and EBSFlits are the committed and excess burst depths in
+	// flits (0 → one nominal frame's wire flits and half a frame
+	// respectively — the workload's natural burst unit).
+	CBSFlits, EBSFlits int
+	// DropExp is the WRED backlog-EWMA weight exponent: avg moves by
+	// (backlog − avg)/2^DropExp per metered arrival (0 → 4).
+	DropExp int
+}
+
+func (p *PolicingConfig) validate() error {
+	switch {
+	case p.CIRFactor < 0:
+		return fmt.Errorf("mediaworm: Policing.CIRFactor = %v", p.CIRFactor)
+	case p.CBSFlits < 0 || p.EBSFlits < 0:
+		return fmt.Errorf("mediaworm: negative policing burst sizes %d/%d", p.CBSFlits, p.EBSFlits)
+	case p.DropExp < 0:
+		return fmt.Errorf("mediaworm: Policing.DropExp = %d", p.DropExp)
+	}
+	return nil
 }
 
 // TraceConfig configures flit-lifecycle tracing and metrics collection.
@@ -267,7 +346,7 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mediaworm: %s needs 8-port routers", c.Topology)
 	case c.VCs < 1:
 		return fmt.Errorf("mediaworm: VCs = %d", c.VCs)
-	case c.Policy != FIFO && c.Policy != RoundRobin && c.Policy != VirtualClock:
+	case !validPolicy(c.Policy):
 		return fmt.Errorf("mediaworm: unknown policy %q", c.Policy)
 	case c.BufferDepth < 1 || c.StageDepth < 1:
 		return fmt.Errorf("mediaworm: buffer depths %d/%d", c.BufferDepth, c.StageDepth)
@@ -291,13 +370,18 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mediaworm: window %v/%v", c.Warmup, c.Measure)
 	case c.AllocatorIterations < 0 || c.AllocatorIterations > 2:
 		return fmt.Errorf("mediaworm: AllocatorIterations = %d", c.AllocatorIterations)
-	case c.SourcePolicy != "" && c.SourcePolicy != FIFO &&
-		c.SourcePolicy != RoundRobin && c.SourcePolicy != VirtualClock:
+	case c.SourcePolicy != "" && !validPolicy(c.SourcePolicy):
 		return fmt.Errorf("mediaworm: unknown source policy %q", c.SourcePolicy)
 	case c.VBRModel != "" && c.VBRModel != VBRNormal && c.VBRModel != VBRGoP:
 		return fmt.Errorf("mediaworm: unknown VBR model %q", c.VBRModel)
 	case c.PlayoutBufferFrames < 0:
 		return fmt.Errorf("mediaworm: PlayoutBufferFrames = %d", c.PlayoutBufferFrames)
+	}
+	if err := c.Sched.validate(); err != nil {
+		return err
+	}
+	if err := c.Policing.validate(); err != nil {
+		return err
 	}
 	if err := c.Trace.validate(); err != nil {
 		return err

@@ -1,0 +1,46 @@
+// Arbiter-shaped cases mirroring internal/sched's zoo: a Pick hot root
+// scanning a readiness mask, a lazily sized credit wheel behind a trailing
+// suppression, and the per-call allocations a naive arbiter would make.
+package hotpathfix
+
+type picker struct {
+	credit []int
+	next   int
+}
+
+// Pick is the zoo's hot shape: scan candidates, rotate the cursor, allocate
+// nothing.
+//
+//mw:hotpath
+func (p *picker) Pick(ready uint64, vcs int) int {
+	p.ensure(vcs)
+	for i := 0; i < vcs; i++ {
+		vc := (p.next + i) % vcs
+		if ready&(1<<uint(vc)) != 0 && p.credit[vc] > 0 {
+			p.credit[vc]--
+			p.next = (vc + 1) % vcs
+			return vc
+		}
+	}
+	return -1
+}
+
+// ensure is hot transitively through Pick; its growth is a documented
+// one-time sizing, so the finding is recorded as suppressed.
+func (p *picker) ensure(vcs int) {
+	if len(p.credit) < vcs {
+		p.credit = make([]int, vcs) //mw:hotpath — one-time sizing to the VC count, amortized across the run
+	}
+}
+
+// PickTrace shows the per-call allocations the zoo arbiters must avoid:
+// materializing the scan order instead of rotating an index.
+//
+//mw:hotpath
+func (p *picker) PickTrace(vcs int) []int {
+	order := []int{p.next} // want "slice literal allocates on every execution"
+	for i := 1; i < vcs; i++ {
+		order = append(order, (p.next+i)%vcs) // want "append without preallocated-capacity evidence"
+	}
+	return order
+}

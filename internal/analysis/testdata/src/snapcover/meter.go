@@ -1,0 +1,30 @@
+// Meter-shaped cases mirroring internal/police: float bucket levels that
+// must survive a checkpoint, static provisioning excluded by annotation,
+// and a counter the encoder forgot.
+package snapcoverfix
+
+import "mediaworm/internal/snapshot"
+
+// Meter mirrors a token-bucket meter: Tc/Te are live bucket levels, CIR is
+// static provisioning the constructor re-derives, and Violations is a
+// counter only the decode side touches.
+type Meter struct {
+	CIR        float64 //mw:snapcover — static provisioning, rebuilt from config on restore
+	Tc         float64
+	Te         float64
+	Violations uint64 // want "field Meter.Violations is not written by any snapshot encoder"
+}
+
+// EncodeState persists the live bucket levels only.
+func (m *Meter) EncodeState(w *snapshot.Writer) {
+	w.F64(m.Tc)
+	w.F64(m.Te)
+}
+
+// RestoreState reads the buckets back and drains a legacy violations word
+// that the encode side no longer emits — the asymmetry the analyzer flags.
+func (m *Meter) RestoreState(r *snapshot.Reader) {
+	m.Tc = r.F64()
+	m.Te = r.F64()
+	m.Violations = r.U64()
+}

@@ -37,6 +37,11 @@ type Params struct {
 	// scheduling discipline at the contention points.
 	VCs, RTVCs int
 	Policy     sched.Kind
+	// RTWeight, BEWeight and Quantum parameterize the weighted disciplines
+	// (WRR/DRR/WF²Q+/SP+WRR): the per-VC weight of the real-time and
+	// best-effort partitions and the DRR quantum, all defaulting to 1 when
+	// zero. Ignored by FIFO/RoundRobin/VirtualClock.
+	RTWeight, BEWeight, Quantum int
 	// FrameBytes, FrameBytesSD and IntervalSec shape the per-stream video
 	// arrival process (16666 B ± 3333 B every 33 ms in the paper).
 	FrameBytes, FrameBytesSD float64
@@ -114,6 +119,8 @@ func (p Params) validate() error {
 		return fmt.Errorf("calculus: best-effort load %v outside [0, 1]", p.BestEffortLoad)
 	case p.SigmaFactor < 0 || p.HopDelayBudgetSec < 0 || p.DeadlineSec < 0:
 		return fmt.Errorf("calculus: negative envelope parameters")
+	case p.RTWeight < 0 || p.BEWeight < 0 || p.Quantum < 0:
+		return fmt.Errorf("calculus: negative scheduler parameters")
 	}
 	return nil
 }
@@ -201,7 +208,10 @@ func New(p Params) (*Controller, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	svc, err := sched.ServiceCurve(p.Policy, sched.ServiceConfig{VCs: p.VCs, RTVCs: p.RTVCs})
+	svc, err := sched.ServiceCurve(p.Policy, sched.ServiceConfig{
+		VCs: p.VCs, RTVCs: p.RTVCs,
+		RTWeight: p.RTWeight, BEWeight: p.BEWeight, Quantum: p.Quantum,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +237,22 @@ func New(p Params) (*Controller, error) {
 		c.pace = float64(p.MsgFlits-1) * p.IntervalSec / nomWire
 	case sched.RoundRobin:
 		c.pace = float64(p.MsgFlits*p.FlitBits) * float64(p.VCs) / p.LinkBandwidthBps
+	case sched.WRR, sched.DRR:
+		// A message can sit out one full rotation of the wheel before its
+		// VC's next turn; a DRR turn is quantum messages long.
+		q := 1.0
+		if p.Policy == sched.DRR && p.Quantum > 1 {
+			q = float64(p.Quantum)
+		}
+		c.pace = q * float64(p.MsgFlits*p.FlitBits) * float64(p.VCs) / p.LinkBandwidthBps
+	case sched.WF2Q:
+		// WF²Q+ stays within two packets of the fluid GPS reference, so the
+		// intra-class reordering window is two message serializations.
+		c.pace = 2 * float64(p.MsgFlits*p.FlitBits) / p.LinkBandwidthBps
+	case sched.SPWRR:
+		// The real-time tier preempts best-effort outright; the window is
+		// one WRR rotation over the real-time VCs alone.
+		c.pace = float64(p.MsgFlits*p.FlitBits) * float64(p.RTVCs) / p.LinkBandwidthBps
 	case sched.FIFO:
 		// FIFO serves the class in arrival order: no reordering window.
 	}

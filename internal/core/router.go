@@ -81,8 +81,12 @@ type Config struct {
 	FullCrossbar bool
 	// Policy is the scheduling discipline at the router's bandwidth
 	// multiplexers (FIFO for the conventional router, VirtualClock for
-	// MediaWorm).
+	// MediaWorm, or any member of the scheduler zoo).
 	Policy sched.Kind
+	// Sched parameterizes the weighted disciplines (per-VC weights, tiers,
+	// DRR quantum); the zero value means every VC weight 1, tier 0. VCs is
+	// filled from the router's VC count when zero.
+	Sched sched.Params
 	// Period is the cycle time in nanoseconds (flit size / link bandwidth).
 	Period sim.Time
 	// Route computes output ports for messages not yet at their final hop.
@@ -299,6 +303,9 @@ func New(cfg Config) (*Router, error) {
 	if cfg.AllocatorIterations == 0 {
 		cfg.AllocatorIterations = 2
 	}
+	if cfg.Sched.VCs == 0 {
+		cfg.Sched.VCs = cfg.VCs
+	}
 	r := &Router{cfg: cfg, rtVCs: cfg.RTVCs, fullXb: cfg.FullCrossbar}
 	r.cands = make([]sched.Candidate, 0, cfg.VCs)
 	r.in = make([]inPort, cfg.Ports)
@@ -317,12 +324,12 @@ func New(cfg Config) (*Router, error) {
 			r.in[p].vcs[v].port = int16(p)
 			r.in[p].vcs[v].vcIdx = int16(v)
 		}
-		r.in[p].arb = sched.New(cfg.Policy)
+		r.in[p].arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
 		r.out[p].vcs = make([]outVC, cfg.VCs)
 		for v := range r.out[p].vcs {
 			r.out[p].vcs[v].stage = newRing(cfg.StageDepth)
 		}
-		r.out[p].arb = sched.New(cfg.Policy)
+		r.out[p].arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
 	}
 	if cfg.Tracer.Enabled() {
 		r.trc = cfg.Tracer

@@ -1,0 +1,86 @@
+package experiments_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mediaworm/internal/experiments"
+	"mediaworm/internal/report"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// smokeOpt pins the exact options the CI gate runs the smoke grid with
+// (cmd/paperfigs -scale 0.05 -intervals 3 -only schedzoo-smoke), so the
+// golden file this test maintains is the same byte stream CI compares.
+func smokeOpt() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Scale = 0.05
+	opt.MeasureIntervals = 3
+	return opt
+}
+
+// TestSchedZooSmokeGolden pins the smoke grid's CSV rendering. The grid
+// runs every registered zoo discipline with policing armed, so any change
+// to scheduler arbitration, meter accounting or dropper coin flips shows up
+// here as a byte diff. Regenerate deliberately with -update.
+func TestSchedZooSmokeGolden(t *testing.T) {
+	fig, err := experiments.SchedZooSmoke(smokeOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := report.FigureCSV(fig, &got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "schedzoo_smoke.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("schedzoo-smoke CSV drifted from golden; rerun with -update if intended\ngot:\n%s\nwant:\n%s",
+			got.Bytes(), want)
+	}
+}
+
+// TestSchedZooSmokeParallelIdentical checks the smoke grid is byte-identical
+// under parallel sweep execution — the property that lets CI run it at any
+// worker count.
+func TestSchedZooSmokeParallelIdentical(t *testing.T) {
+	serial := smokeOpt()
+	serial.Parallel = 1
+	par := smokeOpt()
+	par.Parallel = 4
+
+	figS, err := experiments.SchedZooSmoke(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figP, err := experiments.SchedZooSmoke(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outS, outP bytes.Buffer
+	if err := report.FigureCSV(figS, &outS); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.FigureCSV(figP, &outP); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outS.Bytes(), outP.Bytes()) {
+		t.Errorf("parallel smoke grid diverged from serial\nserial:\n%s\nparallel:\n%s",
+			outS.Bytes(), outP.Bytes())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"mediaworm/internal/core"
 	"mediaworm/internal/flit"
 	"mediaworm/internal/obs"
+	"mediaworm/internal/police"
 	"mediaworm/internal/sched"
 	"mediaworm/internal/sim"
 )
@@ -74,6 +75,20 @@ type NI struct {
 	// signal dynamic VC partitioning reads.
 	RTFlits, BEFlits uint64
 
+	// pol, if set, polices real-time injections: the srTCM meter colors each
+	// message by conformance and the WRED dropper may discard it before it
+	// ever occupies a virtual channel. Dropped messages never enter the
+	// fabric's work ledger — their frames just never finish reassembly.
+	pol *police.Policer //mw:snapcover — dynamic state encoded via police.Policer.EncodeState
+	// queued tracks the flits currently waiting in the injection queues —
+	// the dropper's backlog signal, maintained incrementally so Inject stays
+	// O(1).
+	queued int //mw:snapcover — recomputed from the restored queues
+	// MeterExceed and MeterViolate count real-time messages colored yellow
+	// and red by the meter; PoliceDrops counts messages the dropper
+	// discarded at injection.
+	MeterExceed, MeterViolate, PoliceDrops uint64
+
 	// retx, if set, tracks injected messages for end-to-end retransmission.
 	retx *Retransmitter //mw:snapcover — nil when checkpointing: fault runs refuse checkpoints
 
@@ -90,22 +105,46 @@ func newNI(f *Fabric, r *core.Router, port, node int) *NI {
 	}
 	ni := &NI{fab: f, router: r, port: port, Node: node}
 	ni.vcs = make([]niVC, cfg.VCs)
-	ni.arb = sched.New(cfg.Policy)
+	ni.arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
 	ni.cands = make([]sched.Candidate, 0, cfg.VCs)
 	return ni
 }
 
 // Inject queues a whole message on input VC vc at the current instant.
 // The caller must have set msg.Injected, msg.Vtick and msg.Flits.
+// Under policing, a real-time message may be discarded here — before it is
+// queued, before it enters the work ledger — in which case its frame never
+// finishes reassembly at the sink and shows up in the delivered-frame ratio.
 func (n *NI) Inject(vc int, msg *flit.Message) {
 	if msg.Flits <= 0 {
 		panic("network: message with no flits")
+	}
+	if n.pol != nil && msg.Class.RealTime() {
+		color, drop := n.pol.Admit(msg.Injected, msg.Flits, n.queued)
+		switch color {
+		case police.Green:
+			// Conforming traffic passes uncounted.
+		case police.Yellow:
+			n.MeterExceed++
+		case police.Red:
+			n.MeterViolate++
+		}
+		if drop {
+			n.PoliceDrops++
+			if n.trc != nil {
+				n.trc.Emit(obs.Event{At: msg.Injected, Kind: obs.EvPolice,
+					Router: int16(n.router.ID()), Port: int16(n.port), VC: int16(vc),
+					Msg: msg.ID, Class: msg.Class, Arg: int64(color), Seq: int32(msg.Flits)})
+			}
+			return
+		}
 	}
 	if msg.Class.RealTime() {
 		n.RTFlits += uint64(msg.Flits)
 	} else {
 		n.BEFlits += uint64(msg.Flits)
 	}
+	n.queued += msg.Flits
 	n.vcs[vc].q.push(msg)
 	if n.trc != nil {
 		n.trc.Emit(obs.Event{At: msg.Injected, Kind: obs.EvInject,
@@ -121,11 +160,27 @@ func (n *NI) Inject(vc int, msg *flit.Message) {
 // SetPolicy replaces the injection link's scheduling discipline (by default
 // the NI follows the router's policy). Call before traffic starts.
 func (n *NI) SetPolicy(k sched.Kind) {
-	n.arb = sched.New(k)
+	n.SetPolicyParams(k, sched.Params{})
+}
+
+// SetPolicyParams replaces the injection link's scheduling discipline with
+// explicit weight/tier parameters. Call before traffic starts.
+func (n *NI) SetPolicyParams(k sched.Kind, p sched.Params) {
+	if p.VCs == 0 {
+		p.VCs = len(n.vcs)
+	}
+	n.arb = sched.NewArbiter(k, p)
 	if n.trc != nil {
 		n.wrapArb()
 	}
 }
+
+// SetPolicer installs the injection-point meter→dropper chain (nil disables
+// policing). Call before traffic starts.
+func (n *NI) SetPolicer(p *police.Policer) { n.pol = p }
+
+// Policer returns the installed meter→dropper chain, or nil.
+func (n *NI) Policer() *police.Policer { return n.pol }
 
 // observeArb attaches the tracer and wraps the injection multiplexer so
 // its decisions are traced. Called by Fabric.SetTracer.
@@ -185,6 +240,7 @@ func (n *NI) reap(nv *niVC) {
 	for !nv.q.empty() && nv.q.peek().Dead {
 		msg := nv.q.pop()
 		n.Dropped += uint64(msg.Flits - nv.sent)
+		n.queued -= msg.Flits - nv.sent
 		nv.sent = 0
 		nv.havePending = false
 	}
@@ -235,6 +291,7 @@ func (n *NI) step(now sim.Time) {
 	f := flit.Flit{Msg: msg, Seq: nv.sent, TS: nv.pendingTS, Enq: now + n.fab.Period}
 	n.router.Deliver(n.port, w, f)
 	nv.sent++
+	n.queued--
 	nv.havePending = false
 	if nv.sent == msg.Flits {
 		nv.q.pop()

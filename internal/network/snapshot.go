@@ -151,6 +151,13 @@ func (n *NI) EncodeState(w *snapshot.Writer, tbl *flit.MsgTable) error {
 	w.U64(n.Dropped)
 	w.U64(n.RTFlits)
 	w.U64(n.BEFlits)
+	w.U64(n.MeterExceed)
+	w.U64(n.MeterViolate)
+	w.U64(n.PoliceDrops)
+	w.Bool(n.pol != nil)
+	if n.pol != nil {
+		n.pol.EncodeState(w)
+	}
 	return tbl.Err()
 }
 
@@ -196,6 +203,28 @@ func (n *NI) RestoreState(r *snapshot.Reader, tbl *flit.MsgTable) error {
 	n.Dropped = r.U64()
 	n.RTFlits = r.U64()
 	n.BEFlits = r.U64()
+	n.MeterExceed = r.U64()
+	n.MeterViolate = r.U64()
+	n.PoliceDrops = r.U64()
+	policed := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if policed != (n.pol != nil) {
+		return &snapshot.InvariantError{
+			Invariant: "policer",
+			Detail: fmt.Sprintf("NI node %d: snapshot policing=%v, live configuration policing=%v",
+				n.Node, policed, n.pol != nil),
+		}
+	}
+	if policed {
+		if err := n.pol.RestoreState(r); err != nil {
+			return err
+		}
+	}
+	// The backlog signal is derived state: recompute it from the restored
+	// queues rather than trusting the snapshot.
+	n.queued = int(n.pendingFlits())
 	return r.Err()
 }
 

@@ -144,6 +144,10 @@ func BuildChromeTrace(c *Capture) *ChromeTrace {
 				args["onset"] = ev.Arg
 			case EvDeadlock:
 				args["blocked"] = ev.Arg
+			case EvPolice:
+				args["color"] = ev.Arg
+				args["flits"] = ev.Seq
+				args["class"] = ev.Class.String()
 			default:
 				if ev.Arg != 0 {
 					args["arg"] = ev.Arg
@@ -365,6 +369,7 @@ func WriteMetricsCSV(w io.Writer, c *Capture) error {
 						{"injected", pc.Injected}, {"ejected", pc.Ejected},
 						{"dropped", pc.Dropped}, {"killed", pc.Killed},
 						{"retransmits", pc.Retransmits}, {"faults", pc.Faults},
+						{"police_drops", pc.PoliceDrops},
 					} {
 						if m.v == 0 {
 							continue

@@ -34,6 +34,9 @@ type PortCounters struct {
 	// killed here; Retransmits end-to-end resends from the attached NI;
 	// Faults injected fault transitions on this port's link.
 	Dropped, Killed, Retransmits, Faults uint64
+	// PoliceDrops counts real-time messages discarded by the attached NI's
+	// meter→dropper chain before injection.
+	PoliceDrops uint64
 }
 
 // EngineStats carries the event-calendar gauges sampled at a snapshot.

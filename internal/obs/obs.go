@@ -92,16 +92,21 @@ const (
 	EvDeadlock
 	// EvSnapshot marks a metrics snapshot instant.
 	EvSnapshot
+	// EvPolice marks a real-time message discarded by the injection-point
+	// meter→dropper chain; Arg is the meter color (police.Color) and Seq the
+	// message's flit count. Emitted only on drop, so traces of unpoliced
+	// runs are unchanged.
+	EvPolice
 )
 
 // numKinds sizes the vocabulary. It is an int, not a Kind, so it is not a
 // member of the enum for exhaustiveness analysis.
-const numKinds = int(EvSnapshot) + 1
+const numKinds = int(EvPolice) + 1
 
 var kindNames = [numKinds]string{
 	"inject", "vc-alloc", "switch", "link", "block", "unblock", "eject",
 	"drop", "kill", "retransmit", "abandon", "pick-input", "pick-output",
-	"pick-source", "vc-tick", "fault", "deadlock", "snapshot",
+	"pick-source", "vc-tick", "fault", "deadlock", "snapshot", "police",
 }
 
 // String implements fmt.Stringer.
@@ -391,6 +396,10 @@ func (t *Tracer) count(ev Event) {
 	case EvFault:
 		if p := t.portCounters(ev); p != nil {
 			p.Faults++
+		}
+	case EvPolice:
+		if p := t.portCounters(ev); p != nil {
+			p.PoliceDrops++
 		}
 	case EvDeadlock, EvSnapshot:
 		// Control-plane markers; visible in the ring and snapshot list.

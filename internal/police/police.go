@@ -1,0 +1,200 @@
+// Package police implements QoS admission policing for the source network
+// interface: an srTCM-style single-rate three-color token-bucket meter
+// (RFC 2697 shape, in flit currency) and a RED-style early dropper with
+// per-color drop precedence (WRED). Together they form the meter→dropper
+// chain of production ingress pipelines: the meter colors each frame by its
+// conformance to the provisioned rate, and the dropper discards
+// probabilistically — earlier and harder for worse colors — before the
+// frame ever occupies a virtual channel.
+//
+// All state is deterministic: token refill is pure arithmetic on simulated
+// time and the dropper draws from a seeded rng.Source stream, so identical
+// runs police identically.
+package police
+
+import (
+	"fmt"
+
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sim"
+)
+
+// Color is a frame's conformance level after metering.
+type Color uint8
+
+const (
+	// Green frames conform to the committed rate (within CBS).
+	Green Color = iota
+	// Yellow frames exceed the committed rate but fit the excess burst
+	// (within EBS) — degraded drop precedence.
+	Yellow
+	// Red frames violate both burst allowances — dropped first.
+	Red
+	// NumColors sizes per-color tables.
+	NumColors = int(Red) + 1
+)
+
+// String implements fmt.Stringer.
+func (c Color) String() string {
+	switch c {
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("Color(%d)", uint8(c))
+	}
+}
+
+// MeterConfig provisions a single-rate three-color meter in flit currency
+// (the NI admits whole frames of known flit length; flits, not bytes, are
+// the unit the fabric schedules).
+type MeterConfig struct {
+	// CIR is the committed information rate in flits per second.
+	CIR float64
+	// CBS is the committed burst size in flits (green bucket depth).
+	CBS int
+	// EBS is the excess burst size in flits (yellow bucket depth).
+	EBS int
+}
+
+// Meter is the srTCM token-bucket state: the committed bucket fills at CIR
+// up to CBS; overflow spills into the excess bucket up to EBS. A frame is
+// colored green if the committed bucket covers it, yellow if the excess
+// bucket does, red otherwise; red frames consume no tokens.
+type Meter struct {
+	cfg    MeterConfig //mw:snapcover — static provisioning, rebuilt from run config at construction
+	tc, te float64     // committed and excess tokens, in flits
+	last   sim.Time
+}
+
+// NewMeter returns a meter with both buckets full (a fresh connection may
+// burst its full allowance).
+func NewMeter(cfg MeterConfig) *Meter {
+	return &Meter{cfg: cfg, tc: float64(cfg.CBS), te: float64(cfg.EBS)}
+}
+
+// Color meters one frame of the given flit length arriving at now.
+func (m *Meter) Color(now sim.Time, flits int) Color {
+	m.refill(now)
+	need := float64(flits)
+	if need <= m.tc {
+		m.tc -= need
+		return Green
+	}
+	if need <= m.te {
+		m.te -= need
+		return Yellow
+	}
+	return Red
+}
+
+// refill advances the buckets to now: committed tokens accrue at CIR and
+// overflow spills into the excess bucket (RFC 2697 token sharing).
+func (m *Meter) refill(now sim.Time) {
+	if now <= m.last {
+		return
+	}
+	earned := m.cfg.CIR * (now - m.last).Seconds()
+	m.last = now
+	m.tc += earned
+	if spill := m.tc - float64(m.cfg.CBS); spill > 0 {
+		m.tc = float64(m.cfg.CBS)
+		m.te += spill
+		if m.te > float64(m.cfg.EBS) {
+			m.te = float64(m.cfg.EBS)
+		}
+	}
+}
+
+// Tokens reports the current bucket levels (for tests and instrumentation).
+func (m *Meter) Tokens() (tc, te float64) { return m.tc, m.te }
+
+// DropProfile is one color's RED curve: no drops below MinFlits of average
+// backlog, certain drop at or above MaxFlits, and a linear ramp to MaxProb
+// in between.
+type DropProfile struct {
+	MinFlits, MaxFlits int
+	MaxProb            float64
+}
+
+// drop returns the drop probability for an average backlog of avg flits.
+func (p DropProfile) drop(avg float64) float64 {
+	if p.MaxFlits <= 0 || avg < float64(p.MinFlits) {
+		return 0
+	}
+	if avg >= float64(p.MaxFlits) {
+		return 1
+	}
+	ramp := (avg - float64(p.MinFlits)) / float64(p.MaxFlits-p.MinFlits)
+	return p.MaxProb * ramp
+}
+
+// DropperConfig provisions the WRED stage: one profile per color and the
+// EWMA weight exponent for the average-queue estimator.
+type DropperConfig struct {
+	// Profiles holds the per-color RED curves, indexed by Color. Drop
+	// precedence ordering (red drops no later than yellow, yellow no later
+	// than green) is the caller's provisioning responsibility; the
+	// conformance battery checks it.
+	Profiles [NumColors]DropProfile
+	// WeightExp is the EWMA weight exponent n: avg ← avg + (q − avg)/2ⁿ.
+	// Non-positive means 4 (weight 1/16).
+	WeightExp int
+}
+
+// Dropper is the RED state: an EWMA of the instantaneous backlog and a
+// deterministic uniform stream for the drop coin flips.
+type Dropper struct {
+	cfg DropperConfig //mw:snapcover — static provisioning, rebuilt from run config at construction
+	avg float64
+	src *rng.Source
+}
+
+// NewDropper returns a dropper drawing coin flips from src (one seeded
+// stream per NI keeps drops deterministic and independent across nodes).
+func NewDropper(cfg DropperConfig, src *rng.Source) *Dropper {
+	if cfg.WeightExp <= 0 {
+		cfg.WeightExp = 4
+	}
+	return &Dropper{cfg: cfg, src: src}
+}
+
+// Drop updates the average-queue estimate with the instantaneous backlog
+// (in flits) and decides the fate of one frame of the given color.
+func (d *Dropper) Drop(color Color, backlogFlits int) bool {
+	w := 1.0 / float64(uint64(1)<<uint(d.cfg.WeightExp))
+	d.avg += (float64(backlogFlits) - d.avg) * w
+	p := d.cfg.Profiles[color].drop(d.avg)
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return d.src.Float64() < p
+}
+
+// Avg reports the current average-queue estimate (for tests).
+func (d *Dropper) Avg() float64 { return d.avg }
+
+// Policer chains a meter and a dropper at one injection point.
+type Policer struct {
+	Meter   *Meter
+	Dropper *Dropper
+}
+
+// NewPolicer builds the meter→dropper chain for one NI.
+func NewPolicer(mc MeterConfig, dc DropperConfig, src *rng.Source) *Policer {
+	return &Policer{Meter: NewMeter(mc), Dropper: NewDropper(dc, src)}
+}
+
+// Admit polices one frame of the given flit length arriving at now against
+// a backlog of backlogFlits already queued at the NI. It returns the
+// meter's color and whether the frame must be dropped before injection.
+func (p *Policer) Admit(now sim.Time, flits, backlogFlits int) (Color, bool) {
+	color := p.Meter.Color(now, flits)
+	return color, p.Dropper.Drop(color, backlogFlits)
+}

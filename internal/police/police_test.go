@@ -1,0 +1,217 @@
+package police
+
+import (
+	"bytes"
+	"testing"
+
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sim"
+	"mediaworm/internal/snapshot"
+)
+
+func TestColorString(t *testing.T) {
+	for c, want := range map[Color]string{Green: "green", Yellow: "yellow", Red: "red"} {
+		if c.String() != want {
+			t.Fatalf("%v", c)
+		}
+	}
+	if Color(9).String() == "" {
+		t.Fatal("unknown color should stringify")
+	}
+}
+
+func TestMeterColorsByBurst(t *testing.T) {
+	// 1000 flits/s, CBS 10, EBS 5: an instantaneous burst of 17 unit frames
+	// colors the first 10 green, the next 5 yellow, the rest red.
+	m := NewMeter(MeterConfig{CIR: 1000, CBS: 10, EBS: 5})
+	var got [NumColors]int
+	for i := 0; i < 17; i++ {
+		got[m.Color(0, 1)]++
+	}
+	if got[Green] != 10 || got[Yellow] != 5 || got[Red] != 2 {
+		t.Fatalf("burst colors %v, want [10 5 2]", got)
+	}
+}
+
+func TestMeterRefillsAtCIR(t *testing.T) {
+	m := NewMeter(MeterConfig{CIR: 1000, CBS: 10, EBS: 5})
+	for i := 0; i < 15; i++ {
+		m.Color(0, 1) // drain both buckets
+	}
+	if c := m.Color(0, 1); c != Red {
+		t.Fatalf("drained meter colored %v, want red", c)
+	}
+	// 1000 flits/s × 5 ms = 5 flits earned back into the committed bucket.
+	now := 5 * sim.Time(sim.Second) / 1000
+	for i := 0; i < 5; i++ {
+		if c := m.Color(now, 1); c != Green {
+			t.Fatalf("frame %d after refill colored %v, want green", i, c)
+		}
+	}
+	if c := m.Color(now, 1); c == Green {
+		t.Fatal("meter earned more than CIR×elapsed")
+	}
+}
+
+func TestMeterCommittedOverflowSpillsToExcess(t *testing.T) {
+	m := NewMeter(MeterConfig{CIR: 1000, CBS: 10, EBS: 5})
+	for i := 0; i < 15; i++ {
+		m.Color(0, 1)
+	}
+	// A long idle period earns far more than CBS: the committed bucket caps
+	// at 10 and the spill refills the excess bucket up to 5 — no unbounded
+	// banking.
+	now := sim.Time(sim.Second)
+	tc, te := func() (float64, float64) { m.refill(now); return m.Tokens() }()
+	if tc != 10 || te != 5 {
+		t.Fatalf("buckets after idle = (%v, %v), want (10, 5)", tc, te)
+	}
+}
+
+func TestMeterOversizeFrameViolates(t *testing.T) {
+	m := NewMeter(MeterConfig{CIR: 1000, CBS: 4, EBS: 2})
+	if c := m.Color(0, 5); c != Red {
+		t.Fatalf("frame larger than both buckets colored %v, want red", c)
+	}
+	// Red consumed nothing: a conforming frame still finds a full bucket.
+	if c := m.Color(0, 4); c != Green {
+		t.Fatal("red frame consumed tokens")
+	}
+}
+
+func TestDropProfileRamp(t *testing.T) {
+	p := DropProfile{MinFlits: 10, MaxFlits: 30, MaxProb: 0.5}
+	if p.drop(5) != 0 {
+		t.Fatal("dropped below MinFlits")
+	}
+	if p.drop(30) != 1 || p.drop(100) != 1 {
+		t.Fatal("not certain at MaxFlits")
+	}
+	if got := p.drop(20); got != 0.25 {
+		t.Fatalf("midpoint probability %v, want 0.25", got)
+	}
+	if (DropProfile{}).drop(1e9) != 0 {
+		t.Fatal("zero profile must never drop")
+	}
+}
+
+// wredConfig is a precedence-ordered WRED provisioning: red drops earliest
+// and hardest, yellow in between, green most tolerant.
+func wredConfig() DropperConfig {
+	return DropperConfig{
+		Profiles: [NumColors]DropProfile{
+			Green:  {MinFlits: 60, MaxFlits: 120, MaxProb: 0.1},
+			Yellow: {MinFlits: 30, MaxFlits: 80, MaxProb: 0.5},
+			Red:    {MinFlits: 10, MaxFlits: 40, MaxProb: 1.0},
+		},
+		WeightExp: 2,
+	}
+}
+
+func TestDropperPrecedenceOrdering(t *testing.T) {
+	// At every backlog level, observed drop rates must order red ≥ yellow ≥
+	// green (that is what per-class drop precedence means).
+	for _, backlog := range []int{0, 20, 50, 90, 200} {
+		rates := make([]float64, NumColors)
+		for c := 0; c < NumColors; c++ {
+			d := NewDropper(wredConfig(), rng.NewStream(7, "police-test").Split(uint64(c)))
+			for i := 0; i < 64; i++ {
+				d.Drop(Color(c), backlog) // converge the EWMA
+			}
+			drops := 0
+			const trials = 2000
+			for i := 0; i < trials; i++ {
+				if d.Drop(Color(c), backlog) {
+					drops++
+				}
+			}
+			rates[c] = float64(drops) / trials
+		}
+		if rates[Red] < rates[Yellow] || rates[Yellow] < rates[Green] {
+			t.Fatalf("backlog %d: drop rates g=%.3f y=%.3f r=%.3f violate precedence",
+				backlog, rates[Green], rates[Yellow], rates[Red])
+		}
+	}
+}
+
+func TestDropperEWMASmoothsBursts(t *testing.T) {
+	d := NewDropper(wredConfig(), rng.NewStream(7, "police-test"))
+	// One instantaneous spike must not swing the average to the spike.
+	d.Drop(Green, 0)
+	d.Drop(Green, 1000)
+	if d.Avg() >= 1000 || d.Avg() <= 0 {
+		t.Fatalf("EWMA %v did not smooth the spike", d.Avg())
+	}
+}
+
+func TestDropperDeterministic(t *testing.T) {
+	run := func() []bool {
+		d := NewDropper(wredConfig(), rng.NewStream(42, "police"))
+		out := make([]bool, 500)
+		for i := range out {
+			out[i] = d.Drop(Color(i%NumColors), 25+i%60)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop decision %d diverged across identical seeded runs", i)
+		}
+	}
+}
+
+func TestPolicerChain(t *testing.T) {
+	src := rng.NewStream(1, "police")
+	p := NewPolicer(MeterConfig{CIR: 1000, CBS: 4, EBS: 2}, wredConfig(), src)
+	// Conforming frame over an empty NI: green, admitted.
+	color, drop := p.Admit(0, 1, 0)
+	if color != Green || drop {
+		t.Fatalf("conforming frame: %v drop=%v", color, drop)
+	}
+	// Violating burst over a saturated NI: red and certainly dropped once
+	// the average clears the red profile's MaxFlits.
+	for i := 0; i < 64; i++ {
+		p.Dropper.Drop(Red, 500)
+	}
+	color, drop = p.Admit(0, 100, 500)
+	if color != Red || !drop {
+		t.Fatalf("violating frame over saturated NI: %v drop=%v, want red drop", color, drop)
+	}
+}
+
+func TestPolicerSnapshotRoundTrip(t *testing.T) {
+	mk := func() *Policer {
+		return NewPolicer(MeterConfig{CIR: 5000, CBS: 8, EBS: 4}, wredConfig(), rng.NewStream(9, "police"))
+	}
+	live := mk()
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += 123456
+		live.Admit(now, 1+i%3, i%70)
+	}
+
+	var buf bytes.Buffer
+	w := snapshot.NewWriter()
+	live.EncodeState(w)
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := snapshot.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := mk()
+	if err := restored.RestoreState(r); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 200; i++ {
+		now += 77777
+		c1, d1 := live.Admit(now, 1+i%3, i%70)
+		c2, d2 := restored.Admit(now, 1+i%3, i%70)
+		if c1 != c2 || d1 != d2 {
+			t.Fatalf("decision %d diverged after restore: (%v,%v) vs (%v,%v)", i, c1, d1, c2, d2)
+		}
+	}
+}

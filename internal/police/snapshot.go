@@ -1,0 +1,49 @@
+package police
+
+import "mediaworm/internal/snapshot"
+
+// Checkpoint encoding. Config is rebuilt from the run configuration, so
+// only dynamic state is encoded: the meter's bucket levels and refill
+// instant, and the dropper's EWMA average plus its rng stream position —
+// exactly what a mid-run restore needs to continue policing identically.
+
+// EncodeState writes the meter's dynamic state.
+func (m *Meter) EncodeState(w *snapshot.Writer) {
+	w.F64(m.tc)
+	w.F64(m.te)
+	w.Time(m.last)
+}
+
+// RestoreState overwrites the meter's dynamic state from r.
+func (m *Meter) RestoreState(r *snapshot.Reader) error {
+	m.tc = r.F64()
+	m.te = r.F64()
+	m.last = r.Time()
+	return r.Err()
+}
+
+// EncodeState writes the dropper's dynamic state.
+func (d *Dropper) EncodeState(w *snapshot.Writer) {
+	w.F64(d.avg)
+	d.src.EncodeState(w)
+}
+
+// RestoreState overwrites the dropper's dynamic state from r.
+func (d *Dropper) RestoreState(r *snapshot.Reader) error {
+	d.avg = r.F64()
+	return d.src.RestoreState(r)
+}
+
+// EncodeState writes the policer chain's dynamic state.
+func (p *Policer) EncodeState(w *snapshot.Writer) {
+	p.Meter.EncodeState(w)
+	p.Dropper.EncodeState(w)
+}
+
+// RestoreState overwrites the policer chain's dynamic state from r.
+func (p *Policer) RestoreState(r *snapshot.Reader) error {
+	if err := p.Meter.RestoreState(r); err != nil {
+		return err
+	}
+	return p.Dropper.RestoreState(r)
+}

@@ -1,0 +1,202 @@
+// Package conformance is the scheduler contract battery: a synthetic
+// contention point that drives any registered sched.Arbiter with seeded
+// stochastic traffic and measures the properties a QoS discipline must
+// uphold — weight-proportional sharing under oversubscription,
+// strict-priority isolation, starvation bounds, work conservation, and
+// deterministic tie-breaking. The test file in this package registers the
+// battery over every Kind in sched.Kinds(), so a new discipline gets the
+// full contract check the moment it is registered — the simulator
+// equivalent of a mixed SP/WRR hardware test plan.
+package conformance
+
+import (
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+// Config describes one synthetic contention-point run.
+type Config struct {
+	Kind sched.Kind
+	// VCs is the number of competing virtual channels.
+	VCs int
+	// Weights and Tiers parameterize the weighted disciplines, per VC
+	// (defaults: weight 1, tier 0). Under VirtualClock, tier 0 VCs are
+	// stamped with Vtick inversely proportional to weight and tier ≥ 1 VCs
+	// are best-effort (Vtick = ∞).
+	Weights []int
+	Tiers   []int
+	// Quantum is DRR's base credit (default 1).
+	Quantum int
+	// Loads[v] is VC v's offered load in flits per cycle (enqueue
+	// probability). Sum > 1 oversubscribes the point.
+	Loads []float64
+	// Cycles is the number of service opportunities to simulate.
+	Cycles int
+	// Seed drives the arrival process (and nothing else).
+	Seed uint64
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	// Served[v] counts flits granted to VC v.
+	Served []int
+	// Picks is the winner VC id of each grant, in order — one byte per
+	// grant, so two runs compare byte-for-byte.
+	Picks []byte
+	// InvalidPicks counts arbiter decisions outside the candidate field —
+	// any nonzero value is a broken arbiter.
+	InvalidPicks int
+	// NCBehindBE counts grants where a best-effort candidate (tier ≥ 1) won
+	// while an NC-class candidate (tier 0) was waiting — strict-priority
+	// isolation demands zero.
+	NCBehindBE int
+	// Backlogged[v] counts cycles VC v spent with at least one flit queued.
+	Backlogged []int
+}
+
+type flit struct {
+	enq sim.Time
+	seq uint64
+	ts  sim.Time
+}
+
+// vtickBase is the per-flit virtual-clock increment of a weight-1 VC; it is
+// divisible by every small weight so Vtick = vtickBase/weight stays exact.
+const vtickBase = 2520
+
+// Run simulates cfg.Cycles service opportunities at one contention point:
+// each cycle every VC enqueues a flit with probability Loads[v], then the
+// arbiter picks among the backlogged VCs and the winner dequeues.
+func Run(cfg Config) Result {
+	p := sched.Params{VCs: cfg.VCs, Weights: cfg.Weights, Tiers: cfg.Tiers, Quantum: cfg.Quantum}
+	arb := sched.NewArbiter(cfg.Kind, p)
+	src := rng.NewStream(cfg.Seed, "conformance")
+
+	weight := func(v int) int {
+		if v < len(cfg.Weights) && cfg.Weights[v] > 0 {
+			return cfg.Weights[v]
+		}
+		return 1
+	}
+	tier := func(v int) int {
+		if v < len(cfg.Tiers) && cfg.Tiers[v] > 0 {
+			return cfg.Tiers[v]
+		}
+		return 0
+	}
+	load := func(v int) float64 {
+		if v < len(cfg.Loads) {
+			return cfg.Loads[v]
+		}
+		return 0
+	}
+
+	queues := make([][]flit, cfg.VCs)
+	heads := make([]int, cfg.VCs)
+	clocks := make([]sched.VClock, cfg.VCs)
+	res := Result{
+		Served:     make([]int, cfg.VCs),
+		Backlogged: make([]int, cfg.VCs),
+	}
+	cands := make([]sched.Candidate, 0, cfg.VCs)
+	var seq uint64
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		now := sim.Time(cycle)
+		for v := 0; v < cfg.VCs; v++ {
+			if src.Float64() >= load(v) {
+				continue
+			}
+			ts := sim.Forever
+			if cfg.Kind == sched.VirtualClock && tier(v) == 0 {
+				ts = clocks[v].Stamp(now, sim.Time(vtickBase/weight(v)))
+			}
+			queues[v] = append(queues[v], flit{enq: now, seq: seq, ts: ts})
+			seq++
+		}
+
+		cands = cands[:0]
+		ncWaiting := false
+		for v := 0; v < cfg.VCs; v++ {
+			if heads[v] >= len(queues[v]) {
+				continue
+			}
+			res.Backlogged[v]++
+			f := queues[v][heads[v]]
+			cands = append(cands, sched.Candidate{VC: v, TS: f.ts, Enq: f.enq, Seq: f.seq})
+			if nc(cfg.Kind, tier(v), f.ts) {
+				ncWaiting = true
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+
+		w := arb.Pick(cands)
+		if w < 0 || w >= len(cands) {
+			res.InvalidPicks++
+			continue
+		}
+		win := cands[w]
+		if ncWaiting && !nc(cfg.Kind, tier(win.VC), win.TS) {
+			res.NCBehindBE++
+		}
+		res.Served[win.VC]++
+		res.Picks = append(res.Picks, byte(win.VC))
+		heads[win.VC]++
+		if heads[win.VC] == len(queues[win.VC]) {
+			queues[win.VC] = queues[win.VC][:0]
+			heads[win.VC] = 0
+		}
+	}
+	return res
+}
+
+// nc reports whether a candidate on the given tier counts as NC-class
+// (network-control / real-time) for the isolation property: tier 0 under
+// the hierarchical disciplines, a finite timestamp under Virtual Clock.
+func nc(k sched.Kind, tier int, ts sim.Time) bool {
+	if k == sched.VirtualClock {
+		return ts != sim.Forever
+	}
+	return tier == 0
+}
+
+// MaxGap returns, per VC, the longest run of consecutive grants between two
+// services of that VC (counting from the first grant it wins to the run's
+// end) — the starvation measure under persistent backlog.
+func MaxGap(picks []byte, vcs int) []int {
+	last := make([]int, vcs)
+	gap := make([]int, vcs)
+	for v := range last {
+		last[v] = -1
+	}
+	for i, b := range picks {
+		v := int(b)
+		if v >= vcs {
+			continue
+		}
+		if last[v] >= 0 && i-last[v] > gap[v] {
+			gap[v] = i - last[v]
+		}
+		last[v] = i
+	}
+	return gap
+}
+
+// Shares converts served counts to fractions of all grants.
+func Shares(served []int) []float64 {
+	total := 0
+	for _, s := range served {
+		total += s
+	}
+	out := make([]float64, len(served))
+	if total == 0 {
+		return out
+	}
+	for v, s := range served {
+		out[v] = float64(s) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package conformance
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mediaworm/internal/police"
+	"mediaworm/internal/rng"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+// The contract battery. Every registered discipline runs every applicable
+// property; registering a new Kind in sched.kinds is all it takes to be
+// drafted. Property applicability is explicit: rate-agnostic disciplines
+// (FIFO, plain round-robin) are checked for equal sharing instead of
+// weighted sharing, and strict-priority isolation binds only the
+// disciplines that promise it (SP+WRR by tier, Virtual Clock by timestamp).
+
+// TestRegistryComplete pins the battery's coverage: all seven disciplines,
+// in registry order.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fifo", "round-robin", "virtual-clock", "wrr", "drr", "wf2q", "sp+wrr"}
+	got := sched.Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d kinds, battery expects %d", len(got), len(want))
+	}
+	for i, k := range got {
+		if k.String() != want[i] {
+			t.Fatalf("registry[%d] = %v, want %s", i, k, want[i])
+		}
+	}
+}
+
+// weighted reports whether k differentiates service by Params weights (or,
+// for Virtual Clock, by the rate encoded in its timestamps).
+func weighted(k sched.Kind) bool {
+	switch k {
+	case sched.WRR, sched.DRR, sched.WF2Q, sched.SPWRR, sched.VirtualClock:
+		return true
+	}
+	return false
+}
+
+// isolating reports whether k promises strict-priority isolation of the
+// NC class.
+func isolating(k sched.Kind) bool {
+	return k == sched.SPWRR || k == sched.VirtualClock
+}
+
+func TestConformanceBattery(t *testing.T) {
+	for _, k := range sched.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Run("work-conservation", func(t *testing.T) { checkWorkConservation(t, k) })
+			t.Run("seed-determinism", func(t *testing.T) { checkSeedDeterminism(t, k) })
+			t.Run("proportional-sharing", func(t *testing.T) { checkProportionalSharing(t, k) })
+			t.Run("starvation-bound", func(t *testing.T) { checkStarvationBound(t, k) })
+			if isolating(k) {
+				t.Run("strict-priority-isolation", func(t *testing.T) { checkIsolation(t, k) })
+				t.Run("lowest-tier-starvation", func(t *testing.T) { checkLowTierProgress(t, k) })
+			}
+		})
+	}
+}
+
+// checkWorkConservation: with the point oversubscribed, every cycle has a
+// backlogged candidate and the arbiter must grant a valid one — the link
+// never idles and no pick escapes the field.
+func checkWorkConservation(t *testing.T, k sched.Kind) {
+	cfg := Config{
+		Kind: k, VCs: 4, Cycles: 5000, Seed: 11,
+		Loads: []float64{0.7, 0.7, 0.7, 0.7},
+	}
+	res := Run(cfg)
+	if res.InvalidPicks != 0 {
+		t.Fatalf("%d picks outside the candidate field", res.InvalidPicks)
+	}
+	// 2.8 flits/cycle offered against 1 served: after a short transient the
+	// point is continuously backlogged, so grants ≈ cycles.
+	if len(res.Picks) < cfg.Cycles*9/10 {
+		t.Fatalf("only %d grants in %d backlogged cycles: the point idled", len(res.Picks), cfg.Cycles)
+	}
+}
+
+// checkSeedDeterminism: same seed ⇒ byte-identical pick sequence from a
+// fresh arbiter. This subsumes deterministic tie-breaking: the stochastic
+// traffic is full of exact ties, and any nondeterministic break diverges
+// the byte streams.
+func checkSeedDeterminism(t *testing.T, k sched.Kind) {
+	cfg := Config{
+		Kind: k, VCs: 4, Cycles: 4000, Seed: 23,
+		Weights: []int{4, 2, 1, 1},
+		Tiers:   []int{0, 0, 1, 1},
+		Quantum: 2,
+		Loads:   []float64{0.6, 0.6, 0.6, 0.6},
+	}
+	a, b := Run(cfg), Run(cfg)
+	if !bytes.Equal(a.Picks, b.Picks) {
+		t.Fatal("pick sequences diverged across identical seeded runs")
+	}
+	cfg.Seed++
+	c := Run(cfg)
+	if bytes.Equal(a.Picks, c.Picks) {
+		t.Fatal("different seeds produced identical traffic — the battery is not exercising randomness")
+	}
+}
+
+// checkProportionalSharing: under 2× oversubscription, long-run service
+// shares must track the provisioned weights within 5% relative error. The
+// rate-agnostic disciplines are held to equal sharing at equal weights.
+func checkProportionalSharing(t *testing.T, k sched.Kind) {
+	weights := []int{4, 2, 1, 1}
+	if !weighted(k) {
+		weights = []int{1, 1, 1, 1}
+	}
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	loads := make([]float64, len(weights))
+	for v, w := range weights {
+		loads[v] = 2 * float64(w) / float64(sum) // 2× each VC's entitlement
+	}
+	cfg := Config{
+		Kind: k, VCs: len(weights), Cycles: 20000, Seed: 31,
+		Weights: weights, Quantum: 2, Loads: loads,
+	}
+	res := Run(cfg)
+	shares := Shares(res.Served)
+	for v, w := range weights {
+		want := float64(w) / float64(sum)
+		if relerr := math.Abs(shares[v]-want) / want; relerr > 0.05 {
+			t.Errorf("VC %d (weight %d): share %.4f, want %.4f ±5%% (relative error %.1f%%)",
+				v, w, shares[v], want, 100*relerr)
+		}
+	}
+}
+
+// checkStarvationBound: under persistent full backlog at uniform weights,
+// no VC waits longer than a full rotation's worth of grants (with DRR's
+// quantum factored in, plus 2× slack for rotation phase).
+func checkStarvationBound(t *testing.T, k sched.Kind) {
+	const vcs, quantum = 4, 2
+	cfg := Config{
+		Kind: k, VCs: vcs, Cycles: 4000, Seed: 43,
+		Quantum: quantum,
+		Loads:   []float64{1, 1, 1, 1},
+	}
+	res := Run(cfg)
+	bound := vcs * quantum * 2
+	for v, gap := range MaxGap(res.Picks, vcs) {
+		if gap > bound {
+			t.Errorf("VC %d starved for %d consecutive grants (bound %d)", v, gap, bound)
+		}
+		if res.Served[v] == 0 {
+			t.Errorf("VC %d never served under full backlog", v)
+		}
+	}
+}
+
+// checkIsolation: NC-class candidates (tier 0 / finite timestamp) must
+// never lose a grant to best-effort — zero tolerance, the DP-1.10-style
+// SP gate.
+func checkIsolation(t *testing.T, k sched.Kind) {
+	cfg := Config{
+		Kind: k, VCs: 4, Cycles: 10000, Seed: 57,
+		Tiers: []int{0, 0, 1, 1},
+		Loads: []float64{0.3, 0.3, 0.9, 0.9},
+	}
+	res := Run(cfg)
+	if res.NCBehindBE != 0 {
+		t.Fatalf("best-effort won %d grants while NC-class flits waited", res.NCBehindBE)
+	}
+	if res.Served[2]+res.Served[3] == 0 {
+		t.Fatal("best-effort tier never served despite NC slack — not work conserving")
+	}
+}
+
+// checkLowTierProgress: when the high tier is not saturating, the lowest
+// tier must absorb most of the leftover bandwidth — strict priority bounds
+// starvation by the high tier's load, not by fiat.
+func checkLowTierProgress(t *testing.T, k sched.Kind) {
+	cfg := Config{
+		Kind: k, VCs: 4, Cycles: 10000, Seed: 61,
+		Tiers: []int{0, 0, 1, 1},
+		Loads: []float64{0.25, 0.25, 1, 1},
+	}
+	res := Run(cfg)
+	shares := Shares(res.Served)
+	if low := shares[2] + shares[3]; low < 0.35 {
+		t.Fatalf("lowest tier got %.3f of grants; leftover bandwidth (~0.5) must reach it", low)
+	}
+}
+
+// TestDropPrecedenceChain runs the meter→dropper chain the NI uses and
+// checks drop-precedence ordering end to end: at every congestion level,
+// violating (red) traffic is dropped at least as hard as exceeding
+// (yellow), and yellow at least as hard as conforming (green).
+func TestDropPrecedenceChain(t *testing.T) {
+	profiles := [police.NumColors]police.DropProfile{
+		police.Green:  {MinFlits: 60, MaxFlits: 120, MaxProb: 0.1},
+		police.Yellow: {MinFlits: 30, MaxFlits: 80, MaxProb: 0.5},
+		police.Red:    {MinFlits: 10, MaxFlits: 40, MaxProb: 1.0},
+	}
+	for _, backlog := range []int{15, 35, 70, 130} {
+		var rate [police.NumColors]float64
+		for c := 0; c < police.NumColors; c++ {
+			d := police.NewDropper(police.DropperConfig{Profiles: profiles, WeightExp: 1},
+				rng.NewStream(3, "conformance-police").Split(uint64(backlog)))
+			for i := 0; i < 32; i++ {
+				d.Drop(police.Color(c), backlog)
+			}
+			drops := 0
+			const trials = 3000
+			for i := 0; i < trials; i++ {
+				if d.Drop(police.Color(c), backlog) {
+					drops++
+				}
+			}
+			rate[c] = float64(drops) / trials
+		}
+		if rate[police.Red] < rate[police.Yellow] || rate[police.Yellow] < rate[police.Green] {
+			t.Fatalf("backlog %d: drop rates g=%.3f y=%.3f r=%.3f violate precedence ordering",
+				backlog, rate[police.Green], rate[police.Yellow], rate[police.Red])
+		}
+	}
+	// The full chain: a meter coloring an oversubscribed flow feeds the
+	// dropper; dropped fraction of red-colored frames must dominate green's.
+	src := rng.NewStream(5, "conformance-police")
+	p := police.NewPolicer(police.MeterConfig{CIR: 1000, CBS: 20, EBS: 10},
+		police.DropperConfig{Profiles: profiles, WeightExp: 2}, src)
+	var offered, dropped [police.NumColors]int
+	for i := 0; i < 5000; i++ {
+		// 3 µs spacing: ~333k frames/s against a CIR of 1000 flits/s, so the
+		// meter sees a heavily oversubscribed flow with periodic refill.
+		now := sim.Time(i) * 3000
+		color, drop := p.Admit(now, 1, 50)
+		offered[color]++
+		if drop {
+			dropped[color]++
+		}
+	}
+	if offered[police.Red] == 0 || offered[police.Green] == 0 {
+		t.Fatalf("chain did not exercise both extremes: offered %v", offered)
+	}
+	gRate := float64(dropped[police.Green]) / float64(offered[police.Green])
+	rRate := float64(dropped[police.Red]) / float64(offered[police.Red])
+	if rRate <= gRate {
+		t.Fatalf("red drop rate %.3f not above green %.3f through the chain", rRate, gRate)
+	}
+}

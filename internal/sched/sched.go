@@ -30,9 +30,47 @@ const (
 	// Best-effort flits (timestamp sim.Forever) are served FIFO among
 	// themselves and only when no real-time flit is ready.
 	VirtualClock
+	// WRR is weighted round-robin: each virtual channel holds the grant for
+	// Params.Weights[vc] consecutive flits per rotation, forfeiting the rest
+	// of its turn when it runs dry (work conserving).
+	WRR
+	// DRR is deficit round-robin (Shreedhar–Varghese): each visited VC is
+	// credited Quantum·weight flits of deficit and serves while the deficit
+	// lasts; leftover deficit carries to the next rotation, so long-run
+	// bandwidth is weight-proportional regardless of visit granularity.
+	DRR
+	// WF2Q is worst-case-fair weighted fair queueing (WF²Q+): a virtual-time
+	// scheduler that serves, among the eligible VCs (start tag ≤ virtual
+	// time), the one with the smallest finish tag. It tracks GPS within one
+	// flit — the tightest fairness of the zoo.
+	WF2Q
+	// SPWRR is the hierarchical strict-priority + WRR hybrid of production
+	// QoS fabrics: VCs are grouped into priority tiers (Params.Tiers), the
+	// lowest-numbered tier with a ready flit always wins, and WRR arbitrates
+	// within the winning tier.
+	SPWRR
 )
 
-// String implements fmt.Stringer.
+// numKinds sizes the discipline registry. It is an int, not a Kind, so it
+// stays out of the enum for exhaustiveness analysis.
+const numKinds = int(SPWRR) + 1
+
+// kinds is the discipline registry, in Kind order. Kinds() exposes it and
+// the conformance harness iterates it, so a new Kind that is not added here
+// escapes the contract battery — the registry-completeness test fails first.
+var kinds = [numKinds]Kind{FIFO, RoundRobin, VirtualClock, WRR, DRR, WF2Q, SPWRR}
+
+// Kinds returns every registered discipline, in Kind order. The conformance
+// harness runs its whole property battery over this slice, so registering a
+// kind here is what buys it the contract check.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	copy(out, kinds[:])
+	return out
+}
+
+// String implements fmt.Stringer. Every spelling it returns round-trips
+// through ParseKind (tested exhaustively over Kinds()).
 func (k Kind) String() string {
 	switch k {
 	case FIFO:
@@ -41,13 +79,22 @@ func (k Kind) String() string {
 		return "round-robin"
 	case VirtualClock:
 		return "virtual-clock"
+	case WRR:
+		return "wrr"
+	case DRR:
+		return "drr"
+	case WF2Q:
+		return "wf2q"
+	case SPWRR:
+		return "sp+wrr"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
 
 // ParseKind converts a policy name to a Kind. Accepted spellings are exact:
-// "fifo"/"FIFO", "round-robin"/"rr", and "virtual-clock"/"vc"/"virtualclock".
+// "fifo"/"FIFO", "round-robin"/"rr", "virtual-clock"/"vc"/"virtualclock",
+// "wrr", "drr", "wf2q"/"wf2q+"/"wfq", and "sp+wrr"/"sp-wrr"/"spwrr".
 // Near-miss junk — stray whitespace or mixed case like "Fifo " — is rejected
 // with an error that names the canonical spelling instead of an opaque
 // "unknown policy".
@@ -59,13 +106,21 @@ func ParseKind(s string) (Kind, error) {
 		return RoundRobin, nil
 	case "virtual-clock", "vc", "virtualclock":
 		return VirtualClock, nil
+	case "wrr":
+		return WRR, nil
+	case "drr":
+		return DRR, nil
+	case "wf2q", "wf2q+", "wfq":
+		return WF2Q, nil
+	case "sp+wrr", "sp-wrr", "spwrr":
+		return SPWRR, nil
 	}
 	if norm := strings.ToLower(strings.TrimSpace(s)); norm != s {
 		if k, err := ParseKind(norm); err == nil {
 			return 0, fmt.Errorf("sched: unknown policy %q (policy names are lowercase without surrounding space: did you mean %q?)", s, k)
 		}
 	}
-	return 0, fmt.Errorf("sched: unknown policy %q (valid: fifo, round-robin, rr, virtual-clock, vc, virtualclock)", s)
+	return 0, fmt.Errorf("sched: unknown policy %q (valid: fifo, round-robin, rr, virtual-clock, vc, virtualclock, wrr, drr, wf2q, sp+wrr)", s)
 }
 
 // Candidate describes one virtual channel competing at a contention point.
@@ -91,8 +146,66 @@ type Arbiter interface {
 	Kind() Kind
 }
 
-// New returns a fresh arbiter of the given kind.
+// maxVCID bounds the VC identifier space an arbiter accepts (the per-VC
+// presence bitmaps are two 64-bit words). core caps VCs at 127 and the NI at
+// 64, so every contention point fits.
+const maxVCID = 128
+
+// Params configures the weighted disciplines (WRR, DRR, WF²Q+, SP+WRR); the
+// classic three ignore it. The zero value means "every VC has weight 1 and
+// tier 0", under which the weighted kinds degenerate to fair round-robin
+// shapes — still valid arbiters, just without differentiation.
+type Params struct {
+	// VCs presizes the per-VC state arrays so Pick never allocates. 0 is
+	// allowed: state then grows lazily the first time a VC id is seen (an
+	// amortized one-time allocation, annotated on the hot path).
+	VCs int
+	// Weights[v] is VC v's scheduling weight. Out-of-range or non-positive
+	// entries count as 1.
+	Weights []int
+	// Tiers[v] is VC v's strict-priority tier for SP+WRR; lower tiers are
+	// served first. Out-of-range entries count as tier 0 (highest).
+	Tiers []int
+	// Quantum is DRR's base deficit credit in flits per weight unit per
+	// rotation. Non-positive means 1.
+	Quantum int
+}
+
+// weight returns VC v's effective weight.
+func (p *Params) weight(v int) int {
+	if v >= 0 && v < len(p.Weights) && p.Weights[v] > 0 {
+		return p.Weights[v]
+	}
+	return 1
+}
+
+// tier returns VC v's effective strict-priority tier.
+func (p *Params) tier(v int) int {
+	if v >= 0 && v < len(p.Tiers) && p.Tiers[v] > 0 {
+		return p.Tiers[v]
+	}
+	return 0
+}
+
+// quantum returns the effective DRR quantum.
+func (p *Params) quantum() int {
+	if p.Quantum > 0 {
+		return p.Quantum
+	}
+	return 1
+}
+
+// New returns a fresh arbiter of the given kind with default parameters
+// (every VC weight 1, tier 0) — the historical constructor, still right for
+// the three classic disciplines. Weighted contention points should use
+// NewArbiter with explicit Params.
 func New(k Kind) Arbiter {
+	return NewArbiter(k, Params{})
+}
+
+// NewArbiter returns a fresh arbiter of the given kind, parameterized with
+// per-VC weights and tiers. Use one instance per contention point.
+func NewArbiter(k Kind, p Params) Arbiter {
 	switch k {
 	case FIFO:
 		return &fifoArbiter{}
@@ -100,6 +213,14 @@ func New(k Kind) Arbiter {
 		return &rrArbiter{last: -1}
 	case VirtualClock:
 		return &vcArbiter{}
+	case WRR:
+		return newWRR(p)
+	case DRR:
+		return newDRR(p)
+	case WF2Q:
+		return newWF2Q(p)
+	case SPWRR:
+		return newSPWRR(p)
 	default:
 		panic(fmt.Sprintf("sched: unknown kind %d", k))
 	}
@@ -262,11 +383,31 @@ func (v *VClock) Aux() sim.Time { return v.aux }
 func (v *VClock) Reset() { v.aux = 0 }
 
 // ServiceConfig carries the contention-point parameters a worst-case service
-// characterization depends on: the virtual-channel partition at the point.
+// characterization depends on: the virtual-channel partition at the point
+// and, for the weighted disciplines, the per-partition weights.
 type ServiceConfig struct {
 	// VCs is the number of virtual channels multiplexed at the point;
 	// RTVCs of them carry real-time traffic.
 	VCs, RTVCs int
+	// RTWeight and BEWeight are the per-VC weights of the real-time and
+	// best-effort partitions under WRR/DRR/WF²Q+/SP+WRR (non-positive → 1).
+	RTWeight, BEWeight int
+	// Quantum is DRR's base deficit credit in flits per weight unit
+	// (non-positive → 1).
+	Quantum int
+}
+
+// partitionWeights returns the aggregate real-time and best-effort weights
+// of the partition.
+func (cfg ServiceConfig) partitionWeights() (rt, be float64) {
+	rtw, bew := cfg.RTWeight, cfg.BEWeight
+	if rtw <= 0 {
+		rtw = 1
+	}
+	if bew <= 0 {
+		bew = 1
+	}
+	return float64(cfg.RTVCs * rtw), float64((cfg.VCs - cfg.RTVCs) * bew)
 }
 
 // ServiceModel is the worst-case rate-latency characterization of one
@@ -322,6 +463,58 @@ func ServiceCurve(k Kind, cfg ServiceConfig) (ServiceModel, error) {
 		}, nil
 	case VirtualClock:
 		return ServiceModel{Share: 1, LatencyFlits: 1}, nil
+	case WRR:
+		// One rotation grants each VC weight flits: the real-time aggregate
+		// holds Wrt/(Wrt+Wbe) of the link and waits at most the best-effort
+		// partition's full rotation allowance before its turns come around.
+		rt, be, err := rtShare(k, cfg)
+		if err != nil {
+			return ServiceModel{}, err
+		}
+		return ServiceModel{Share: rt / (rt + be), LatencyFlits: be}, nil
+	case DRR:
+		// Like WRR scaled by the quantum, plus up to one flit of carried
+		// deficit residue per best-effort VC before a real-time visit.
+		rt, be, err := rtShare(k, cfg)
+		if err != nil {
+			return ServiceModel{}, err
+		}
+		q := float64(cfg.Quantum)
+		if q <= 0 {
+			q = 1
+		}
+		return ServiceModel{
+			Share:        rt / (rt + be),
+			LatencyFlits: q*be + float64(cfg.VCs-cfg.RTVCs),
+		}, nil
+	case WF2Q:
+		// WF²Q+ tracks the GPS fluid schedule within one maximum service
+		// unit: weight-proportional share after at most one flit of
+		// scheduling slack plus one flit of non-preemption blocking.
+		rt, be, err := rtShare(k, cfg)
+		if err != nil {
+			return ServiceModel{}, err
+		}
+		return ServiceModel{Share: rt / (rt + be), LatencyFlits: 2}, nil
+	case SPWRR:
+		// The real-time partition occupies the top priority tier (that is
+		// how the simulator wires it), so like Virtual Clock the aggregate
+		// holds the whole link behind one flit of non-preemption blocking;
+		// WRR only arbitrates within the tier.
+		if cfg.RTVCs == 0 {
+			return ServiceModel{}, fmt.Errorf("sched: sp+wrr service with no real-time VCs")
+		}
+		return ServiceModel{Share: 1, LatencyFlits: 1}, nil
 	}
 	return ServiceModel{}, fmt.Errorf("sched: unknown kind %d", k)
+}
+
+// rtShare returns the partition weight aggregates, rejecting an empty
+// real-time partition (the weighted guarantee would be for nobody).
+func rtShare(k Kind, cfg ServiceConfig) (rt, be float64, err error) {
+	rt, be = cfg.partitionWeights()
+	if cfg.RTVCs == 0 {
+		return 0, 0, fmt.Errorf("sched: %v service with no real-time VCs", k)
+	}
+	return rt, be, nil
 }

@@ -7,9 +7,11 @@ import (
 )
 
 // Arbiter state encoding. FIFO and Virtual Clock arbiters are stateless;
-// round-robin carries its last-granted VC. Each encoded arbiter is tagged
-// with its Kind so a restore into a differently-configured contention point
-// fails loudly instead of silently mixing disciplines.
+// round-robin carries its last-granted VC; the weighted zoo carries its
+// rotation, deficit, and virtual-time tag state (Params are rebuilt from
+// config, not encoded). Each encoded arbiter is tagged with its Kind so a
+// restore into a differently-configured contention point fails loudly
+// instead of silently mixing disciplines.
 
 // EncodeArbiter writes a's serializable state. Observed wrappers are
 // refused: they exist only under tracing, which is not snapshottable.
@@ -22,10 +24,47 @@ func EncodeArbiter(w *snapshot.Writer, a Arbiter) error {
 	case *rrArbiter:
 		w.U8(uint8(RoundRobin))
 		w.Int(ar.last)
+	case *wrrArbiter:
+		w.U8(uint8(WRR))
+		encodeWRRState(w, &ar.s)
+	case *drrArbiter:
+		w.U8(uint8(DRR))
+		w.Int(ar.cur)
+		w.Bool(ar.turn)
+		w.Int(len(ar.deficit))
+		for _, d := range ar.deficit {
+			w.Int(d)
+		}
+	case *wf2qArbiter:
+		w.U8(uint8(WF2Q))
+		w.F64(ar.v)
+		w.U64(ar.active[0])
+		w.U64(ar.active[1])
+		w.Int(len(ar.s))
+		for i := range ar.s {
+			w.F64(ar.s[i])
+			w.F64(ar.f[i])
+		}
+	case *spwrrArbiter:
+		w.U8(uint8(SPWRR))
+		w.Int(len(ar.tiers))
+		for i := range ar.tiers {
+			encodeWRRState(w, &ar.tiers[i])
+		}
 	default:
 		return &snapshot.NotSnapshottableError{Feature: fmt.Sprintf("arbiter %T", a)}
 	}
 	return nil
+}
+
+func encodeWRRState(w *snapshot.Writer, s *wrrState) {
+	w.Int(s.cur)
+	w.Int(s.credit)
+}
+
+func restoreWRRState(r *snapshot.Reader, s *wrrState) {
+	s.cur = r.Int()
+	s.credit = r.Int()
 }
 
 // RestoreArbiter overwrites a's state from r, verifying the recorded kind
@@ -50,10 +89,70 @@ func RestoreArbiter(r *snapshot.Reader, a Arbiter) error {
 			return err
 		}
 		ar.last = last
+	case *wrrArbiter:
+		restoreWRRState(r, &ar.s)
+	case *drrArbiter:
+		ar.cur = r.Int()
+		ar.turn = r.Bool()
+		n := r.Int()
+		if err := checkStateLen(r, "drr-deficit", n); err != nil {
+			return err
+		}
+		ar.deficit = resize(ar.deficit, n)
+		for i := range ar.deficit {
+			ar.deficit[i] = r.Int()
+		}
+	case *wf2qArbiter:
+		ar.v = r.F64()
+		ar.active[0] = r.U64()
+		ar.active[1] = r.U64()
+		n := r.Int()
+		if err := checkStateLen(r, "wf2q-tags", n); err != nil {
+			return err
+		}
+		ar.s = resize(ar.s, n)
+		ar.f = resize(ar.f, n)
+		for i := range ar.s {
+			ar.s[i] = r.F64()
+			ar.f[i] = r.F64()
+		}
+	case *spwrrArbiter:
+		n := r.Int()
+		if err := checkStateLen(r, "spwrr-tiers", n); err != nil {
+			return err
+		}
+		ar.tiers = resize(ar.tiers, n)
+		for i := range ar.tiers {
+			restoreWRRState(r, &ar.tiers[i])
+		}
 	default:
 		return &snapshot.NotSnapshottableError{Feature: fmt.Sprintf("arbiter %T", a)}
 	}
+	return r.Err()
+}
+
+// checkStateLen rejects corrupt or absurd per-VC state lengths before they
+// drive an allocation.
+func checkStateLen(r *snapshot.Reader, what string, n int) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > maxVCID {
+		return &snapshot.InvariantError{
+			Invariant: "arbiter-state-len",
+			Detail:    fmt.Sprintf("%s length %d outside [0, %d]", what, n, maxVCID),
+		}
+	}
 	return nil
+}
+
+// resize returns s with exactly n elements, reusing the backing array when
+// it is already large enough.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // EncodeVClock writes the virtual-clock register.

@@ -34,8 +34,9 @@ import (
 )
 
 // Version is the container version. Bump it when the framing itself (not a
-// section payload) changes shape.
-const Version uint16 = 1
+// section payload) changes shape. v2: NI sections gained policing counters
+// and an optional policer state block.
+const Version uint16 = 2
 
 // magic identifies a MediaWorm snapshot. The trailing \x00\x01 keeps text
 // tools from mistaking the file for ASCII.

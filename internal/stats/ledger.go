@@ -5,8 +5,8 @@ package stats
 // take partial frames with them — and the delivered-frame ratio is the
 // headline resilience metric of the FaultSweep experiment.
 type FrameLedger struct {
-	emitted   uint64
-	delivered uint64
+	emitted   uint64 //mw:snapcover — total; recomputed from perStream by RestoreState
+	delivered uint64 //mw:snapcover — total; recomputed from perStream by RestoreState
 	perStream map[int]*streamFrames
 }
 

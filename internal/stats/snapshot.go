@@ -136,3 +136,51 @@ func (p *PlayoutTracker) RestoreState(r *snapshot.Reader) error {
 	p.lateness.RestoreState(r)
 	return r.Err()
 }
+
+// EncodeState writes the ledger's per-stream frame counts in stream order.
+// The totals are derived (sums over streams) and recomputed on restore.
+func (l *FrameLedger) EncodeState(w *snapshot.Writer) {
+	streams := make([]int, 0, len(l.perStream))
+	for s := range l.perStream {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	w.Int(len(streams))
+	for _, s := range streams {
+		st := l.perStream[s]
+		w.Int(s)
+		w.U64(st.emitted)
+		w.U64(st.delivered)
+	}
+}
+
+// RestoreState overwrites the ledger's state.
+func (l *FrameLedger) RestoreState(r *snapshot.Reader) error {
+	n := r.Len()
+	l.perStream = make(map[int]*streamFrames, n)
+	l.emitted, l.delivered = 0, 0
+	for i := 0; i < n; i++ {
+		s := r.Int()
+		st := &streamFrames{emitted: r.U64(), delivered: r.U64()}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if _, dup := l.perStream[s]; dup {
+			return &snapshot.InvariantError{
+				Invariant: "frame-ledger",
+				Detail:    fmt.Sprintf("duplicate stream %d", s),
+			}
+		}
+		if st.delivered > st.emitted {
+			return &snapshot.InvariantError{
+				Invariant: "frame-ledger",
+				Detail: fmt.Sprintf("stream %d: delivered %d exceeds emitted %d",
+					s, st.delivered, st.emitted),
+			}
+		}
+		l.perStream[s] = st
+		l.emitted += st.emitted
+		l.delivered += st.delivered
+	}
+	return r.Err()
+}

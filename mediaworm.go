@@ -20,10 +20,12 @@ package mediaworm
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"mediaworm/internal/flit"
 	"mediaworm/internal/pcs"
+	"mediaworm/internal/police"
 	"mediaworm/internal/rng"
 	"mediaworm/internal/sched"
 	"mediaworm/internal/sim"
@@ -38,8 +40,89 @@ func schedKind(p Policy) (sched.Kind, error) {
 		return sched.RoundRobin, nil
 	case VirtualClock:
 		return sched.VirtualClock, nil
+	case WRR:
+		return sched.WRR, nil
+	case DRR:
+		return sched.DRR, nil
+	case WF2Q:
+		return sched.WF2Q, nil
+	case SPWRR:
+		return sched.SPWRR, nil
 	}
 	return 0, fmt.Errorf("mediaworm: unknown policy %q", p)
+}
+
+// schedParams maps the VC partition onto the per-VC weights and priority
+// tiers the weighted disciplines consume: real-time VCs [0, rtVCs) carry
+// RTWeight at tier 0, best-effort VCs carry BEWeight at tier 1.
+func schedParams(cfg Config, rtVCs int) sched.Params {
+	rtw, bew := cfg.Sched.RTWeight, cfg.Sched.BEWeight
+	if rtw <= 0 {
+		rtw = 1
+	}
+	if bew <= 0 {
+		bew = 1
+	}
+	p := sched.Params{
+		VCs: cfg.VCs, Quantum: cfg.Sched.Quantum,
+		Weights: make([]int, cfg.VCs), Tiers: make([]int, cfg.VCs),
+	}
+	for v := 0; v < cfg.VCs; v++ {
+		if v < rtVCs {
+			p.Weights[v] = rtw
+		} else {
+			p.Weights[v] = bew
+			p.Tiers[v] = 1
+		}
+	}
+	return p
+}
+
+// policingParams resolves the policing defaults against the workload. The
+// committed rate is CIRFactor × the source's nominal real-time injection
+// rate, and the WRED thresholds scale with the message size: red (violating)
+// traffic starts dropping at a two-message average backlog, yellow at four,
+// and green only under severe congestion — the drop-precedence ordering the
+// conformance battery checks.
+func policingParams(cfg Config) (police.MeterConfig, police.DropperConfig) {
+	pc := cfg.Policing
+	factor := pc.CIRFactor
+	if factor == 0 {
+		factor = 1.2
+	}
+	// Default burst depths scale with the frame, the workload's natural
+	// burst unit: one nominal frame's wire flits (header overhead included)
+	// of committed burst, half a frame of excess.
+	hdr := 1.0
+	if cfg.MsgFlits > 1 {
+		hdr = float64(cfg.MsgFlits) / float64(cfg.MsgFlits-1)
+	}
+	frameFlits := int(math.Ceil(cfg.FrameBytes * 8 / float64(cfg.FlitBits) * hdr))
+	cbs, ebs := pc.CBSFlits, pc.EBSFlits
+	if cbs == 0 {
+		cbs = max(frameFlits, 2*cfg.MsgFlits)
+	}
+	if ebs == 0 {
+		ebs = max(frameFlits/2, cfg.MsgFlits)
+	}
+	mc := police.MeterConfig{
+		CIR: factor * cfg.Load * cfg.RTShare * cfg.LinkBandwidthBps / float64(cfg.FlitBits),
+		CBS: cbs,
+		EBS: ebs,
+	}
+	// WRED thresholds in frame units: red (violating) traffic starts
+	// dropping at one frame of average backlog, yellow at two, green only
+	// past four — per-class drop precedence by construction.
+	f := max(frameFlits, 2*cfg.MsgFlits)
+	dc := police.DropperConfig{
+		Profiles: [police.NumColors]police.DropProfile{
+			police.Green:  {MinFlits: 4 * f, MaxFlits: 8 * f, MaxProb: 0.02},
+			police.Yellow: {MinFlits: 2 * f, MaxFlits: 6 * f, MaxProb: 0.5},
+			police.Red:    {MinFlits: f, MaxFlits: 4 * f, MaxProb: 1.0},
+		},
+		WeightExp: pc.DropExp,
+	}
+	return mc, dc
 }
 
 func flitClass(c TrafficClass) (flit.Class, error) {

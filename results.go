@@ -30,6 +30,10 @@ type Result struct {
 	// Config.PlayoutBufferFrames is 0).
 	Playout PlayoutResult
 
+	// Policing reports the injection-point meter and dropper accounting
+	// (zero-valued when Config.Policing is disabled).
+	Policing PolicingResult
+
 	// Resilience reports the fault layer's accounting (zero-valued when
 	// Config.Faults is disabled).
 	Resilience ResilienceResult
@@ -65,6 +69,27 @@ type ResilienceResult struct {
 	// DeadlockReport renders the first trip's blocked-VC wait-for cycle.
 	Deadlocks, DeadlocksBroken int
 	DeadlockReport             string
+}
+
+// PolicingResult aggregates the srTCM meter and WRED dropper accounting
+// over every source NI.
+type PolicingResult struct {
+	// Enabled records that Config.Policing was armed.
+	Enabled bool
+	// MeterExceed and MeterViolate count real-time messages colored yellow
+	// (burst beyond the committed bucket) and red (beyond the excess bucket)
+	// by the meters.
+	MeterExceed, MeterViolate uint64
+	// Drops counts messages the WRED droppers discarded at injection. A
+	// frame missing any message never finishes reassembly at its sink, so
+	// drops surface in the delivered-frame ratio below, not as delivered
+	// jitter samples.
+	Drops uint64
+	// FramesEmitted/FramesDelivered reconcile source frames against fully
+	// reassembled sink frames; DeliveredFrameRatio is their quotient — the
+	// headline cost of policing.
+	FramesEmitted, FramesDelivered uint64
+	DeliveredFrameRatio            float64
 }
 
 // PlayoutResult measures soft-guarantee quality as a video client sees it:
