@@ -102,17 +102,11 @@ func NewSim(cfg Config) (*Sim, error) {
 		ExclusiveEndpointVCs: cfg.ExclusiveEndpointVCs,
 		Tracer:               trc,
 	}
-	var net *topology.Net
-	switch cfg.Topology {
-	case SingleSwitch:
-		net, err = topology.SingleSwitch(eng, rcfg)
-	case FatMesh2x2:
-		net, err = topology.FatMesh2x2(eng, rcfg)
-	case Tetrahedral:
-		net, err = topology.Tetrahedral(eng, rcfg)
-	default:
-		err = fmt.Errorf("mediaworm: unknown topology %q", cfg.Topology)
+	spec, err := cfg.topologySpec()
+	if err != nil {
+		return nil, err
 	}
+	net, err := topology.Build(eng, spec, rcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -70,6 +70,19 @@ func TestCheckpointRoundTripGolden(t *testing.T) {
 		{"no-playout", func(c *Config) { c.PlayoutBufferFrames = 0 }},
 		{"fat-mesh", func(c *Config) { c.Topology = FatMesh2x2; c.Load = 0.5 }},
 		{"tetrahedral", func(c *Config) { c.Topology = Tetrahedral; c.Load = 0.5 }},
+		// Generated fabrics carry 16 endpoints each, so their windows shrink
+		// to keep the suite fast; the golden property is window-independent.
+		{"generated-mesh", func(c *Config) {
+			c.Topology = "mesh4x4c1"
+			c.Load = 0.4
+			c.Measure = 4 * c.FrameInterval
+		}},
+		{"torus-dateline", func(c *Config) {
+			c.Topology = "torus4x4c1"
+			c.Load = 0.4
+			c.Measure = 4 * c.FrameInterval
+		}},
+		{"clos", func(c *Config) { c.Topology = "clos4x2"; c.Load = 0.4 }},
 		{"source-policy-override", func(c *Config) { c.SourcePolicy = FIFO }},
 		{"wrr-weighted", func(c *Config) {
 			c.Policy = WRR
@@ -103,6 +116,35 @@ func TestCheckpointRoundTripGolden(t *testing.T) {
 					resultString(got), resultString(want))
 			}
 		})
+	}
+}
+
+// TestCheckpointTorus8x8Golden is the scale proof for the checkpoint
+// format: an 8×8 torus — 64 routers with dateline VC classes, all router
+// and NI/sink state carved from the build-time arenas — checkpointed
+// mid-run must restore and finish identical to the uninterrupted run, and
+// the checkpoint bytes themselves must be deterministic across runs.
+func TestCheckpointTorus8x8Golden(t *testing.T) {
+	cfg := DefaultConfig().Scale(0.05)
+	cfg.Topology = "torus8x8c1"
+	cfg.Load = 0.4
+	cfg.RTShare = 0.8
+	cfg.Warmup = cfg.FrameInterval
+	cfg.Measure = 4 * cfg.FrameInterval
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	at := cfg.Warmup + cfg.Measure/2
+	got, ckpt := runInterrupted(t, cfg, at)
+	if resultString(got) != resultString(want) {
+		t.Errorf("restored 8×8 torus run diverged\n got: %s\nwant: %s",
+			resultString(got), resultString(want))
+	}
+	_, again := runInterrupted(t, cfg, at)
+	if !bytes.Equal(ckpt, again) {
+		t.Errorf("two 8×8 torus checkpoints of the same instant differ (%d vs %d bytes)",
+			len(ckpt), len(again))
 	}
 }
 

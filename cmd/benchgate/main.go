@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR5.json -current /tmp/bench.json [flags]
+//	benchgate -baseline BENCH_PR10.json -current /tmp/bench.json [flags]
 //
 // A benchmark regresses when
 //
@@ -52,7 +52,7 @@ type benchmark struct {
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR5.json", "committed baseline summary")
+		baselinePath = flag.String("baseline", "BENCH_PR10.json", "committed baseline summary")
 		currentPath  = flag.String("current", "", "summary to check (required)")
 		allocsTol    = flag.Float64("allocs-tol", 0.25, "relative allocs/op tolerance")
 		allocsSlack  = flag.Float64("allocs-slack", 8, "absolute allocs/op slack (warm-up headroom)")

@@ -33,7 +33,8 @@ import (
 
 func main() {
 	var (
-		topology  = flag.String("topology", string(mediaworm.SingleSwitch), "single-switch or fat-mesh-2x2")
+		topology  = flag.String("topology", string(mediaworm.SingleSwitch), "single-switch, fat-mesh-2x2, tetrahedral, or a generator spec like mesh4x4, torus8x8 or clos8x4x8 (suffix c<n> = endpoints per router, l<n> = lanes per channel)")
+		lanes     = flag.Int("lanes", 0, "parallel physical links per channel on generated topologies (0 = spec default)")
 		ports     = flag.Int("ports", 8, "ports per router")
 		vcs       = flag.Int("vcs", 16, "virtual channels per physical channel")
 		policy    = flag.String("policy", string(mediaworm.VirtualClock), "fifo, round-robin, virtual-clock, wrr, drr, wf2q or sp+wrr")
@@ -139,6 +140,7 @@ func main() {
 
 	cfg := mediaworm.DefaultConfig()
 	cfg.Topology = mediaworm.Topology(*topology)
+	cfg.Lanes = *lanes
 	cfg.Ports = *ports
 	cfg.VCs = *vcs
 	cfg.Policy = mediaworm.Policy(*policy)

@@ -51,7 +51,8 @@ func main() {
 	mix := flag.Float64("mix", 0.8, "fixed real-time share (when not swept)")
 	vcs := flag.Int("vcs", 16, "fixed VCs (when not swept)")
 	policy := flag.String("policy", string(mediaworm.VirtualClock), "scheduling policy")
-	topo := flag.String("topology", string(mediaworm.SingleSwitch), "topology")
+	topo := flag.String("topology", string(mediaworm.SingleSwitch), "topology: single-switch, fat-mesh-2x2, tetrahedral, or a generator spec like mesh4x4, torus8x8 or clos8x4x8")
+	lanes := flag.Int("lanes", 0, "parallel physical links per channel on generated topologies (0 = spec default)")
 	scale := flag.Float64("scale", 0.2, "video time-base scale")
 	intervals := flag.Int("intervals", 10, "measured frame intervals")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -96,6 +97,7 @@ func main() {
 		xs[i] = x
 		cfg := mediaworm.DefaultConfig()
 		cfg.Topology = mediaworm.Topology(*topo)
+		cfg.Lanes = *lanes
 		cfg.Policy = mediaworm.Policy(*policy)
 		cfg.Load = *load
 		cfg.RTShare = *mix

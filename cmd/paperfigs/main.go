@@ -34,7 +34,7 @@ func main() {
 	intervals := flag.Int("intervals", 10, "measured frame intervals per point")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores, 1 = serial); output is byte-identical either way")
 	replicas := flag.Int("replicas", 1, "independent-seed runs per point, reported as mean ± 95% CI")
-	only := flag.String("only", "", "comma-separated subset: fig3,fig4,fig5,table2,fig6,fig7,fig8,table3,fig9,table1,bounds; 'bounds-smoke' runs the reduced bound-soundness grid and exits nonzero on violations; ablations/extensions by id (abl-alloc,abl-endpointvc,abl-source,abl-sched,ext-gop,ext-tetra,ext-dynpart,schedzoo) or 'extras' for all of them; 'schedzoo-smoke' runs the reduced scheduler-zoo grid with policing armed")
+	only := flag.String("only", "", "comma-separated subset: fig3,fig4,fig5,table2,fig6,fig7,fig8,table3,fig9,table1,bounds; 'bounds-smoke' runs the reduced bound-soundness grid and exits nonzero on violations; ablations/extensions by id (abl-alloc,abl-endpointvc,abl-source,abl-sched,ext-gop,ext-tetra,ext-dynpart,schedzoo,scale) or 'extras' for all of them; 'schedzoo-smoke' runs the reduced scheduler-zoo grid with policing armed; 'scale-smoke' runs the reduced topology-generator grid")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	csvDir := flag.String("csv", "", "also write each figure/table as CSV into this directory")
 	svgDir := flag.String("svg", "", "also render each figure as SVG charts into this directory")
@@ -172,10 +172,18 @@ func main() {
 		}
 	}
 
-	// The scheduler-zoo smoke grid is a CI gate, not part of the default
-	// figure set: it runs only when named, like bounds-smoke.
+	// The scheduler-zoo and topology-generator smoke grids are CI gates, not
+	// part of the default figure set: they run only when named, like
+	// bounds-smoke.
 	if want["schedzoo-smoke"] {
 		fig, err := experiments.SchedZooSmoke(opt)
+		if err != nil {
+			fail(err)
+		}
+		emit(fig)
+	}
+	if want["scale-smoke"] {
+		fig, err := experiments.ScaleSmoke(opt)
 		if err != nil {
 			fail(err)
 		}
@@ -194,6 +202,7 @@ func main() {
 		{"schedzoo", printFig(experiments.SchedZoo, opt, *csvDir, *svgDir)},
 		{"ext-gop", printFig(experiments.ExtGoP, opt, *csvDir, *svgDir)},
 		{"ext-tetra", printFig(experiments.ExtTetrahedral, opt, *csvDir, *svgDir)},
+		{"scale", printFig(experiments.ScaleSweep, opt, *csvDir, *svgDir)},
 		{"ext-dynpart", func() error {
 			res, err := experiments.ExtDynamicPartition(opt)
 			if err != nil {

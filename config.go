@@ -3,6 +3,8 @@ package mediaworm
 import (
 	"fmt"
 	"time"
+
+	"mediaworm/internal/topology"
 )
 
 // Policy selects the scheduling discipline at the router's bandwidth
@@ -51,7 +53,13 @@ const (
 	CBR TrafficClass = "cbr"
 )
 
-// Topology selects the network shape.
+// Topology selects the network shape: one of the fixed paper topologies
+// below, or a generator spec like "mesh4x4", "torus8x8", "clos8x4x8" —
+// optionally suffixed with "c<n>" (endpoints per mesh/torus router,
+// default 4) and "l<n>" (lanes per channel) — parsed by
+// internal/topology.ParseSpec. Meshes and tori route dimension-order;
+// tori add dateline VC classes for deadlock freedom, which requires at
+// least 2 VCs in every class partition.
 type Topology string
 
 const (
@@ -74,7 +82,13 @@ const (
 type Config struct {
 	// Topology of the fabric.
 	Topology Topology
+	// Lanes overrides the generated topologies' parallel physical links per
+	// channel (0 keeps the spec's own lane count, default 1). Ignored by the
+	// fixed paper topologies.
+	Lanes int
 	// Ports per router (8 in the paper). For FatMesh2x2 it must be 8.
+	// Generated topologies derive their port plan from the spec and ignore
+	// this.
 	Ports int
 	// VCs per physical channel and the scheduling policy at the router's
 	// multiplexers.
@@ -335,11 +349,30 @@ func (c Config) Scale(f float64) Config {
 	return c
 }
 
+// topologySpec resolves the Topology name (and Lanes override) into a
+// generator spec. Legacy names resolve to their fixed-kind specs.
+func (c *Config) topologySpec() (topology.Spec, error) {
+	spec, err := topology.ParseSpec(string(c.Topology))
+	if err != nil {
+		return spec, fmt.Errorf("mediaworm: %w", err)
+	}
+	if c.Lanes > 0 {
+		spec.Lanes = c.Lanes
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, fmt.Errorf("mediaworm: %w", err)
+	}
+	return spec, nil
+}
+
 // Validate reports the first problem with the configuration.
 func (c *Config) Validate() error {
+	if _, err := c.topologySpec(); err != nil {
+		return err
+	}
 	switch {
-	case c.Topology != SingleSwitch && c.Topology != FatMesh2x2 && c.Topology != Tetrahedral:
-		return fmt.Errorf("mediaworm: unknown topology %q", c.Topology)
+	case c.Lanes < 0:
+		return fmt.Errorf("mediaworm: Lanes = %d", c.Lanes)
 	case c.Ports < 2:
 		return fmt.Errorf("mediaworm: Ports = %d", c.Ports)
 	case (c.Topology == FatMesh2x2 || c.Topology == Tetrahedral) && c.Ports != 8:

@@ -32,3 +32,11 @@ func TestHotPathFactFlowImplicitDeps(t *testing.T) {
 		{Dir: "hotfacts/app", Path: "mediaworm/internal/analysis/testdata/src/hotfacts/app"},
 	})
 }
+
+// The arena fixture pins hotpath on the arena-carving discipline behind
+// the struct-of-arrays router state: the hot tick walks carved views
+// allocation-free, construction-time carving stays outside the hot
+// closure, and the naive per-tick scratch it replaces is flagged.
+func TestHotPathArenaFixture(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "hotpath/arena", "mediaworm/internal/arenahotfix")
+}

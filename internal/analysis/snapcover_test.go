@@ -41,3 +41,12 @@ func TestSnapCoverFactFlowImplicitDeps(t *testing.T) {
 func TestSnapCoverCalculusFixture(t *testing.T) {
 	analysistest.Run(t, analysis.SnapCover, "snapcover/calculus", "mediaworm/internal/calculus")
 }
+
+// The arena fixture pins snapcover on the struct-of-arrays pool shape
+// introduced with the topology generator: run state lives in views carved
+// from a build-time arena, the arena hides behind one excluded field (so
+// its slabs need no annotations), and a view or scalar forgotten on either
+// side is still flagged.
+func TestSnapCoverArenaFixture(t *testing.T) {
+	analysistest.Run(t, analysis.SnapCover, "snapcover/arena", "mediaworm/internal/arenasnapfix")
+}

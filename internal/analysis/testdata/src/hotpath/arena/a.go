@@ -1,0 +1,76 @@
+// Package arenahotfix pins hotpath on the arena-carving discipline behind
+// the struct-of-arrays router state: the hot tick walks carved views
+// allocation-free, construction-time carving (with its exhausted-slab
+// fallback make) stays outside the hot closure, and the naive per-tick
+// scratch the arena replaces is flagged.
+package arenahotfix
+
+// arena is the build-time backing store: one slab, carved into views.
+type arena struct {
+	slab []int
+	off  int
+}
+
+// grab carves the next n-element view with a full slice expression, so an
+// append on one view can never bleed into its neighbor. It is never
+// reached from a hot root, so the exhausted-slab fallback allocates
+// legally without a suppression.
+func (a *arena) grab(n int) []int {
+	if a.off+n > len(a.slab) {
+		return make([]int, n)
+	}
+	v := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return v
+}
+
+// node's run state is a carved view plus a cursor.
+type node struct {
+	inv []int
+	cur int
+}
+
+// Tick is the hot root the arena exists for: it walks the carved views in
+// place and allocates nothing.
+//
+//mw:hotpath
+func Tick(nodes []node) int {
+	total := 0
+	for i := range nodes {
+		n := &nodes[i]
+		n.cur = (n.cur + 1) % len(n.inv)
+		total += n.inv[n.cur]
+	}
+	return total
+}
+
+// TickNaive is the shape the arena replaces: per-tick scratch growth with
+// no capacity evidence.
+//
+//mw:hotpath
+func TickNaive(nodes []node) []int {
+	var order []int
+	for i := range nodes {
+		order = append(order, nodes[i].cur) // want "append without preallocated-capacity evidence"
+	}
+	return order
+}
+
+// Carve shows why carving must stay out of the hot closure: called per
+// tick it would allocate every execution.
+//
+//mw:hotpath
+func Carve(n int) []int {
+	return make([]int, n) // want "make allocates on every execution"
+}
+
+// Reserve documents the one sanctioned allocation: resizing the slab
+// itself, suppressed and audited rather than silently dropped.
+//
+//mw:hotpath
+func (a *arena) Reserve(n int) {
+	if cap(a.slab) < n {
+		a.slab = make([]int, n) //mw:hotpath — one-time slab sizing, amortized across the run
+	}
+	a.off = 0
+}

@@ -1,0 +1,57 @@
+// Package arenasnapfix pins snapcover on the struct-of-arrays arena shape
+// introduced with the topology generator: run state lives in views carved
+// from a build-time pool, the pool itself hides behind one excluded field
+// (so its slabs need no annotations of their own), and a view or scalar
+// forgotten on either side is still flagged.
+package arenasnapfix
+
+import "mediaworm/internal/snapshot"
+
+// Pool is the construction-time backing store: one allocation per slab,
+// carved into per-node views while the fabric is built. It is reachable
+// only through Node's excluded field, so traversal never enters it and its
+// slabs carry no annotations.
+type Pool struct {
+	slots []int
+	marks []bool
+}
+
+// Grab carves the next n-slot view out of the slab.
+func (p *Pool) Grab(n int) []int {
+	v := p.slots[:n:n]
+	p.slots = p.slots[n:]
+	return v
+}
+
+// Node's run state is a carved view plus scalars; the pool reference is
+// construction-time provenance only.
+type Node struct {
+	view   []int
+	cursor int
+	seen   int     // want "field Node.seen is not written by any snapshot encoder"
+	last   float64 // want "field Node.last is not read by any snapshot decoder"
+	pool   *Pool   //mw:snapcover — construction-time backing store; carving happens only while the fabric is built
+}
+
+// EncodeNode covers the carved view, the cursor and last, and forgets seen.
+func (n *Node) EncodeNode(w *snapshot.Writer) error {
+	w.Int(len(n.view))
+	for _, v := range n.view {
+		w.Int(v)
+	}
+	w.Int(n.cursor)
+	w.F64(n.last)
+	return nil
+}
+
+// RestoreNode refills the view in place (the slab backing survives a
+// restore), covers cursor and seen, and forgets last.
+func (n *Node) RestoreNode(r *snapshot.Reader) error {
+	n.view = n.view[:0]
+	for i, m := 0, r.Int(); i < m; i++ {
+		n.view = append(n.view, r.Int())
+	}
+	n.cursor = r.Int()
+	n.seen = r.Int()
+	return r.Err()
+}

@@ -61,7 +61,7 @@ func TestPropertyConservationAndOrder(t *testing.T) {
 			FullCrossbar: full, Policy: policy, Period: period,
 			AllocatorIterations:  iters,
 			ExclusiveEndpointVCs: exclusive,
-			Route:                func(_ int, m *flit.Message) []int { return []int{m.Dst} },
+			Route:                func(_ int, m *flit.Message, buf []int) []int { return append(buf, m.Dst) },
 		}
 		router, err := New(cfg)
 		if err != nil {

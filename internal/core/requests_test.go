@@ -9,7 +9,7 @@ import (
 
 // reqConfig returns a router where every output VC must be held exclusively,
 // so concurrent headers to one endpoint VC pile up in the stage-3 request
-// queue — the surface the lazy-retirement compaction manages.
+// queue — the surface the lazy-retirement arena discipline manages.
 func reqConfig() Config {
 	cfg := testConfig(sched.VirtualClock)
 	cfg.VCs = 4
@@ -18,11 +18,30 @@ func reqConfig() Config {
 	return cfg
 }
 
+// reqIdxs walks output port p's FCFS request list, returning the flat
+// input-VC index of each node in queue order.
+func reqIdxs(r *Router, p int) []int32 {
+	var out []int32
+	for n := r.outs[p].reqHead; n >= 0; n = r.reqNodes[n].next {
+		out = append(out, r.reqNodes[n].in)
+	}
+	return out
+}
+
+// freeCount walks the request arena's free list.
+func freeCount(r *Router) int {
+	c := 0
+	for n := r.reqFree; n >= 0; n = r.reqNodes[n].next {
+		c++
+	}
+	return c
+}
+
 // TestRemoveRequestCompactsAndZeroes pins the stage-3 queue hygiene: killing
 // messages with queued crossbar requests retires the entries in O(1), the
-// next cycle's allocation pass compacts them out preserving FCFS order, and
-// the vacated backing-array slots are zeroed so dropped requests release
-// their references (the same leak class the ring buffer's pop zeroing
+// next cycle's allocation pass frees them back to the arena preserving FCFS
+// order among survivors, and freed nodes are cleared so dropped requests
+// release their state (the same leak class the ring buffer's pop zeroing
 // addresses).
 func TestRemoveRequestCompactsAndZeroes(t *testing.T) {
 	r, caps := build(t, reqConfig())
@@ -34,29 +53,37 @@ func TestRemoveRequestCompactsAndZeroes(t *testing.T) {
 	// All four headers are visible: stage 2 submits four requests for
 	// (port 1, VC 0); stage 3 grants the first and keeps three.
 	r.Step(3 * period)
-	backing := r.out[1].reqs
-	if len(backing) != 3 {
-		t.Fatalf("queued requests = %d, want 3", len(backing))
+	if got := reqIdxs(r, 1); len(got) != 3 {
+		t.Fatalf("queued requests = %d, want 3", len(got))
 	}
+	nodes := len(r.reqNodes)
 
 	msgs[1].Kill()
 	msgs[2].Kill()
 	r.Step(4 * period)
 
-	if got := len(r.out[1].reqs); got != 1 {
-		t.Fatalf("requests after reaping two dead heads = %d, want 1", got)
+	live := reqIdxs(r, 1)
+	if len(live) != 1 {
+		t.Fatalf("requests after reaping two dead heads = %d, want 1", len(live))
 	}
-	if in := r.out[1].reqs[0].in; in != &r.in[0].vcs[3] {
-		t.Fatalf("surviving request is not the FCFS-next live header")
+	if live[0] != 3 { // port 0, VC 3 — the FCFS-next live header
+		t.Fatalf("surviving request is input VC %d, want 3", live[0])
 	}
-	if r.out[1].stale != 0 {
-		t.Fatalf("stale counter = %d after compaction, want 0", r.out[1].stale)
+	if r.outs[1].stale != 0 {
+		t.Fatalf("stale counter = %d after compaction, want 0", r.outs[1].stale)
 	}
-	// The compaction must zero every vacated slot of the backing array.
-	for i := 1; i < len(backing); i++ {
-		if backing[i] != (request{}) {
-			t.Fatalf("vacated request slot %d still holds %+v", i, backing[i])
+	// Freed nodes are cleared and recirculate through the free list; the
+	// arena itself must not have grown.
+	if len(r.reqNodes) != nodes {
+		t.Fatalf("request arena grew %d → %d during retirement", nodes, len(r.reqNodes))
+	}
+	for n := r.reqFree; n >= 0; n = r.reqNodes[n].next {
+		if r.reqNodes[n].in != -1 || r.reqNodes[n].at != 0 || r.reqNodes[n].seq != 0 {
+			t.Fatalf("freed request node %d still holds %+v", n, r.reqNodes[n])
 		}
+	}
+	if freeCount(r) == 0 {
+		t.Fatal("no freed nodes on the arena free list")
 	}
 
 	// Drain: the two live messages are delivered, the dead ones reaped.
@@ -79,8 +106,8 @@ func TestRemoveRequestCompactsAndZeroes(t *testing.T) {
 
 // TestRetiredRequestCoexistsWithResubmission covers the same-cycle hazard:
 // a VC whose dead head is reaped resubmits a request for the next buffered
-// header in the same stage-2 pass, so the retired entry and the new live
-// entry briefly share the queue. The seq match must grant only the live one.
+// header in the same stage-2 pass, so the retired node and the new live
+// node briefly share the queue. The seq match must grant only the live one.
 func TestRetiredRequestCoexistsWithResubmission(t *testing.T) {
 	r, caps := build(t, reqConfig())
 	blocker := msg(1, 1, 0, 2, 100)
@@ -90,15 +117,15 @@ func TestRetiredRequestCoexistsWithResubmission(t *testing.T) {
 	t1 := deliver(r, 0, 1, dead, period)
 	deliver(r, 0, 1, next, t1) // queued behind dead on the same VC
 	r.Step(4 * period)         // blocker granted; dead's request queued
-	if len(r.out[1].reqs) != 1 {
-		t.Fatalf("queued requests = %d, want 1", len(r.out[1].reqs))
+	if got := reqIdxs(r, 1); len(got) != 1 {
+		t.Fatalf("queued requests = %d, want 1", len(got))
 	}
 
 	dead.Kill()
 	r.Step(5 * period) // reap retires dead's entry, next's header resubmits
-	reqs := r.out[1].reqs
-	if len(reqs) != 1 || reqs[0].in != &r.in[0].vcs[1] || reqs[0].in.headMsg != next {
-		t.Fatalf("live request not preserved across retirement: %+v", reqs)
+	live := reqIdxs(r, 1)
+	if len(live) != 1 || live[0] != 1 || r.inv[1].headMsg != next {
+		t.Fatalf("live request not preserved across retirement: idxs=%v head=%v", live, r.inv[1].headMsg)
 	}
 
 	run(r, 6*period, 40)
@@ -116,8 +143,8 @@ func TestRetiredRequestCoexistsWithResubmission(t *testing.T) {
 
 // TestSetLinkUpZeroesClearedRequests pins the interaction between lazy
 // retirement and link failure: taking a link down resets the live waiters
-// for rerouting and zeroes the cleared queue so no request slot keeps its
-// references past the clear.
+// for rerouting and frees the cleared queue's nodes so no request slot
+// keeps its state past the clear.
 func TestSetLinkUpZeroesClearedRequests(t *testing.T) {
 	r, _ := build(t, reqConfig())
 	blocker := msg(1, 1, 0, 4, 100)
@@ -125,19 +152,22 @@ func TestSetLinkUpZeroesClearedRequests(t *testing.T) {
 	deliver(r, 0, 0, blocker, period)
 	deliver(r, 0, 1, waiter, period)
 	r.Step(3 * period) // blocker granted on port 1, waiter queued
-	backing := r.out[1].reqs
-	if len(backing) != 1 {
-		t.Fatalf("queued requests = %d, want 1", len(backing))
+	if got := reqIdxs(r, 1); len(got) != 1 {
+		t.Fatalf("queued requests = %d, want 1", len(got))
 	}
 
+	freeBefore := freeCount(r)
 	r.SetLinkUp(1, false)
-	if got := len(r.out[1].reqs); got != 0 {
-		t.Fatalf("request queue not cleared on link down: %d", got)
+	if got := reqIdxs(r, 1); len(got) != 0 {
+		t.Fatalf("request queue not cleared on link down: %d", len(got))
 	}
-	if backing[:1][0] != (request{}) {
-		t.Fatal("cleared request slot not zeroed")
+	if r.outs[1].reqLen != 0 || r.outs[1].stale != 0 {
+		t.Fatalf("reqLen/stale = %d/%d after clear, want 0/0", r.outs[1].reqLen, r.outs[1].stale)
 	}
-	if ph := r.in[0].vcs[1].phase; ph != vcIdle {
+	if freeCount(r) != freeBefore+1 {
+		t.Fatalf("cleared request node not returned to the free list")
+	}
+	if ph := r.inv[1].phase; ph != vcIdle {
 		t.Fatalf("waiter phase = %v after link down, want vcIdle for rerouting", ph)
 	}
 

@@ -18,6 +18,15 @@ func newRing(capacity int) ring {
 	return ring{buf: make([]flit.Flit, capacity)}
 }
 
+// ringOver builds a ring over a caller-supplied buffer — an arena slab
+// carve, so a fabric's worth of VC buffers is one allocation.
+func ringOver(buf []flit.Flit) ring {
+	if len(buf) == 0 {
+		panic("core: ring capacity must be positive")
+	}
+	return ring{buf: buf}
+}
+
 func (r *ring) len() int    { return r.n }
 func (r *ring) space() int  { return len(r.buf) - r.n }
 func (r *ring) empty() bool { return r.n == 0 }

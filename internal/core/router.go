@@ -21,6 +21,12 @@
 // Pipeline latency matches the paper's model: a header spends five cycles
 // from link arrival to the next link (stages 1–5); middle and tail flits
 // spend three (they bypass stages 2–3).
+//
+// Hot state lives in a struct-of-arrays layout: per-VC input and output
+// tables are flat slices indexed port·VCs+vc, flit rings carve one shared
+// buffer slab, and crossbar requests are nodes of an intrusive per-router
+// arena recycled through a free list — so a fabric of hundreds of routers
+// is a handful of large allocations, not a pointer forest (DESIGN.md §18).
 package core
 
 import (
@@ -55,12 +61,22 @@ type Consumer interface {
 }
 
 // RoutingFunc returns the candidate output ports for msg at the given
-// router. Multiple candidates model the fat-mesh's parallel physical links;
-// the router picks the least-loaded (§3.4). An empty result means the
-// destination is currently unreachable (a fault somewhere partitioned it
+// router, appended into buf (passed with length zero, capacity ≥ the
+// router's port count) so steady-state routing allocates nothing. Multiple
+// candidates model parallel physical links — the fat-mesh's duplicated
+// channels, a generated topology's multi-lane links, a Clos network's spine
+// uplinks; the router picks the least-loaded (§3.4). An empty result means
+// the destination is currently unreachable (a fault somewhere partitioned it
 // away): the router kills the message so its flits unravel instead of
 // blocking the input VC until the route recovers.
-type RoutingFunc func(routerID int, msg *flit.Message) []int
+type RoutingFunc func(routerID int, msg *flit.Message, buf []int) []int
+
+// VCSelFunc narrows the output-VC class partition [lo, hi) for msg on
+// output port out — the hook dateline routing uses to split a torus ring's
+// VCs into pre- and post-dateline halves so dimension-order routing stays
+// deadlock-free across wraparound links. It must return a non-empty
+// subrange of [lo, hi). Nil means the full class partition.
+type VCSelFunc func(routerID, outPort int, msg *flit.Message, lo, hi int) (int, int)
 
 // Config parameterizes one router.
 type Config struct {
@@ -91,6 +107,13 @@ type Config struct {
 	Period sim.Time
 	// Route computes output ports for messages not yet at their final hop.
 	Route RoutingFunc
+	// VCSel, if set, narrows the output VC partition per (port, message) —
+	// see VCSelFunc. Topologies without wraparound channels leave it nil.
+	VCSel VCSelFunc
+	// Arena, if set, is the shared struct-of-arrays backing store this
+	// router carves its state from (construction-time only, not run state);
+	// nil gives the router private allocations.
+	Arena *Arena
 
 	// AllocatorIterations selects the switch-allocation depth: 1 is a
 	// single greedy pass; 2 (the default, chosen when zero) adds one-step
@@ -137,7 +160,9 @@ const (
 	vcActive                   // output granted; flits may traverse
 )
 
-// inVC is one input virtual-channel buffer and its switching state.
+// inVC is one input virtual-channel buffer and its switching state. Input
+// VCs live in the router's flat inv table (index port·VCs+vc), carved from
+// the fabric arena.
 type inVC struct {
 	q ring
 
@@ -154,9 +179,9 @@ type inVC struct {
 	outPort   int
 	outVC     int
 	grantedAt sim.Time
-	// reqSeq is the sequence number of this VC's live crossbar request; a
-	// queued request entry whose seq no longer matches has been retired and
-	// is skipped (and compacted away) by the next stage-3 pass.
+	// reqSeq is the sequence number of this VC's live crossbar request; an
+	// arena node whose seq no longer matches has been retired and is freed
+	// by the next stage-3 pass.
 	reqSeq uint64
 
 	// port/vcIdx locate this VC for trace events; blkCause is the cause of
@@ -165,23 +190,27 @@ type inVC struct {
 	blkCause    obs.Cause //mw:snapcover — open blocking spans are a trace concern; tracing refuses checkpoints
 }
 
-// request is a pending crossbar arbitration request (stage 3).
-type request struct {
-	in  *inVC
-	vc  int // input VC index, for bookkeeping
-	at  sim.Time
-	seq uint64
+// reqNode is one pending crossbar arbitration request (stage 3), a node of
+// the router's request arena. Nodes chain into per-output-port FCFS lists
+// and recycle through a free list, so request churn allocates nothing once
+// the arena has grown to the working set.
+type reqNode struct {
+	in   int32 // flat input-VC index (port·VCs+vc)
+	next int32 // next node in the port's FCFS list / free list (-1 = end)
+	at   sim.Time
+	seq  uint64
 }
 
-// live reports whether the entry is still the queue's current request for
-// its input VC: retired entries keep their slot but stop matching the VC's
-// phase and reqSeq (the VC may meanwhile carry a newer request elsewhere).
-func (req *request) live() bool {
-	return req.in.phase == vcRequested && req.in.reqSeq == req.seq
+// liveReq reports whether node n is still the current request of its input
+// VC: retired nodes keep their slot but stop matching the VC's phase and
+// reqSeq (the VC may meanwhile carry a newer request elsewhere).
+func (r *Router) liveReq(n *reqNode) bool {
+	in := &r.inv[n.in]
+	return in.phase == vcRequested && in.reqSeq == n.seq
 }
 
 // outVC is one output virtual channel: its stage-5 staging buffer and
-// ownership state.
+// ownership state. Output VCs live in the router's flat outv table.
 type outVC struct {
 	stage ring
 	// busy is the message holding this output VC from grant until its tail
@@ -191,31 +220,27 @@ type outVC struct {
 	clk sched.VClock
 }
 
-// outPort is one output physical channel.
+// outPort is one output physical channel's per-port state; its VCs live in
+// the router's flat outv table.
 type outPort struct {
 	consumer Consumer //mw:snapcover — downstream wiring, rebuilt by the topology constructor
 	// endpoint marks ports that attach to an endpoint (NI/sink) rather than
 	// another router; at an endpoint port the message's DstVC is used.
 	endpoint bool //mw:snapcover — static wiring property, set when the port is connected
-	// reqs is the FCFS virtual-channel-allocation queue (stage 3): headers
-	// wait here until an output VC of their class is free. Output VCs are
-	// held at message granularity (wormhole semantics); the crossbar output
-	// itself is matched per cycle in switch traversal.
-	reqs []request
-	// stale counts entries in reqs retired by removeRequest but not yet
-	// compacted: retirement is O(1) lazy (the entry's seq stops matching its
-	// VC's reqSeq) instead of an ordered mid-slice delete, and the stage-3
-	// pass that already walks the queue compacts them away. portLoad
-	// subtracts stale so intra-cycle load estimates are unchanged.
-	stale int
-	vcs   []outVC
-	arb   sched.Arbiter // link VC multiplexer (point C)
-}
-
-// inPort is one input physical channel.
-type inPort struct {
-	vcs []inVC
-	arb sched.Arbiter // crossbar input multiplexer (point A)
+	// reqHead heads the FCFS virtual-channel-allocation list (stage 3) of
+	// arena nodes: headers wait here until an output VC of their class is
+	// free. Output VCs are held at message granularity (wormhole
+	// semantics); the crossbar output itself is matched per cycle in
+	// switch traversal.
+	reqHead int32
+	// reqLen counts list nodes; stale counts nodes retired by removeRequest
+	// but not yet freed: retirement is O(1) lazy (the node's seq stops
+	// matching its VC's reqSeq) and the stage-3 pass that already walks the
+	// list frees them. portLoad subtracts stale so intra-cycle load
+	// estimates are unchanged.
+	reqLen, stale int32
+	arb           sched.Arbiter // link VC multiplexer (point C)
+	reqTail       int32         //mw:snapcover — derived list-end cache; restore rebuilds it by re-appending the serialized FIFO walk
 }
 
 // Stats counts router activity for tests and instrumentation.
@@ -263,35 +288,51 @@ type PortStats struct {
 	StallCycles uint64
 }
 
-// Router is one MediaWorm switch.
+// Router is one MediaWorm switch. Its per-port/per-VC hot state is a
+// struct-of-arrays: inv and outv are flat tables indexed port·VCs+vc,
+// inArbs holds the per-input-port multiplexers, outs the per-output-port
+// state, and reqNodes the crossbar-request arena — all carved from the
+// fabric-wide Arena when one is supplied.
 type Router struct {
-	cfg    Config //mw:snapcover — run-immutable config; RestoreSim rebuilds the router from the checkpoint's embedded config and re-validates against it
-	rtVCs  int    // current real-time VC partition size (adjustable)
-	in     []inPort
-	out    []outPort
-	seq    uint64 // arbitration sequence counter
-	stats  Stats
-	fullXb bool //mw:snapcover — derived from cfg at construction
+	rtVCs int      // current real-time VC partition size (adjustable)
+	seq   uint64   // arbitration sequence counter
+	now   sim.Time // current cycle instant, so arbiter observers can stamp their events
+	// Flat per-VC tables (index port·VCs+vc) and per-port state.
+	inv    []inVC
+	outv   []outVC
+	inArbs []sched.Arbiter
+	outs   []outPort
+	// reqNodes is the crossbar-request arena; nodes recycle through the
+	// free list headed by reqFree (declared with the derived state below).
+	reqNodes []reqNode
+	stats    Stats
 	// Fault state (see DESIGN.md "Fault model"): per-output-port link
 	// health and injected stalls, per-port fault counters, and the optional
 	// per-flit corruption hook.
 	linkUp    []bool
 	stalled   []bool
 	portStats []PortStats
+
+	// Everything below is construction-time configuration, derived state a
+	// restore rebuilds, or per-cycle scratch — outside the snapshot
+	// contract.
+	cfg       Config                           //mw:snapcover — run-immutable config; RestoreSim rebuilds the router from the checkpoint's embedded config and re-validates against it
+	nvc       int                              //mw:snapcover — copy of cfg.VCs, the flat-index stride
+	fullXb    bool                             //mw:snapcover — derived from cfg at construction
+	reqFree   int32                            //mw:snapcover — free-list head over unreferenced nodes; restore rebuilds it as it re-carves the request lists
 	corrupt   func(port int, f flit.Flit) bool //mw:snapcover — fault-injection hook; fault runs refuse checkpoints
 	routeBuf  []int                            //mw:snapcover — per-cycle scratch for health-filtered routing candidates
+	routeCand []int                            //mw:snapcover — per-cycle scratch handed to the routing function
 	// cands, claimed, claimedBy and picked are per-cycle scratch buffers,
 	// reused so the hot path does not allocate.
 	cands      []sched.Candidate //mw:snapcover — per-cycle scratch
 	claimed    []bool            //mw:snapcover — per-cycle scratch
 	claimedBy  []int8            //mw:snapcover — per-cycle scratch
 	picked     []int8            //mw:snapcover — per-cycle scratch
-	feeder     []*inVC           //mw:snapcover — per-cycle scratch
+	feeder     []int32           //mw:snapcover — per-cycle scratch (flat input-VC index per crossbar output, -1 = none)
 	feederCand []sched.Candidate //mw:snapcover — per-cycle scratch
-	// trc is the observability sink (nil = disabled); now mirrors the
-	// current cycle instant so arbiter observers can stamp their events.
-	trc *obs.Tracer //mw:snapcover — tracing refuses checkpoints
-	now sim.Time
+	trc        *obs.Tracer       //mw:snapcover — observability sink (nil = disabled); tracing refuses checkpoints
+	fromArena  bool              //mw:snapcover — construction-time provenance flag, no run state
 }
 
 // New builds a router. Output ports must be connected with Connect before
@@ -306,30 +347,40 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Sched.VCs == 0 {
 		cfg.Sched.VCs = cfg.VCs
 	}
-	r := &Router{cfg: cfg, rtVCs: cfg.RTVCs, fullXb: cfg.FullCrossbar}
+	a := cfg.Arena
+	r := &Router{cfg: cfg, rtVCs: cfg.RTVCs, nvc: cfg.VCs, fullXb: cfg.FullCrossbar}
+	pv, _, _, reqCap := arenaShape(cfg)
 	r.cands = make([]sched.Candidate, 0, cfg.VCs)
-	r.in = make([]inPort, cfg.Ports)
-	r.out = make([]outPort, cfg.Ports)
-	r.linkUp = make([]bool, cfg.Ports)
-	r.stalled = make([]bool, cfg.Ports)
-	r.portStats = make([]PortStats, cfg.Ports)
+	invBefore := 0
+	if a != nil {
+		invBefore = len(a.inv)
+	}
+	r.inv = a.grabInv(pv)
+	r.fromArena = a != nil && len(a.inv) == invBefore+pv
+	r.outv = a.grabOutv(pv)
+	r.inArbs = make([]sched.Arbiter, cfg.Ports)
+	r.outs = make([]outPort, cfg.Ports)
+	r.reqNodes = a.grabReqs(reqCap)
+	r.reqFree = -1
+	health := a.grabHealth(2 * cfg.Ports)
+	r.linkUp, r.stalled = health[:cfg.Ports:cfg.Ports], health[cfg.Ports:]
+	r.portStats = a.grabPortStats(cfg.Ports)
 	r.routeBuf = make([]int, 0, cfg.Ports)
+	r.routeCand = make([]int, 0, cfg.Ports)
 	for p := range r.linkUp {
 		r.linkUp[p] = true
 	}
 	for p := 0; p < cfg.Ports; p++ {
-		r.in[p].vcs = make([]inVC, cfg.VCs)
-		for v := range r.in[p].vcs {
-			r.in[p].vcs[v].q = newRing(cfg.BufferDepth)
-			r.in[p].vcs[v].port = int16(p)
-			r.in[p].vcs[v].vcIdx = int16(v)
+		for v := 0; v < cfg.VCs; v++ {
+			in := &r.inv[p*r.nvc+v]
+			in.q = ringOver(a.grabFlits(cfg.BufferDepth))
+			in.port = int16(p)
+			in.vcIdx = int16(v)
+			r.outv[p*r.nvc+v].stage = ringOver(a.grabFlits(cfg.StageDepth))
 		}
-		r.in[p].arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
-		r.out[p].vcs = make([]outVC, cfg.VCs)
-		for v := range r.out[p].vcs {
-			r.out[p].vcs[v].stage = newRing(cfg.StageDepth)
-		}
-		r.out[p].arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
+		r.inArbs[p] = sched.NewArbiter(cfg.Policy, cfg.Sched)
+		r.outs[p].arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
+		r.outs[p].reqHead, r.outs[p].reqTail = -1, -1
 	}
 	if cfg.Tracer.Enabled() {
 		r.trc = cfg.Tracer
@@ -337,11 +388,11 @@ func New(cfg Config) (*Router, error) {
 		id := int16(cfg.ID)
 		for p := 0; p < cfg.Ports; p++ {
 			port := int16(p)
-			r.in[p].arb = sched.Observed(r.in[p].arb, func(w sched.Candidate, n int) {
+			r.inArbs[p] = sched.Observed(r.inArbs[p], func(w sched.Candidate, n int) {
 				r.trc.Emit(obs.Event{At: r.now, Kind: obs.EvPickInput, Router: id,
 					Port: port, VC: int16(w.VC), Arg: obs.TSArg(w.TS), Seq: int32(n)})
 			})
-			r.out[p].arb = sched.Observed(r.out[p].arb, func(w sched.Candidate, n int) {
+			r.outs[p].arb = sched.Observed(r.outs[p].arb, func(w sched.Candidate, n int) {
 				r.trc.Emit(obs.Event{At: r.now, Kind: obs.EvPickOutput, Router: id,
 					Port: port, VC: int16(w.VC), Arg: obs.TSArg(w.TS), Seq: int32(n)})
 			})
@@ -350,11 +401,22 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
+// inAt returns the input VC at (port, vc) in the flat table.
+func (r *Router) inAt(p, v int) *inVC { return &r.inv[p*r.nvc+v] }
+
+// outAt returns the output VC at (port, vc) in the flat table.
+func (r *Router) outAt(p, v int) *outVC { return &r.outv[p*r.nvc+v] }
+
 // ID returns the router's fabric identifier.
 func (r *Router) ID() int { return r.cfg.ID }
 
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
+
+// UsesArena reports whether the router's input-VC table was carved from a
+// shared Arena (as opposed to a private fallback allocation). Fabric-scale
+// tests assert this to catch arena sizing regressions.
+func (r *Router) UsesArena() bool { return r.fromArena }
 
 // Stats returns activity counters.
 func (r *Router) Stats() Stats { return r.stats }
@@ -380,6 +442,37 @@ func (r *Router) SetCorruption(fn func(port int, f flit.Flit) bool) { r.corrupt 
 // message is killed.
 func (r *Router) SetPortStalled(p int, stalled bool) { r.stalled[p] = stalled }
 
+// allocReq pops a request node off the free list, growing the arena slab
+// only when every node is in use.
+func (r *Router) allocReq() int32 {
+	if r.reqFree < 0 {
+		r.reqNodes = append(r.reqNodes, reqNode{}) //mw:hotpath — amortized one-time growth to the request working set; nodes recycle through the free list after
+		return int32(len(r.reqNodes) - 1)
+	}
+	n := r.reqFree
+	r.reqFree = r.reqNodes[n].next
+	return n
+}
+
+// freeReq returns node n to the free list, clearing it so retired requests
+// release no references.
+func (r *Router) freeReq(n int32) {
+	r.reqNodes[n] = reqNode{in: -1, next: r.reqFree}
+	r.reqFree = n
+}
+
+// pushReq appends node n to output port op's FCFS list.
+func (r *Router) pushReq(op *outPort, n int32) {
+	r.reqNodes[n].next = -1
+	if op.reqTail < 0 {
+		op.reqHead = n
+	} else {
+		r.reqNodes[op.reqTail].next = n
+	}
+	op.reqTail = n
+	op.reqLen++
+}
+
 // SetLinkUp changes output port p's link health. Taking a link down kills
 // every message with flits committed to the port — messages holding its
 // output VCs, messages staged on it, and messages granted or requesting it
@@ -396,24 +489,27 @@ func (r *Router) SetLinkUp(p int, up bool) {
 	if up {
 		return
 	}
-	op := &r.out[p]
+	op := &r.outs[p]
 	// Pending requests: return the headers to routing (stage 2 will pick a
 	// healthy candidate next cycle, or kill the message if none is left).
-	// Retired entries are skipped — their VC may already carry a live
-	// request to another port — and vacated slots are zeroed so dropped
-	// requests release their references.
-	for i := range op.reqs {
-		if req := &op.reqs[i]; req.live() {
-			req.in.phase = vcIdle
-			req.in.headMsg = nil
+	// Retired nodes are skipped — their VC may already carry a live request
+	// to another port — and every node is freed so dropped requests release
+	// their references.
+	for n := op.reqHead; n >= 0; {
+		next := r.reqNodes[n].next
+		if r.liveReq(&r.reqNodes[n]) {
+			in := &r.inv[r.reqNodes[n].in]
+			in.phase = vcIdle
+			in.headMsg = nil
 		}
-		op.reqs[i] = request{}
+		r.freeReq(n)
+		n = next
 	}
-	op.reqs = op.reqs[:0]
-	op.stale = 0
+	op.reqHead, op.reqTail = -1, -1
+	op.reqLen, op.stale = 0, 0
 	// Staged flits and output-VC holders are beyond rerouting: kill them.
-	for v := range op.vcs {
-		ov := &op.vcs[v]
+	for v := 0; v < r.nvc; v++ {
+		ov := r.outAt(p, v)
 		for !ov.stage.empty() {
 			f := ov.stage.pop()
 			f.Msg.Kill()
@@ -429,15 +525,13 @@ func (r *Router) SetLinkUp(p int, up bool) {
 	}
 	// Input VCs actively forwarding to the port: their worms straddle the
 	// dead link, so they cannot be rerouted either.
-	for ip := range r.in {
-		for v := range r.in[ip].vcs {
-			in := &r.in[ip].vcs[v]
-			if in.phase == vcActive && in.outPort == p && in.headMsg != nil {
-				if !in.headMsg.Dead {
-					r.traceKill(p, in.headMsg, obs.CauseLinkDown)
-				}
-				in.headMsg.Kill()
+	for i := range r.inv {
+		in := &r.inv[i]
+		if in.phase == vcActive && in.outPort == p && in.headMsg != nil {
+			if !in.headMsg.Dead {
+				r.traceKill(p, in.headMsg, obs.CauseLinkDown)
 			}
+			in.headMsg.Kill()
 		}
 	}
 }
@@ -501,20 +595,20 @@ func (r *Router) traceUnblock(in *inVC, now sim.Time) {
 // Connect attaches the consumer downstream of output port p and records
 // whether that port reaches an endpoint.
 func (r *Router) Connect(p int, c Consumer, endpoint bool) {
-	r.out[p].consumer = c
-	r.out[p].endpoint = endpoint
+	r.outs[p].consumer = c
+	r.outs[p].endpoint = endpoint
 }
 
 // HasCredit reports whether input port p, VC vc can accept a flit.
 func (r *Router) HasCredit(p, vc int) bool {
-	return r.in[p].vcs[vc].q.space() > 0
+	return r.inv[p*r.nvc+vc].q.space() > 0
 }
 
 // Deliver enqueues a flit into input port p, VC vc (pipeline stage 1).
 // f.Enq must already hold the arrival instant; the flit is (re)stamped with
 // this contention point's Virtual Clock. Callers must respect HasCredit.
 func (r *Router) Deliver(p, vc int, f flit.Flit) {
-	in := &r.in[p].vcs[vc]
+	in := &r.inv[p*r.nvc+vc]
 	if f.Msg.Dead {
 		// The message was killed while this flit crossed the link: reap it
 		// at arrival so the buffer slot is never consumed. Receive-side
@@ -561,14 +655,14 @@ func (r *Router) Step(now sim.Time) {
 
 // routeAndArbitrate implements pipeline stages 2–3 for header flits:
 // submit crossbar requests for idle VCs whose head is an eligible header,
-// then process each output port's FCFS request queue.
+// then process each output port's FCFS request list.
 func (r *Router) routeAndArbitrate(now sim.Time) {
 	// Stage 2: dead-message reaping, then routing decision + request
 	// submission. Reaping first keeps killed worms from occupying VCs or
 	// submitting requests.
-	for p := range r.in {
-		for v := range r.in[p].vcs {
-			in := &r.in[p].vcs[v]
+	for p := 0; p < len(r.outs); p++ {
+		for v := 0; v < r.nvc; v++ {
+			in := &r.inv[p*r.nvc+v]
 			r.reapInVC(p, in)
 			if in.phase != vcIdle || in.q.empty() {
 				continue
@@ -610,7 +704,9 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 			in.outPort = out
 			in.phase = vcRequested
 			in.reqSeq = r.seq
-			r.out[out].reqs = append(r.out[out].reqs, request{in: in, vc: v, at: now, seq: r.seq}) //mw:hotpath — queue capacity grows to the per-port working set once, then is recycled by the stage-3 compaction
+			n := r.allocReq()
+			r.reqNodes[n] = reqNode{in: int32(p*r.nvc + v), next: -1, at: now, seq: r.seq}
+			r.pushReq(&r.outs[out], n)
 			r.seq++
 			r.stats.RequestsQueued++
 		}
@@ -619,51 +715,55 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 	// are granted the cycle they are submitted when a VC is free (the
 	// stage-2/3 units are distinct pipeline stages, so routing and
 	// allocation of one header overlap); the grant still takes effect at
-	// the crossbar one cycle later via grantedAt.
-	for p := range r.out {
-		op := &r.out[p]
-		if len(op.reqs) == 0 {
+	// the crossbar one cycle later via grantedAt. The walk rebuilds each
+	// port's list in place, freeing granted and retired nodes back to the
+	// arena so their references are released.
+	for p := 0; p < len(r.outs); p++ {
+		op := &r.outs[p]
+		if op.reqHead < 0 {
 			continue
 		}
-		kept := op.reqs[:0]
-		for _, req := range op.reqs {
-			if !req.live() {
-				continue // retired by removeRequest; compacted here
+		n := op.reqHead
+		op.reqHead, op.reqTail = -1, -1
+		op.reqLen = 0
+		for n >= 0 {
+			next := r.reqNodes[n].next
+			node := &r.reqNodes[n]
+			if !r.liveReq(node) {
+				r.freeReq(n) // retired by removeRequest
+				n = next
+				continue
 			}
-			vc, ok := r.allocOutVC(op, req.in.headMsg)
+			in := &r.inv[node.in]
+			vc, ok := r.allocOutVC(p, op, in.headMsg)
 			if !ok {
-				kept = append(kept, req) //mw:hotpath — compacts in place over op.reqs' existing backing array (kept aliases op.reqs[:0])
+				r.pushReq(op, n)
+				n = next
 				continue
 			}
 			if !op.endpoint || r.cfg.ExclusiveEndpointVCs {
-				op.vcs[vc].busy = req.in.headMsg
+				r.outAt(p, vc).busy = in.headMsg
 			}
-			req.in.outVC = vc
-			req.in.phase = vcActive
-			req.in.grantedAt = now
+			in.outVC = vc
+			in.phase = vcActive
+			in.grantedAt = now
 			r.stats.MessagesRouted++
-			r.stats.GrantWait += uint64(now - req.at)
+			r.stats.GrantWait += uint64(now - node.at)
 			r.stats.GrantWaitCount++
 			if r.trc != nil {
 				r.trc.Emit(obs.Event{At: now, Kind: obs.EvVCAlloc,
 					Router: int16(r.cfg.ID), Port: int16(p), VC: int16(vc),
-					Msg: req.in.headMsg.ID, Class: req.in.headMsg.Class,
-					Arg: int64(now - req.at)})
+					Msg: in.headMsg.ID, Class: in.headMsg.Class,
+					Arg: int64(now - node.at)})
 			}
+			r.freeReq(n)
+			n = next
 		}
-		// Zero the vacated tail so granted and retired requests release
-		// their *inVC (and through it *Message) references, the same leak
-		// class the ring buffer's pop zeroing addresses.
-		tail := op.reqs[len(kept):]
-		for i := range tail {
-			tail[i] = request{}
-		}
-		op.reqs = kept
 		op.stale = 0
 	}
 }
 
-// allocOutVC picks the output VC for msg on op.
+// allocOutVC picks the output VC for msg on output port p.
 //
 // At an endpoint port the message's DstVC is used and may be shared by any
 // number of in-flight messages: the paper multiplexes multiple connections
@@ -671,17 +771,21 @@ func (r *Router) routeAndArbitrate(now sim.Time) {
 // so the final link needs no per-message VC exclusivity. At a transit
 // (router-to-router) port the downstream input buffer demultiplexes by VC,
 // so messages must hold a VC exclusively; the lowest free VC in the
-// message's class partition is taken.
-func (r *Router) allocOutVC(op *outPort, msg *flit.Message) (int, bool) {
+// message's class partition — narrowed by the topology's VC selector, the
+// dateline hook that keeps torus routing deadlock-free — is taken.
+func (r *Router) allocOutVC(p int, op *outPort, msg *flit.Message) (int, bool) {
 	if op.endpoint {
-		if r.cfg.ExclusiveEndpointVCs && op.vcs[msg.DstVC].busy != nil {
+		if r.cfg.ExclusiveEndpointVCs && r.outAt(p, msg.DstVC).busy != nil {
 			return 0, false
 		}
 		return msg.DstVC, true
 	}
 	lo, hi := r.classRange(msg.Class)
+	if r.cfg.VCSel != nil {
+		lo, hi = r.cfg.VCSel(r.cfg.ID, p, msg, lo, hi)
+	}
 	for v := lo; v < hi; v++ {
-		if op.vcs[v].busy == nil {
+		if r.outAt(p, v).busy == nil {
 			return v, true
 		}
 	}
@@ -694,7 +798,7 @@ func (r *Router) allocOutVC(op *outPort, msg *flit.Message) (int, bool) {
 // candidates when a fault elsewhere in the fabric partitions the
 // destination away, even while every local link is up.
 func (r *Router) liveRoute(msg *flit.Message) []int {
-	cands := r.cfg.Route(r.cfg.ID, msg)
+	cands := r.cfg.Route(r.cfg.ID, msg, r.routeCand[:0])
 	if len(cands) == 0 {
 		return nil
 	}
@@ -726,7 +830,7 @@ func (r *Router) reapInVC(p int, in *inVC) {
 		case vcRequested:
 			r.removeRequest(in)
 		case vcActive:
-			ov := &r.out[in.outPort].vcs[in.outVC]
+			ov := r.outAt(in.outPort, in.outVC)
 			if ov.busy == in.headMsg {
 				ov.busy = nil
 			}
@@ -736,14 +840,14 @@ func (r *Router) reapInVC(p int, in *inVC) {
 	}
 }
 
-// removeRequest retires in's pending crossbar request in O(1): the entry
-// stays in its output port's FCFS queue but stops matching in.reqSeq once
+// removeRequest retires in's pending crossbar request in O(1): the node
+// stays in its output port's FCFS list but stops matching in.reqSeq once
 // the caller resets in's phase, and the next stage-3 pass — which walks the
-// queue anyway — compacts it out and zeroes the vacated slot. The old
-// ordered mid-slice delete re-copied the queue tail on every removal, and
-// left dangling references in the backing array.
+// list anyway — frees it back to the arena. The old ordered mid-slice
+// delete re-copied the queue tail on every removal, and left dangling
+// references in the backing array.
 func (r *Router) removeRequest(in *inVC) {
-	r.out[in.outPort].stale++
+	r.outs[in.outPort].stale++
 }
 
 // classRange returns the VC partition [lo, hi) for a traffic class.
@@ -770,13 +874,14 @@ func (r *Router) SetRTVCs(n int) {
 
 // portLoad estimates congestion on output port p for fat-link selection.
 func (r *Router) portLoad(p int) int {
-	op := &r.out[p]
-	load := len(op.reqs) - op.stale // retired entries carry no load
-	for v := range op.vcs {
-		if op.vcs[v].busy != nil {
+	op := &r.outs[p]
+	load := int(op.reqLen - op.stale) // retired nodes carry no load
+	for v := 0; v < r.nvc; v++ {
+		ov := &r.outv[p*r.nvc+v]
+		if ov.busy != nil {
 			load++
 		}
-		load += op.vcs[v].stage.len()
+		load += ov.stage.len()
 	}
 	return load
 }
@@ -794,7 +899,7 @@ func (r *Router) switchTraversal(now sim.Time) {
 		r.fullTraversal(now)
 		return
 	}
-	n := len(r.in)
+	n := len(r.outs)
 	if len(r.claimed) < n {
 		r.claimed = make([]bool, n)   //mw:hotpath — lazy one-time sizing to the port count; never reallocated after
 		r.claimedBy = make([]int8, n) //mw:hotpath — lazy one-time sizing to the port count; never reallocated after
@@ -812,10 +917,9 @@ func (r *Router) switchTraversal(now sim.Time) {
 	start := int(now/r.cfg.Period) % n
 	for k := 0; k < n; k++ {
 		p := (start + k) % n
-		ip := &r.in[p]
 		cands = cands[:0]
-		for v := range ip.vcs {
-			in := &ip.vcs[v]
+		for v := 0; v < r.nvc; v++ {
+			in := &r.inv[p*r.nvc+v]
 			if claimed[in.outPort] && in.phase == vcActive {
 				r.stats.BlockedClaimed++
 				if !in.q.empty() {
@@ -845,15 +949,16 @@ func (r *Router) switchTraversal(now sim.Time) {
 		if len(cands) == 0 {
 			continue
 		}
-		w := cands[ip.arb.Pick(cands)].VC
-		claimed[r.in[p].vcs[w].outPort] = true
-		r.claimedBy[r.in[p].vcs[w].outPort] = int8(p)
+		w := cands[r.inArbs[p].Pick(cands)].VC
+		out := r.inv[p*r.nvc+w].outPort
+		claimed[out] = true
+		r.claimedBy[out] = int8(p)
 		r.picked[p] = int8(w)
 	}
 	if r.cfg.AllocatorIterations < 2 {
 		for p := 0; p < n; p++ {
 			if w := r.picked[p]; w >= 0 {
-				r.forward(&r.in[p].vcs[w], now)
+				r.forward(r.inAt(p, int(w)), now)
 			}
 		}
 		return
@@ -870,10 +975,9 @@ func (r *Router) switchTraversal(now sim.Time) {
 		if r.picked[p] >= 0 {
 			continue
 		}
-		ip := &r.in[p]
 	vcLoop:
-		for v := range ip.vcs {
-			in := &ip.vcs[v]
+		for v := 0; v < r.nvc; v++ {
+			in := &r.inv[p*r.nvc+v]
 			if in.phase != vcActive || !claimed[in.outPort] || !r.vcEligible(in, now) {
 				continue
 			}
@@ -881,9 +985,8 @@ func (r *Router) switchTraversal(now sim.Time) {
 			if j < 0 || r.picked[j] < 0 {
 				continue
 			}
-			jp := &r.in[j]
-			for jv := range jp.vcs {
-				alt := &jp.vcs[jv]
+			for jv := 0; jv < r.nvc; jv++ {
+				alt := &r.inv[int(j)*r.nvc+jv]
 				if jv == int(r.picked[j]) || alt.phase != vcActive ||
 					claimed[alt.outPort] || !r.vcEligible(alt, now) {
 					continue
@@ -902,7 +1005,7 @@ func (r *Router) switchTraversal(now sim.Time) {
 	// Forward the matched flits.
 	for p := 0; p < n; p++ {
 		if w := r.picked[p]; w >= 0 {
-			r.forward(&r.in[p].vcs[w], now)
+			r.forward(r.inAt(p, int(w)), now)
 		}
 	}
 }
@@ -915,34 +1018,31 @@ func (r *Router) switchTraversal(now sim.Time) {
 // physical-channel VC multiplexer (stage 5), matching §3.3's full-crossbar
 // analysis.
 func (r *Router) fullTraversal(now sim.Time) {
-	m := r.cfg.VCs
-	total := len(r.out) * m
+	m := r.nvc
+	total := len(r.outs) * m
 	if len(r.feeder) < total {
-		r.feeder = make([]*inVC, total)               //mw:hotpath — lazy one-time sizing to ports×VCs; never reallocated after
+		r.feeder = make([]int32, total)               //mw:hotpath — lazy one-time sizing to ports×VCs; never reallocated after
 		r.feederCand = make([]sched.Candidate, total) //mw:hotpath — lazy one-time sizing to ports×VCs; never reallocated after
 	}
 	for i := 0; i < total; i++ {
-		r.feeder[i] = nil
+		r.feeder[i] = -1
 	}
-	for p := range r.in {
-		ip := &r.in[p]
-		for v := range ip.vcs {
-			in := &ip.vcs[v]
-			if !r.vcEligible(in, now) {
-				continue
-			}
-			head := in.q.peek()
-			c := sched.Candidate{VC: v, TS: head.TS, Enq: head.Enq, Seq: uint64(p*m + v)}
-			key := in.outPort*m + in.outVC
-			if r.feeder[key] == nil || sched.Better(r.cfg.Policy, c, r.feederCand[key]) {
-				r.feeder[key] = in
-				r.feederCand[key] = c
-			}
+	for i := range r.inv {
+		in := &r.inv[i]
+		if !r.vcEligible(in, now) {
+			continue
+		}
+		head := in.q.peek()
+		c := sched.Candidate{VC: i % m, TS: head.TS, Enq: head.Enq, Seq: uint64(i)}
+		key := in.outPort*m + in.outVC
+		if r.feeder[key] < 0 || sched.Better(r.cfg.Policy, c, r.feederCand[key]) {
+			r.feeder[key] = int32(i)
+			r.feederCand[key] = c
 		}
 	}
 	for i := 0; i < total; i++ {
-		if r.feeder[i] != nil {
-			r.forward(r.feeder[i], now)
+		if r.feeder[i] >= 0 {
+			r.forward(&r.inv[r.feeder[i]], now)
 		}
 	}
 }
@@ -959,7 +1059,7 @@ func (r *Router) vcEligible(in *inVC, now sim.Time) bool {
 	if head.Enq >= now { // stage-1 synchronization
 		return false
 	}
-	return r.out[in.outPort].vcs[in.outVC].stage.space() > 0
+	return r.outAt(in.outPort, in.outVC).stage.space() > 0
 }
 
 // forward moves in's head flit through the crossbar into its output VC's
@@ -967,8 +1067,7 @@ func (r *Router) vcEligible(in *inVC, now sim.Time) bool {
 func (r *Router) forward(in *inVC, now sim.Time) {
 	r.traceUnblock(in, now)
 	f := in.q.pop()
-	op := &r.out[in.outPort]
-	ov := &op.vcs[in.outVC]
+	ov := r.outAt(in.outPort, in.outVC)
 	if r.trc != nil {
 		r.trc.Emit(obs.Event{At: now, Kind: obs.EvSwitchArb,
 			Router: int16(r.cfg.ID), Port: in.port, VC: in.vcIdx,
@@ -1006,12 +1105,12 @@ func (r *Router) forward(in *inVC, now sim.Time) {
 func (r *Router) transmit(now sim.Time) {
 	cands := r.cands
 	defer func() { r.cands = cands }()
-	for p := range r.out {
-		op := &r.out[p]
+	for p := 0; p < len(r.outs); p++ {
+		op := &r.outs[p]
 		staged := 0
 		cands = cands[:0]
-		for v := range op.vcs {
-			ov := &op.vcs[v]
+		for v := 0; v < r.nvc; v++ {
+			ov := &r.outv[p*r.nvc+v]
 			// Reap dead worms at this output: staged flits of killed
 			// messages are dropped (head-first; a dead worm's flits are
 			// flushed within a few cycles even on shared endpoint VCs),
@@ -1052,7 +1151,7 @@ func (r *Router) transmit(now sim.Time) {
 			continue
 		}
 		v := cands[op.arb.Pick(cands)].VC
-		ov := &op.vcs[v]
+		ov := r.outAt(p, v)
 		f := ov.stage.pop()
 		if r.corrupt != nil && r.corrupt(p, f) {
 			// The flit is corrupted on the wire: the whole message is lost
@@ -1099,9 +1198,9 @@ type Blocked struct {
 // watchdog chains these across routers into a wait-for cycle.
 func (r *Router) BlockedWorms() []Blocked {
 	var out []Blocked
-	for p := range r.in {
-		for v := range r.in[p].vcs {
-			in := &r.in[p].vcs[v]
+	for p := 0; p < len(r.outs); p++ {
+		for v := 0; v < r.nvc; v++ {
+			in := &r.inv[p*r.nvc+v]
 			if in.phase == vcIdle || in.headMsg == nil {
 				continue
 			}
@@ -1112,13 +1211,16 @@ func (r *Router) BlockedWorms() []Blocked {
 			if in.phase == vcActive {
 				b.OutVC = in.outVC
 			} else {
-				op := &r.out[in.outPort]
+				op := &r.outs[in.outPort]
 				if op.endpoint {
-					b.Holder = op.vcs[in.headMsg.DstVC].busy
+					b.Holder = r.outAt(in.outPort, in.headMsg.DstVC).busy
 				} else {
 					lo, hi := r.classRange(in.headMsg.Class)
+					if r.cfg.VCSel != nil {
+						lo, hi = r.cfg.VCSel(r.cfg.ID, in.outPort, in.headMsg, lo, hi)
+					}
 					for vv := lo; vv < hi; vv++ {
-						if m := op.vcs[vv].busy; m != nil {
+						if m := r.outAt(in.outPort, vv).busy; m != nil {
 							b.Holder = m
 							break
 						}
@@ -1134,19 +1236,19 @@ func (r *Router) BlockedWorms() []Blocked {
 // Quiesced reports whether the router holds no flits and no pending
 // requests — used by tests and the fabric's self-check.
 func (r *Router) Quiesced() bool {
-	for p := range r.in {
-		for v := range r.in[p].vcs {
-			if !r.in[p].vcs[v].q.empty() || r.in[p].vcs[v].phase != vcIdle {
-				return false
-			}
-		}
-		if len(r.out[p].reqs) != 0 {
+	for i := range r.inv {
+		if !r.inv[i].q.empty() || r.inv[i].phase != vcIdle {
 			return false
 		}
-		for v := range r.out[p].vcs {
-			if !r.out[p].vcs[v].stage.empty() || r.out[p].vcs[v].busy != nil {
-				return false
-			}
+	}
+	for p := range r.outs {
+		if r.outs[p].reqHead >= 0 {
+			return false
+		}
+	}
+	for i := range r.outv {
+		if !r.outv[i].stage.empty() || r.outv[i].busy != nil {
+			return false
 		}
 	}
 	return true

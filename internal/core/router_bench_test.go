@@ -40,7 +40,7 @@ func BenchmarkRouterStepStream(b *testing.B) {
 		seq int
 		id  uint64
 	)
-	buf := &r.in[0].vcs[0].q
+	buf := &r.inv[0].q
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -71,35 +71,56 @@ func BenchmarkRouterStepIdle(b *testing.B) {
 	}
 }
 
+// churnIteration drives one full request-churn cycle: four headers compete
+// for one exclusive endpoint VC, two die while queued, the survivors drain,
+// and the messages recycle through the pool. This is the path the arena
+// request nodes and buffer-parameter routing make allocation-free.
+func churnIteration(r *Router, pool *flit.Pool, t sim.Time, id *uint64) sim.Time {
+	var msgs [4]*flit.Message
+	for v := 0; v < 4; v++ {
+		*id++
+		m := pool.Get()
+		m.ID = *id
+		m.StreamID = int(*id)
+		m.Class = flit.VBR
+		m.MsgsInFrame = 1
+		m.Flits = 2
+		m.Vtick = 100
+		m.Dst = 1
+		msgs[v] = m
+		for s := 0; s < 2; s++ {
+			r.Deliver(0, v, flit.Flit{Msg: m, Seq: s, Enq: t})
+		}
+	}
+	msgs[1].Kill()
+	msgs[2].Kill()
+	for c := 0; c < 24; c++ {
+		r.Step(t)
+		t += period
+	}
+	for _, m := range msgs {
+		pool.Put(m) // drained or reaped: no buffer references m anymore
+	}
+	return t
+}
+
 // BenchmarkRouterRequestChurn measures the stage-3 request queue under
-// contention with mid-queue retirement: four headers compete for one
-// exclusive endpoint VC, two die while queued, and the survivors drain. This
-// is the path the lazy-retirement compaction optimizes.
+// contention with mid-queue retirement. Steady state must not allocate:
+// request nodes recycle through the router's arena free list and messages
+// through the flit.Pool (TestRouterChurnZeroAlloc is the proof).
 func BenchmarkRouterRequestChurn(b *testing.B) {
 	cfg := testConfig(sched.VirtualClock)
 	cfg.VCs = 4
 	cfg.RTVCs = 4
 	cfg.ExclusiveEndpointVCs = true
 	r := benchRouter(b, cfg)
+	pool := flit.NewPool(8)
 	t := sim.Time(0)
 	var id uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var msgs [4]*flit.Message
-		for v := 0; v < 4; v++ {
-			id++
-			msgs[v] = msg(id, 1, 0, 2, 100)
-			for s := 0; s < 2; s++ {
-				r.Deliver(0, v, flit.Flit{Msg: msgs[v], Seq: s, Enq: t})
-			}
-		}
-		msgs[1].Kill()
-		msgs[2].Kill()
-		for c := 0; c < 24; c++ {
-			r.Step(t)
-			t += period
-		}
+		t = churnIteration(r, pool, t, &id)
 		if !r.Quiesced() {
 			b.Fatal("router did not drain between iterations")
 		}

@@ -34,7 +34,7 @@ func testConfig(policy sched.Kind) Config {
 		StageDepth:  4,
 		Policy:      policy,
 		Period:      period,
-		Route:       func(_ int, m *flit.Message) []int { return []int{m.Dst} },
+		Route:       func(_ int, m *flit.Message, buf []int) []int { return append(buf, m.Dst) },
 	}
 }
 
@@ -483,11 +483,11 @@ func TestFatLinkLoadBalancing(t *testing.T) {
 	cfg.Ports = 3
 	cfg.VCs = 2
 	cfg.RTVCs = 2
-	cfg.Route = func(_ int, m *flit.Message) []int {
+	cfg.Route = func(_ int, m *flit.Message, buf []int) []int {
 		if m.Dst == 99 {
-			return []int{1, 2} // fat pair
+			return append(buf, 1, 2) // fat pair
 		}
-		return []int{m.Dst}
+		return append(buf, m.Dst)
 	}
 	r, err := New(cfg)
 	if err != nil {

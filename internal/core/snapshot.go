@@ -13,24 +13,23 @@ import (
 // a snapshot carries only the mutable state: buffered flits, per-VC worm
 // progress, the FCFS request queues, arbiter state, virtual clocks, fault
 // flags, and counters. Scratch buffers (candidate slices, claim maps) are
-// per-cycle and never live across an event, so they are not state.
+// per-cycle and never live across an event, so they are not state. The wire
+// format is layout-independent: the struct-of-arrays tables serialize in
+// the same (port, vc) nesting order as the original per-object layout, and
+// the request arena lists serialize as their FIFO walk.
 
 // CollectMessages registers every message the router holds a reference to.
 func (r *Router) CollectMessages(tbl *flit.MsgTable) {
-	for p := range r.in {
-		for v := range r.in[p].vcs {
-			in := &r.in[p].vcs[v]
-			collectRing(tbl, &in.q)
-			tbl.Add(in.recvMsg)
-			tbl.Add(in.headMsg)
-		}
+	for i := range r.inv {
+		in := &r.inv[i]
+		collectRing(tbl, &in.q)
+		tbl.Add(in.recvMsg)
+		tbl.Add(in.headMsg)
 	}
-	for p := range r.out {
-		for v := range r.out[p].vcs {
-			ov := &r.out[p].vcs[v]
-			collectRing(tbl, &ov.stage)
-			tbl.Add(ov.busy)
-		}
+	for i := range r.outv {
+		ov := &r.outv[i]
+		collectRing(tbl, &ov.stage)
+		tbl.Add(ov.busy)
 	}
 }
 
@@ -44,15 +43,11 @@ func collectRing(tbl *flit.MsgTable, rg *ring) {
 // rings plus output staging), for the fabric's flit-conservation audit.
 func (r *Router) BufferedFlits() int {
 	total := 0
-	for p := range r.in {
-		for v := range r.in[p].vcs {
-			total += r.in[p].vcs[v].q.len()
-		}
+	for i := range r.inv {
+		total += r.inv[i].q.len()
 	}
-	for p := range r.out {
-		for v := range r.out[p].vcs {
-			total += r.out[p].vcs[v].stage.len()
-		}
+	for i := range r.outv {
+		total += r.outv[i].stage.len()
 	}
 	return total
 }
@@ -72,13 +67,12 @@ func (r *Router) EncodeState(w *snapshot.Writer, tbl *flit.MsgTable) error {
 		w.Bool(r.linkUp[p])
 		w.Bool(r.stalled[p])
 	}
-	for p := range r.in {
-		ip := &r.in[p]
-		if err := sched.EncodeArbiter(w, ip.arb); err != nil {
+	for p := 0; p < len(r.outs); p++ {
+		if err := sched.EncodeArbiter(w, r.inArbs[p]); err != nil {
 			return err
 		}
-		for v := range ip.vcs {
-			in := &ip.vcs[v]
+		for v := 0; v < r.nvc; v++ {
+			in := r.inAt(p, v)
 			encodeRing(w, tbl, &in.q)
 			w.U64(tbl.Ref(in.recvMsg))
 			w.Time(in.recvClk.Aux())
@@ -91,22 +85,22 @@ func (r *Router) EncodeState(w *snapshot.Writer, tbl *flit.MsgTable) error {
 			w.U64(in.reqSeq)
 		}
 	}
-	for p := range r.out {
-		op := &r.out[p]
+	for p := 0; p < len(r.outs); p++ {
+		op := &r.outs[p]
 		if err := sched.EncodeArbiter(w, op.arb); err != nil {
 			return err
 		}
-		w.Int(len(op.reqs))
-		for i := range op.reqs {
-			req := &op.reqs[i]
-			w.Int(int(req.in.port))
-			w.Int(req.vc)
-			w.Time(req.at)
-			w.U64(req.seq)
+		w.Int(int(op.reqLen))
+		for n := op.reqHead; n >= 0; n = r.reqNodes[n].next {
+			node := &r.reqNodes[n]
+			w.Int(int(node.in) / r.nvc)
+			w.Int(int(node.in) % r.nvc)
+			w.Time(node.at)
+			w.U64(node.seq)
 		}
-		w.Int(op.stale)
-		for v := range op.vcs {
-			ov := &op.vcs[v]
+		w.Int(int(op.stale))
+		for v := 0; v < r.nvc; v++ {
+			ov := r.outAt(p, v)
 			encodeRing(w, tbl, &ov.stage)
 			w.U64(tbl.Ref(ov.busy))
 			w.Time(ov.clk.Aux())
@@ -142,13 +136,12 @@ func (r *Router) RestoreState(rd *snapshot.Reader, tbl *flit.MsgTable) error {
 		r.linkUp[p] = rd.Bool()
 		r.stalled[p] = rd.Bool()
 	}
-	for p := range r.in {
-		ip := &r.in[p]
-		if err := sched.RestoreArbiter(rd, ip.arb); err != nil {
+	for p := 0; p < len(r.outs); p++ {
+		if err := sched.RestoreArbiter(rd, r.inArbs[p]); err != nil {
 			return fmt.Errorf("router %d input port %d: %w", r.cfg.ID, p, err)
 		}
-		for v := range ip.vcs {
-			in := &ip.vcs[v]
+		for v := 0; v < r.nvc; v++ {
+			in := r.inAt(p, v)
 			if err := restoreRing(rd, tbl, &in.q, fmt.Sprintf("router %d in[%d][%d]", r.cfg.ID, p, v)); err != nil {
 				return err
 			}
@@ -193,13 +186,21 @@ func (r *Router) RestoreState(rd *snapshot.Reader, tbl *flit.MsgTable) error {
 			}
 		}
 	}
-	for p := range r.out {
-		op := &r.out[p]
+	for p := 0; p < len(r.outs); p++ {
+		op := &r.outs[p]
 		if err := sched.RestoreArbiter(rd, op.arb); err != nil {
 			return fmt.Errorf("router %d output port %d: %w", r.cfg.ID, p, err)
 		}
 		nreqs := rd.Len()
-		op.reqs = op.reqs[:0]
+		// Reset the port's request list into the arena free list before
+		// rebuilding it from the snapshot.
+		for n := op.reqHead; n >= 0; {
+			next := r.reqNodes[n].next
+			r.freeReq(n)
+			n = next
+		}
+		op.reqHead, op.reqTail = -1, -1
+		op.reqLen = 0
 		for i := 0; i < nreqs; i++ {
 			inPort := rd.Int()
 			vc := rd.Int()
@@ -214,20 +215,23 @@ func (r *Router) RestoreState(rd *snapshot.Reader, tbl *flit.MsgTable) error {
 					Detail:    fmt.Sprintf("router %d out[%d] request %d: in %d/%d", r.cfg.ID, p, i, inPort, vc),
 				}
 			}
-			op.reqs = append(op.reqs, request{in: &r.in[inPort].vcs[vc], vc: vc, at: at, seq: seq})
+			n := r.allocReq()
+			r.reqNodes[n] = reqNode{in: int32(inPort*r.nvc + vc), next: -1, at: at, seq: seq}
+			r.pushReq(op, n)
 		}
-		op.stale = rd.Int()
+		stale := rd.Int()
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		if op.stale < 0 || op.stale > len(op.reqs) {
+		if stale < 0 || stale > nreqs {
 			return &snapshot.InvariantError{
 				Invariant: "request-queue",
-				Detail:    fmt.Sprintf("router %d out[%d]: %d stale of %d requests", r.cfg.ID, p, op.stale, len(op.reqs)),
+				Detail:    fmt.Sprintf("router %d out[%d]: %d stale of %d requests", r.cfg.ID, p, stale, nreqs),
 			}
 		}
-		for v := range op.vcs {
-			ov := &op.vcs[v]
+		op.stale = int32(stale)
+		for v := 0; v < r.nvc; v++ {
+			ov := r.outAt(p, v)
 			if err := restoreRing(rd, tbl, &ov.stage, fmt.Sprintf("router %d out[%d][%d]", r.cfg.ID, p, v)); err != nil {
 				return err
 			}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"mediaworm/internal/flit"
+	"mediaworm/internal/sched"
+	"mediaworm/internal/sim"
+)
+
+// TestRouterChurnZeroAlloc is the allocation proof for the struct-of-arrays
+// request discipline: after one warm-up iteration grows the request arena
+// and scratch buffers to their working set, sustained request churn — four
+// competing headers per round, two killed mid-queue, survivors drained,
+// messages recycled — performs zero heap allocations. This is the property
+// BenchmarkRouterRequestChurn measures and cmd/benchgate enforces in CI.
+func TestRouterChurnZeroAlloc(t *testing.T) {
+	cfg := testConfig(sched.VirtualClock)
+	cfg.VCs = 4
+	cfg.RTVCs = 4
+	cfg.ExclusiveEndpointVCs = true
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		r.Connect(p, devNull{}, true)
+	}
+	pool := flit.NewPool(8)
+	now := sim.Time(0)
+	var id uint64
+	now = churnIteration(r, pool, now, &id) // warm-up: arena + scratch growth
+	if !r.Quiesced() {
+		t.Fatal("router did not drain after warm-up")
+	}
+	nodes := len(r.reqNodes)
+	allocs := testing.AllocsPerRun(100, func() {
+		now = churnIteration(r, pool, now, &id)
+	})
+	if allocs != 0 {
+		t.Fatalf("request churn allocates %.1f objects/op after warm-up, want 0", allocs)
+	}
+	if !r.Quiesced() {
+		t.Fatal("router did not drain")
+	}
+	if got := len(r.reqNodes); got != nodes {
+		t.Fatalf("request arena grew %d → %d during steady-state churn", nodes, got)
+	}
+}
+
+// TestRouterStepStreamZeroAlloc proves the streaming hot path (Deliver +
+// Step under a saturated wormhole stream) stays allocation-free with the
+// flat VC tables.
+func TestRouterStepStreamZeroAlloc(t *testing.T) {
+	r, err := New(testConfig(sched.VirtualClock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		r.Connect(p, devNull{}, true)
+	}
+	pool := flit.NewPool(4)
+	now := sim.Time(0)
+	var id uint64
+	var m, prev *flit.Message
+	seq := 0
+	step := func() {
+		if m == nil || seq == m.Flits {
+			// Recycle with one message of lag: when message k starts, k−2
+			// drained long ago (64 flits dwarf the pipeline and buffers),
+			// while k−1 may still have flits in flight.
+			pool.Put(prev)
+			prev = m
+			id++
+			m = pool.Get()
+			m.ID = id
+			m.StreamID = int(id)
+			m.Class = flit.VBR
+			m.MsgsInFrame = 1
+			m.Flits = 64
+			m.Vtick = 100
+			m.Dst = 1
+			seq = 0
+		}
+		if r.inv[0].q.space() > 0 {
+			r.Deliver(0, 0, flit.Flit{Msg: m, Seq: seq, Enq: now})
+			seq++
+		}
+		r.Step(now)
+		now += period
+	}
+	for i := 0; i < 200; i++ { // warm-up: scratch sizing, first messages
+		step()
+	}
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Fatalf("streaming Step allocates %.3f objects/op after warm-up, want 0", allocs)
+	}
+}

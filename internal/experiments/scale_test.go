@@ -1,0 +1,74 @@
+package experiments_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mediaworm/internal/experiments"
+	"mediaworm/internal/report"
+)
+
+// TestScaleSmokeGolden pins the topology-generator smoke grid's CSV
+// rendering with the same options the CI gate uses (cmd/paperfigs
+// -scale 0.05 -intervals 3 -only scale-smoke). The grid simulates a
+// generated mesh, torus and Clos end to end, so drift in the generator's
+// wiring, dimension-order routing or dateline VC selection shows up as a
+// byte diff. Regenerate deliberately with -update.
+func TestScaleSmokeGolden(t *testing.T) {
+	fig, err := experiments.ScaleSmoke(smokeOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := report.FigureCSV(fig, &got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "scale_smoke.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("scale-smoke CSV drifted from golden; rerun with -update if intended\ngot:\n%s\nwant:\n%s",
+			got.Bytes(), want)
+	}
+}
+
+// TestScaleSmokeParallelIdentical checks the grid is byte-identical under
+// parallel sweep execution, so CI may run it at any worker count.
+func TestScaleSmokeParallelIdentical(t *testing.T) {
+	serial := smokeOpt()
+	serial.Parallel = 1
+	par := smokeOpt()
+	par.Parallel = 4
+
+	figS, err := experiments.ScaleSmoke(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figP, err := experiments.ScaleSmoke(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outS, outP bytes.Buffer
+	if err := report.FigureCSV(figS, &outS); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.FigureCSV(figP, &outP); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outS.Bytes(), outP.Bytes()) {
+		t.Errorf("parallel scale-smoke grid diverged from serial\nserial:\n%s\nparallel:\n%s",
+			outS.Bytes(), outP.Bytes())
+	}
+}

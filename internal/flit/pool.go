@@ -1,0 +1,54 @@
+package flit
+
+// Pool is a slab-backed free list of Messages, the message-side counterpart
+// of the router core's struct-of-arrays arenas: callers that churn through
+// short-lived messages (benchmarks, synthetic load drivers) draw from a Pool
+// so steady-state message turnover allocates nothing. Get pops a recycled
+// message or carves a fresh one from the current slab; Put returns one whose
+// flits have fully drained.
+//
+// Recycling is the caller's responsibility to sequence: a message must not
+// be Put while any buffer, request, or staging slot still references it.
+// The simulation's traffic layer deliberately does not use a Pool — message
+// lifetime there spans retransmission and kill paths whose last reference
+// is released asynchronously — but single-owner drivers know exactly when a
+// worm has drained.
+//
+// A Pool is single-goroutine, like the simulation core it feeds.
+type Pool struct {
+	slab []Message // current slab; carved front to back
+	free []*Message
+}
+
+// NewPool returns a pool that pre-carves slabs of the given size (minimum 1;
+// a typical driver uses its maximum in-flight message count).
+func NewPool(slabSize int) *Pool {
+	if slabSize < 1 {
+		slabSize = 1
+	}
+	return &Pool{slab: make([]Message, 0, slabSize)}
+}
+
+// Get returns a zeroed message.
+func (p *Pool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		*m = Message{}
+		return m
+	}
+	if len(p.slab) == cap(p.slab) {
+		p.slab = make([]Message, 0, cap(p.slab)*2)
+	}
+	p.slab = p.slab[:len(p.slab)+1]
+	return &p.slab[len(p.slab)-1]
+}
+
+// Put recycles a message the caller guarantees is no longer referenced by
+// any buffer. The message contents are cleared on the next Get.
+func (p *Pool) Put(m *Message) {
+	if m == nil {
+		return
+	}
+	p.free = append(p.free, m)
+}

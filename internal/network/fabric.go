@@ -57,6 +57,9 @@ type Fabric struct {
 
 	// trc is the observability sink (nil = tracing disabled).
 	trc *obs.Tracer //mw:snapcover — tracing refuses checkpoints
+
+	// epa, if reserved, backs NI/sink state with struct-of-arrays slabs.
+	epa *EndpointArena //mw:snapcover — construction-time backing store; carving happens only in AttachEndpoint
 }
 
 type linkKey struct {
@@ -80,10 +83,20 @@ func (f *Fabric) AddRouter(r *core.Router) {
 	f.Routers = append(f.Routers, r)
 }
 
+// ReserveEndpoints preallocates struct-of-arrays slabs for the given number
+// of endpoints (with vcs injection VCs each); subsequent AttachEndpoint
+// calls carve from the slabs instead of allocating per endpoint. Call before
+// the first AttachEndpoint; reserving is optional and over-attachment falls
+// back to private allocations.
+func (f *Fabric) ReserveEndpoints(endpoints, vcs int) {
+	f.epa = NewEndpointArena(endpoints, vcs)
+}
+
 // AttachEndpoint wires endpoint node onto router r's port p: a fresh NI
 // feeding the input side and a fresh Sink consuming the output side.
 func (f *Fabric) AttachEndpoint(r *core.Router, port, node int) (*NI, *Sink) {
-	sink := &Sink{fab: f, Node: node, router: r.ID(), port: port, frames: make(map[uint64]int)}
+	sink := f.epa.grabSink()
+	sink.fab, sink.Node, sink.router, sink.port = f, node, r.ID(), port
 	r.Connect(port, sink, true)
 	ni := newNI(f, r, port, node)
 	f.NIs = append(f.NIs, ni)

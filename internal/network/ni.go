@@ -103,10 +103,11 @@ func newNI(f *Fabric, r *core.Router, port, node int) *NI {
 	if cfg.VCs > maxVCs {
 		panic("network: NI supports at most 64 VCs per physical channel")
 	}
-	ni := &NI{fab: f, router: r, port: port, Node: node}
-	ni.vcs = make([]niVC, cfg.VCs)
+	ni := f.epa.grabNI()
+	ni.fab, ni.router, ni.port, ni.Node = f, r, port, node
+	ni.vcs = f.epa.grabVCs(cfg.VCs)
 	ni.arb = sched.NewArbiter(cfg.Policy, cfg.Sched)
-	ni.cands = make([]sched.Candidate, 0, cfg.VCs)
+	ni.cands = f.epa.grabCands(cfg.VCs)
 	return ni
 }
 

@@ -85,6 +85,11 @@ func (s *Sink) Accept(vc int, f flit.Flit) {
 		}
 		return
 	}
+	if s.frames == nil {
+		// Lazy: most endpoints of a large fabric never reassemble a frame,
+		// and the restore path builds its own map.
+		s.frames = make(map[uint64]int)
+	}
 	s.frames[key] = rem
 }
 

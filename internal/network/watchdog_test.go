@@ -27,11 +27,11 @@ func buildRing(t *testing.T) (*sim.Engine, *network.Fabric, []*network.NI, []*ne
 		StageDepth:  2,
 		Policy:      sched.VirtualClock,
 		Period:      10 * sim.Nanosecond,
-		Route: func(routerID int, msg *flit.Message) []int {
+		Route: func(routerID int, msg *flit.Message, buf []int) []int {
 			if msg.Dst == routerID {
-				return []int{0}
+				return append(buf, 0)
 			}
-			return []int{1}
+			return append(buf, 1)
 		},
 	}
 	fab := network.NewFabric(eng, cfg.Period)

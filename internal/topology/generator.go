@@ -1,0 +1,606 @@
+package topology
+
+// The parameterized topology generator: k-ary n-meshes and tori under
+// deterministic dimension-order routing (tori deadlock-free via dateline VC
+// classes), and leaf-spine Clos fabrics under up/down routing — all with
+// multi-lane ("fat") physical channels generalizing the 2×2 fat-mesh's
+// duplicated links, and all carving router state from one shared
+// struct-of-arrays arena so a 256-router torus is a handful of large
+// allocations. See DESIGN.md §18.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mediaworm/internal/core"
+	"mediaworm/internal/flit"
+	"mediaworm/internal/network"
+	"mediaworm/internal/sim"
+)
+
+// Kind enumerates the buildable fabric shapes.
+type Kind uint8
+
+const (
+	// KindSingleSwitch is the paper's 8-port switch (§5.1–§5.6).
+	KindSingleSwitch Kind = iota
+	// KindFatMesh2x2 is the paper's 4-switch fat-mesh (§3.4/§5.7).
+	KindFatMesh2x2
+	// KindTetrahedral is the fully connected 4-switch TNet cluster.
+	KindTetrahedral
+	// KindMesh is a k-ary n-mesh under dimension-order routing.
+	KindMesh
+	// KindTorus is a k-ary n-torus under dimension-order routing with
+	// dateline VC classes on the wraparound rings.
+	KindTorus
+	// KindClos is a two-level leaf-spine Clos (folded three-stage Clos /
+	// 2-level fat-tree) under deadlock-free up/down routing.
+	KindClos
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSingleSwitch:
+		return "single-switch"
+	case KindFatMesh2x2:
+		return "fat-mesh-2x2"
+	case KindTetrahedral:
+		return "tetrahedral"
+	case KindMesh:
+		return "mesh"
+	case KindTorus:
+		return "torus"
+	case KindClos:
+		return "clos"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Spec parameterizes a fabric. The zero values of the optional fields mean
+// "default": Lanes 1, Concentration 4, Down = Spines.
+type Spec struct {
+	Kind Kind
+	// Dims is the per-dimension radix of a mesh/torus: {4, 4} is a 4×4.
+	Dims []int
+	// Lanes is the number of parallel physical links per channel — the
+	// fat-link width. Routing returns every lane and the router picks the
+	// least-loaded, generalizing the fat-mesh's duplicated channels.
+	Lanes int
+	// Concentration is the number of endpoints per mesh/torus router.
+	Concentration int
+	// Leaves, Spines, Down shape a Clos: Leaves leaf switches each with
+	// Down endpoints, fully connected to Spines spine switches.
+	Leaves, Spines, Down int
+}
+
+const defaultConcentration = 4
+
+// normalized returns the spec with defaults filled in.
+func (s Spec) normalized() Spec {
+	if s.Lanes == 0 {
+		s.Lanes = 1
+	}
+	if s.Concentration == 0 {
+		s.Concentration = defaultConcentration
+	}
+	if s.Kind == KindClos && s.Down == 0 {
+		s.Down = s.Spines
+	}
+	return s
+}
+
+// String renders the spec in the canonical form ParseSpec accepts:
+// "mesh4x4", "torus8x8", "clos8x4x8", with "c<n>" appended for a
+// non-default concentration and "l<n>" for multi-lane links.
+func (s Spec) String() string {
+	s = s.normalized()
+	var b strings.Builder
+	switch s.Kind {
+	case KindMesh, KindTorus:
+		b.WriteString(s.Kind.String())
+		for i, k := range s.Dims {
+			if i > 0 {
+				b.WriteByte('x')
+			}
+			fmt.Fprintf(&b, "%d", k)
+		}
+		if s.Concentration != defaultConcentration {
+			fmt.Fprintf(&b, "c%d", s.Concentration)
+		}
+	case KindClos:
+		fmt.Fprintf(&b, "clos%dx%d", s.Leaves, s.Spines)
+		if s.Down != s.Spines {
+			fmt.Fprintf(&b, "x%d", s.Down)
+		}
+	default:
+		return s.Kind.String()
+	}
+	if s.Lanes != 1 {
+		fmt.Fprintf(&b, "l%d", s.Lanes)
+	}
+	return b.String()
+}
+
+// ParseSpec parses a topology name: the legacy fixed names ("single-switch",
+// "fat-mesh-2x2", "tetrahedral") or a generator spec — "mesh<k>x<k>…",
+// "torus<k>x<k>…", "clos<leaves>x<spines>[x<down>]", each optionally
+// suffixed with "c<n>" (mesh/torus endpoints per router, default 4) and
+// "l<n>" (lanes per channel, default 1). Examples: "mesh4x4", "torus8x8c2",
+// "clos8x4x8", "torus16x16l2".
+func ParseSpec(name string) (Spec, error) {
+	switch name {
+	case "single-switch":
+		return Spec{Kind: KindSingleSwitch}.normalized(), nil
+	case "fat-mesh-2x2":
+		return Spec{Kind: KindFatMesh2x2}.normalized(), nil
+	case "tetrahedral":
+		return Spec{Kind: KindTetrahedral}.normalized(), nil
+	}
+	var s Spec
+	rest := ""
+	switch {
+	case strings.HasPrefix(name, "mesh"):
+		s.Kind, rest = KindMesh, name[len("mesh"):]
+	case strings.HasPrefix(name, "torus"):
+		s.Kind, rest = KindTorus, name[len("torus"):]
+	case strings.HasPrefix(name, "clos"):
+		s.Kind, rest = KindClos, name[len("clos"):]
+	default:
+		return Spec{}, fmt.Errorf("topology: unknown topology %q", name)
+	}
+	if i := strings.IndexByte(rest, 'l'); i >= 0 {
+		lanes, err := strconv.Atoi(rest[i+1:])
+		if err != nil || lanes < 1 {
+			return Spec{}, fmt.Errorf("topology: bad lane suffix in %q", name)
+		}
+		s.Lanes, rest = lanes, rest[:i]
+	}
+	if i := strings.IndexByte(rest, 'c'); i >= 0 {
+		if s.Kind == KindClos {
+			return Spec{}, fmt.Errorf("topology: %q: clos takes no concentration suffix", name)
+		}
+		conc, err := strconv.Atoi(rest[i+1:])
+		if err != nil || conc < 1 {
+			return Spec{}, fmt.Errorf("topology: bad concentration suffix in %q", name)
+		}
+		s.Concentration, rest = conc, rest[:i]
+	}
+	var dims []int
+	for _, part := range strings.Split(rest, "x") {
+		k, err := strconv.Atoi(part)
+		if err != nil {
+			return Spec{}, fmt.Errorf("topology: bad dimension %q in %q", part, name)
+		}
+		dims = append(dims, k)
+	}
+	if s.Kind == KindClos {
+		switch len(dims) {
+		case 2:
+			s.Leaves, s.Spines = dims[0], dims[1]
+		case 3:
+			s.Leaves, s.Spines, s.Down = dims[0], dims[1], dims[2]
+		default:
+			return Spec{}, fmt.Errorf("topology: clos wants <leaves>x<spines>[x<down>], got %q", name)
+		}
+	} else {
+		s.Dims = dims
+	}
+	s = s.normalized()
+	return s, s.Validate()
+}
+
+// Validate checks the spec's shape (not the router config it will be
+// combined with; Build checks the combination).
+func (s Spec) Validate() error {
+	s = s.normalized()
+	if s.Lanes < 1 {
+		return fmt.Errorf("topology: lanes = %d", s.Lanes)
+	}
+	switch s.Kind {
+	case KindSingleSwitch, KindFatMesh2x2, KindTetrahedral:
+		return nil
+	case KindMesh, KindTorus:
+		if len(s.Dims) == 0 {
+			return fmt.Errorf("topology: %s needs at least one dimension", s.Kind)
+		}
+		for _, k := range s.Dims {
+			if k < 2 {
+				return fmt.Errorf("topology: %s dimension radix %d < 2", s.Kind, k)
+			}
+		}
+		if s.Concentration < 1 {
+			return fmt.Errorf("topology: concentration = %d", s.Concentration)
+		}
+		return nil
+	case KindClos:
+		if s.Leaves < 2 || s.Spines < 1 || s.Down < 1 {
+			return fmt.Errorf("topology: clos %dx%dx%d needs ≥2 leaves, ≥1 spine, ≥1 endpoint per leaf",
+				s.Leaves, s.Spines, s.Down)
+		}
+		return nil
+	default:
+		return fmt.Errorf("topology: unknown kind %d", s.Kind)
+	}
+}
+
+// Routers returns the fabric's router count.
+func (s Spec) Routers() int {
+	s = s.normalized()
+	switch s.Kind {
+	case KindSingleSwitch:
+		return 1
+	case KindFatMesh2x2, KindTetrahedral:
+		return 4
+	case KindMesh, KindTorus:
+		n := 1
+		for _, k := range s.Dims {
+			n *= k
+		}
+		return n
+	case KindClos:
+		return s.Leaves + s.Spines
+	}
+	return 0
+}
+
+// Endpoints returns the fabric's endpoint count. The single switch takes
+// its port count from the router config, so it needs the base ports.
+func (s Spec) Endpoints(basePorts int) int {
+	s = s.normalized()
+	switch s.Kind {
+	case KindSingleSwitch:
+		return basePorts
+	case KindFatMesh2x2, KindTetrahedral:
+		return 16
+	case KindMesh, KindTorus:
+		return s.Routers() * s.Concentration
+	case KindClos:
+		return s.Leaves * s.Down
+	}
+	return 0
+}
+
+// AnalyticTransitLinks is the closed-form switch-to-switch link count the
+// TransitLinks inventory must match: lanes × directed-channel pairs. A mesh
+// dimension of radix k contributes (k−1) neighbour pairs per row; a torus
+// dimension contributes k (the wrap closes the ring); a Clos connects every
+// leaf to every spine.
+func (s Spec) AnalyticTransitLinks() int {
+	s = s.normalized()
+	switch s.Kind {
+	case KindSingleSwitch:
+		return 0
+	case KindFatMesh2x2:
+		return 8
+	case KindTetrahedral:
+		return 6
+	case KindMesh, KindTorus:
+		routers := s.Routers()
+		total := 0
+		for _, k := range s.Dims {
+			per := routers / k * (k - 1) // neighbour pairs in this dimension
+			if s.Kind == KindTorus {
+				per = routers // the wrap link closes each of the routers/k rings
+			}
+			total += per
+		}
+		return total * s.Lanes
+	case KindClos:
+		return s.Leaves * s.Spines * s.Lanes
+	}
+	return 0
+}
+
+// grid is the port/coordinate geometry of a mesh or torus: router index =
+// Σ coord[d]·stride[d] with dimension 0 fastest, endpoints on the first
+// Concentration ports, then per dimension a plus-direction and a
+// minus-direction lane group.
+type grid struct {
+	dims    []int
+	stride  []int
+	conc    int
+	lanes   int
+	torus   bool
+	routers int
+}
+
+func newGrid(s Spec) *grid {
+	g := &grid{dims: s.Dims, conc: s.Concentration, lanes: s.Lanes, torus: s.Kind == KindTorus}
+	g.stride = make([]int, len(s.Dims))
+	g.routers = 1
+	for d, k := range s.Dims {
+		g.stride[d] = g.routers
+		g.routers *= k
+	}
+	return g
+}
+
+// ports is the router port count: concentration + 2 directions per
+// dimension, lanes wide.
+func (g *grid) ports() int { return g.conc + 2*len(g.dims)*g.lanes }
+
+// coord extracts the router's coordinate in dimension d.
+func (g *grid) coord(router, d int) int { return router / g.stride[d] % g.dims[d] }
+
+// port returns the first lane's port for dimension d, direction dir
+// (0 = plus, 1 = minus); lanes are consecutive.
+func (g *grid) port(d, dir int) int { return g.conc + (2*d+dir)*g.lanes }
+
+// routerOf maps an endpoint to its router and local port.
+func (g *grid) routerOf(ep int) (router, port int) { return ep / g.conc, ep % g.conc }
+
+// step decides the dimension-order move at router toward dstRouter: the
+// first dimension (lowest index first) whose coordinate differs, and the
+// direction to move. done reports arrival.
+func (g *grid) step(router, dstRouter int) (d, dir int, done bool) {
+	for d := range g.dims {
+		c, t, k := g.coord(router, d), g.coord(dstRouter, d), g.dims[d]
+		if c == t {
+			continue
+		}
+		if !g.torus {
+			if t > c {
+				return d, 0, false
+			}
+			return d, 1, false
+		}
+		// Torus: the shorter way around; ties (k even, distance k/2) go
+		// plus, deterministically.
+		fwd := (t - c + k) % k
+		if fwd <= k-fwd {
+			return d, 0, false
+		}
+		return d, 1, false
+	}
+	return 0, 0, true
+}
+
+// gridRoute is deterministic dimension-order routing: correct dimension 0,
+// then 1, …; at the destination router, deliver on the endpoint port. All
+// lanes of the chosen channel are returned so the router picks the
+// least-loaded (§3.4).
+func (g *grid) gridRoute(routerID int, msg *flit.Message, buf []int) []int {
+	dstRouter, dstPort := g.routerOf(msg.Dst)
+	d, dir, done := g.step(routerID, dstRouter)
+	if done {
+		return append(buf, dstPort)
+	}
+	p := g.port(d, dir)
+	for l := 0; l < g.lanes; l++ {
+		buf = append(buf, p+l)
+	}
+	return buf
+}
+
+// datelineSel is the torus deadlock-freedom hook (core.VCSelFunc): each
+// class partition is split into a pre-dateline and a post-dateline half,
+// and a ring channel's half is a pure function of the router coordinate c,
+// the message's source coordinate s in the ring's dimension, and the travel
+// direction — under dimension-order routing a message's coordinate in
+// dimension d stays at its source's until d is corrected, so "has the worm
+// crossed the wrap link" needs no per-message state. Plus-direction channel
+// c→c+1 is post-dateline iff it is the wrap itself (c = k−1) or lies past
+// it (c < s); minus-direction c→c−1 mirrors. Within each half the channel
+// dependency chain is strictly monotone, so no cycle survives.
+func (g *grid) datelineSel(routerID, outPort int, msg *flit.Message, lo, hi int) (int, int) {
+	if outPort < g.conc || hi-lo < 2 {
+		return lo, hi // endpoint port, or a partition too narrow to split
+	}
+	rel := outPort - g.conc
+	d := rel / (2 * g.lanes)
+	dir := rel / g.lanes % 2
+	c := g.coord(routerID, d)
+	srcRouter, _ := g.routerOf(msg.Src)
+	s := g.coord(srcRouter, d)
+	k := g.dims[d]
+	var post bool
+	if dir == 0 {
+		post = c == k-1 || c < s
+	} else {
+		post = c == 0 || c > s
+	}
+	mid := lo + (hi-lo)/2
+	if post {
+		return mid, hi
+	}
+	return lo, mid
+}
+
+// closGeom is the leaf-spine geometry: leaves are routers [0, L), spines
+// [L, L+S). A leaf's ports are its Down endpoints then S uplink lane
+// groups; a spine's ports are L downlink lane groups.
+type closGeom struct {
+	leaves, spines, down, lanes int
+}
+
+// leafUp returns the first lane's uplink port on a leaf toward spine sp.
+func (c *closGeom) leafUp(sp int) int { return c.down + sp*c.lanes }
+
+// spineDown returns the first lane's downlink port on a spine toward leaf l.
+func (c *closGeom) spineDown(l int) int { return l * c.lanes }
+
+// closRoute is up/down routing: a leaf delivers locally or offers every
+// spine uplink lane (the router load-balances over all of them — the Clos
+// generalization of the fat-link pick); a spine has exactly one leaf group
+// down. Up channels precede down channels in every path, so the channel
+// dependency graph is acyclic and the routing deadlock-free with no VC
+// dating.
+func (c *closGeom) closRoute(routerID int, msg *flit.Message, buf []int) []int {
+	dstLeaf, dstPort := msg.Dst/c.down, msg.Dst%c.down
+	if routerID >= c.leaves { // spine: down to the destination leaf
+		p := c.spineDown(dstLeaf)
+		for l := 0; l < c.lanes; l++ {
+			buf = append(buf, p+l)
+		}
+		return buf
+	}
+	if routerID == dstLeaf {
+		return append(buf, dstPort)
+	}
+	for sp := 0; sp < c.spines; sp++ { // up: any spine, any lane
+		p := c.leafUp(sp)
+		for l := 0; l < c.lanes; l++ {
+			buf = append(buf, p+l)
+		}
+	}
+	return buf
+}
+
+// Build constructs the fabric spec describes, wiring base-configured
+// routers (base.ID, Ports, Route, VCSel and Arena are overwritten as the
+// spec demands) into a Net. The legacy kinds delegate to their dedicated
+// constructors, so the paper configurations are byte-identical through
+// Build. Generated fabrics carve all router state from one shared
+// struct-of-arrays arena.
+func Build(engine *sim.Engine, spec Spec, base core.Config) (*Net, error) {
+	spec = spec.normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindSingleSwitch:
+		return SingleSwitch(engine, base)
+	case KindFatMesh2x2:
+		return FatMesh2x2(engine, base)
+	case KindTetrahedral:
+		return Tetrahedral(engine, base)
+	case KindMesh, KindTorus:
+		return buildGrid(engine, spec, base)
+	case KindClos:
+		return buildClos(engine, spec, base)
+	}
+	return nil, fmt.Errorf("topology: unknown kind %d", spec.Kind)
+}
+
+// classPartitions returns the sizes of the non-empty VC class partitions.
+func classPartitions(cfg core.Config) []int {
+	var parts []int
+	if cfg.RTVCs > 0 {
+		parts = append(parts, cfg.RTVCs)
+	}
+	if cfg.VCs-cfg.RTVCs > 0 {
+		parts = append(parts, cfg.VCs-cfg.RTVCs)
+	}
+	return parts
+}
+
+func buildGrid(engine *sim.Engine, spec Spec, base core.Config) (*Net, error) {
+	g := newGrid(spec)
+	base.Ports = g.ports()
+	if base.Ports > 127 {
+		return nil, fmt.Errorf("topology: %s needs %d-port routers (max 127)", spec, base.Ports)
+	}
+	base.Route = g.gridRoute
+	base.VCSel = nil
+	if g.torus {
+		// Dateline deadlock freedom needs ≥2 VCs in every class partition
+		// that transit traffic can use.
+		for _, p := range classPartitions(base) {
+			if p < 2 {
+				return nil, fmt.Errorf(
+					"topology: torus needs ≥2 VCs per class partition for dateline routing (VCs %d, RTVCs %d)",
+					base.VCs, base.RTVCs)
+			}
+		}
+		base.VCSel = g.datelineSel
+	}
+	base.Arena = core.NewArena(g.routers, base)
+	f := network.NewFabric(engine, base.Period)
+	f.ReserveEndpoints(g.routers*g.conc, base.VCs)
+	net := &Net{Fabric: f}
+	routers := make([]*core.Router, g.routers)
+	for r := 0; r < g.routers; r++ {
+		cfg := base
+		cfg.ID = r
+		rt, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		routers[r] = rt
+		f.AddRouter(rt)
+	}
+	net.Routers = routers
+	for ep := 0; ep < g.routers*g.conc; ep++ {
+		r, port := g.routerOf(ep)
+		ni, sink := f.AttachEndpoint(routers[r], port, ep)
+		net.NIs = append(net.NIs, ni)
+		net.Sinks = append(net.Sinks, sink)
+	}
+	// Wire each router's plus side; the neighbour's minus side is the other
+	// end. A mesh row's last router has no plus neighbour; a torus wraps.
+	for r := 0; r < g.routers; r++ {
+		for d := range g.dims {
+			c, k := g.coord(r, d), g.dims[d]
+			if c == k-1 && !g.torus {
+				continue
+			}
+			nb := r + g.stride[d]
+			if c == k-1 {
+				nb = r - (k-1)*g.stride[d] // wrap
+			}
+			for l := 0; l < g.lanes; l++ {
+				pa, pb := g.port(d, 0)+l, g.port(d, 1)+l
+				f.Link(routers[r], pa, routers[nb], pb)
+				f.Link(routers[nb], pb, routers[r], pa)
+				net.transit = append(net.transit, TransitLink{A: r, B: nb, APort: pa, BPort: pb})
+			}
+		}
+	}
+	return net, nil
+}
+
+func buildClos(engine *sim.Engine, spec Spec, base core.Config) (*Net, error) {
+	c := &closGeom{leaves: spec.Leaves, spines: spec.Spines, down: spec.Down, lanes: spec.Lanes}
+	leafPorts := c.down + c.spines*c.lanes
+	spinePorts := c.leaves * c.lanes
+	if leafPorts > 127 || spinePorts > 127 {
+		return nil, fmt.Errorf("topology: %s needs %d-port leaves / %d-port spines (max 127)",
+			spec, leafPorts, spinePorts)
+	}
+	base.Route = c.closRoute
+	base.VCSel = nil
+	// Size the shared arena for the larger router shape; the smaller one
+	// carves less and the slack stays unused.
+	arenaCfg := base
+	arenaCfg.Ports = max(leafPorts, spinePorts)
+	base.Arena = core.NewArena(c.leaves+c.spines, arenaCfg)
+	f := network.NewFabric(engine, base.Period)
+	f.ReserveEndpoints(c.leaves*c.down, base.VCs)
+	net := &Net{Fabric: f}
+	routers := make([]*core.Router, c.leaves+c.spines)
+	for r := range routers {
+		cfg := base
+		cfg.ID = r
+		cfg.Ports = leafPorts
+		if r >= c.leaves {
+			cfg.Ports = spinePorts
+		}
+		rt, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		routers[r] = rt
+		f.AddRouter(rt)
+	}
+	net.Routers = routers
+	for ep := 0; ep < c.leaves*c.down; ep++ {
+		ni, sink := f.AttachEndpoint(routers[ep/c.down], ep%c.down, ep)
+		net.NIs = append(net.NIs, ni)
+		net.Sinks = append(net.Sinks, sink)
+	}
+	for leaf := 0; leaf < c.leaves; leaf++ {
+		for sp := 0; sp < c.spines; sp++ {
+			for l := 0; l < c.lanes; l++ {
+				pa, pb := c.leafUp(sp)+l, c.spineDown(leaf)+l
+				spine := c.leaves + sp
+				f.Link(routers[leaf], pa, routers[spine], pb)
+				f.Link(routers[spine], pb, routers[leaf], pa)
+				net.transit = append(net.transit, TransitLink{A: leaf, B: spine, APort: pa, BPort: pb})
+			}
+		}
+	}
+	return net, nil
+}

@@ -55,8 +55,8 @@ func (n *Net) Endpoints() int { return len(n.NIs) }
 // base.ID and base.Route are overwritten.
 func SingleSwitch(engine *sim.Engine, base core.Config) (*Net, error) {
 	base.ID = 0
-	base.Route = func(_ int, msg *flit.Message) []int {
-		return []int{msg.Dst}
+	base.Route = func(_ int, msg *flit.Message, buf []int) []int {
+		return append(buf, msg.Dst)
 	}
 	r, err := core.New(base)
 	if err != nil {
@@ -102,12 +102,12 @@ func tetraPort(s, t int) int {
 }
 
 // tetraRoute delivers locally or crosses the single direct link.
-func tetraRoute(routerID int, msg *flit.Message) []int {
+func tetraRoute(routerID int, msg *flit.Message, buf []int) []int {
 	dstSw := msg.Dst / tetraEndpoints
 	if dstSw == routerID {
-		return []int{msg.Dst % tetraEndpoints}
+		return append(buf, msg.Dst%tetraEndpoints)
 	}
-	return []int{tetraPort(routerID, dstSw)}
+	return append(buf, tetraPort(routerID, dstSw))
 }
 
 // Tetrahedral builds the fully connected 4-switch cluster with 16 endpoints
@@ -202,15 +202,15 @@ func FatMeshSwitchPath(srcSw, dstSw int) []int {
 // at (s%2, s/2). A message not yet at its destination switch first corrects
 // X (via the two parallel X ports), then Y. Both parallel ports are returned
 // so the router can pick the less-loaded (§3.4).
-func fatMeshRoute(routerID int, msg *flit.Message) []int {
+func fatMeshRoute(routerID int, msg *flit.Message, buf []int) []int {
 	dstSw, dstPort := FatMeshEndpointLocation(msg.Dst)
 	if dstSw == routerID {
-		return []int{dstPort}
+		return append(buf, dstPort)
 	}
 	if dstSw%2 != routerID%2 {
-		return []int{fmXPortA, fmXPortB}
+		return append(buf, fmXPortA, fmXPortB)
 	}
-	return []int{fmYPortA, fmYPortB}
+	return append(buf, fmYPortA, fmYPortB)
 }
 
 // fmPorts returns the two parallel ports on switch s that reach switch t,
@@ -256,13 +256,13 @@ func fatMeshFaultRoute(routers []*core.Router) core.RoutingFunc {
 		}
 		return false
 	}
-	return func(routerID int, msg *flit.Message) []int {
+	return func(routerID int, msg *flit.Message, buf []int) []int {
 		dstSw, dstPort := FatMeshEndpointLocation(msg.Dst)
 		if dstSw == routerID {
-			return []int{dstPort}
+			return append(buf, dstPort)
 		}
 		if !degraded() {
-			return fatMeshRoute(routerID, msg)
+			return fatMeshRoute(routerID, msg, buf)
 		}
 		// BFS from dstSw backwards over live directed edges, so dist[s] is
 		// the live-hop distance from s to the destination switch.
@@ -295,13 +295,12 @@ func fatMeshFaultRoute(routers []*core.Router) core.RoutingFunc {
 			if fmPorts(routerID, t) == nil || dist[t] != dist[routerID]-1 || !alive(routerID, t) {
 				continue
 			}
-			var cands []int
 			for _, p := range fmPorts(routerID, t) {
 				if routers[routerID].LinkUp(p) {
-					cands = append(cands, p)
+					buf = append(buf, p)
 				}
 			}
-			return cands
+			return buf
 		}
 		return nil
 	}

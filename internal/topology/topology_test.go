@@ -37,7 +37,7 @@ func TestSingleSwitchShape(t *testing.T) {
 	// Routing: direct to the destination port.
 	cfg := net.Routers[0].Config()
 	for dst := 0; dst < 8; dst++ {
-		ports := cfg.Route(0, &flit.Message{Dst: dst})
+		ports := cfg.Route(0, &flit.Message{Dst: dst}, nil)
 		if len(ports) != 1 || ports[0] != dst {
 			t.Fatalf("route to %d = %v", dst, ports)
 		}
@@ -104,7 +104,7 @@ func TestFatMeshRouting(t *testing.T) {
 		{1, 4, []int{0}},     // local port 0
 	}
 	for _, c := range cases {
-		got := fatMeshRoute(c.router, &flit.Message{Dst: c.dstEp})
+		got := fatMeshRoute(c.router, &flit.Message{Dst: c.dstEp}, nil)
 		if len(got) != len(c.want) {
 			t.Fatalf("route(%d → ep%d) = %v, want %v", c.router, c.dstEp, got, c.want)
 		}
@@ -124,7 +124,7 @@ func TestFatMeshRoutingConverges(t *testing.T) {
 			at := src
 			hops := 0
 			for {
-				ports := fatMeshRoute(at, &flit.Message{Dst: ep})
+				ports := fatMeshRoute(at, &flit.Message{Dst: ep}, nil)
 				if len(ports) == 1 && ports[0] < fmEndpoints {
 					break // delivered
 				}
@@ -218,7 +218,7 @@ func TestTetraPortSymmetry(t *testing.T) {
 func TestTetrahedralRoutingIsOneHop(t *testing.T) {
 	for sw := 0; sw < 4; sw++ {
 		for ep := 0; ep < 16; ep++ {
-			ports := tetraRoute(sw, &flit.Message{Dst: ep})
+			ports := tetraRoute(sw, &flit.Message{Dst: ep}, nil)
 			if len(ports) != 1 {
 				t.Fatalf("route(%d, ep%d) = %v", sw, ep, ports)
 			}
@@ -229,7 +229,7 @@ func TestTetrahedralRoutingIsOneHop(t *testing.T) {
 				continue
 			}
 			// One transit hop, then local delivery.
-			next := tetraRoute(nextTetraSwitch(sw, ports[0]), &flit.Message{Dst: ep})
+			next := tetraRoute(nextTetraSwitch(sw, ports[0]), &flit.Message{Dst: ep}, nil)
 			if len(next) != 1 || next[0] != ep%4 {
 				t.Fatalf("second hop from %d to ep%d = %v", sw, ep, next)
 			}
@@ -326,7 +326,7 @@ func TestFatMeshSwitchPathMatchesRouting(t *testing.T) {
 			at := srcSw
 			for {
 				got = append(got, at)
-				ports := fatMeshRoute(at, &flit.Message{Dst: dst})
+				ports := fatMeshRoute(at, &flit.Message{Dst: dst}, nil)
 				next := portToSwitch(at, ports[0])
 				if next < 0 {
 					break

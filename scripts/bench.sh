@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the engine and router benchmark suite and emit a
-# machine-readable summary (BENCH_PR5.json by default).
+# machine-readable summary (BENCH_PR10.json by default).
 #
 # Dependency-free: go, git and awk only. Knobs via environment:
 #
-#   BENCH_OUT=path          output file             (default BENCH_PR5.json)
+#   BENCH_OUT=path          output file             (default BENCH_PR10.json)
 #   BENCHTIME=dur|Nx        -benchtime for micro-benchmarks   (default 1s)
 #   SINGLE_BENCHTIME=Nx     -benchtime for BenchmarkSingleRun (default 1x;
 #                           it simulates a full config per iteration)
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR5.json}"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 SINGLE_BENCHTIME="${SINGLE_BENCHTIME:-1x}"
 
